@@ -1,0 +1,36 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"subgraphquery/internal/bench"
+)
+
+func TestRunRejectsUnknownSubcommand(t *testing.T) {
+	cfg := bench.Config{Out: io.Discard}
+	if err := run("bogus", cfg); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+}
+
+// TestRunSingleTableSmoke executes one cheap real-study rendering end to
+// end at miniature scale.
+func TestRunSingleTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real-dataset study")
+	}
+	cfg := bench.Config{
+		Scale:       0.002,
+		QueryCount:  2,
+		Seed:        3,
+		IndexBudget: time.Second,
+		QueryBudget: 250 * time.Millisecond,
+		Workers:     2,
+		Out:         io.Discard,
+	}
+	if err := run("tableVI", cfg); err != nil {
+		t.Fatalf("tableVI: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+// sqgen generates graph databases and query workloads in the text format
+// used throughout this module ("t/v/e" records).
+//
+// Usage:
+//
+//	sqgen synthetic -graphs 1000 -vertices 200 -labels 20 -degree 8 -o db.graph
+//	sqgen real -dataset AIDS -scale 0.05 -o aids.graph
+//	sqgen queries -db db.graph -count 100 -edges 8 -method walk -o q8s.graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sq "subgraphquery"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "synthetic":
+		err = synthetic(os.Args[2:])
+	case "real":
+		err = real(os.Args[2:])
+	case "queries":
+		err = queries(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqgen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `sqgen generates datasets and query workloads.
+
+subcommands:
+  synthetic   GraphGen-style synthetic database (-graphs -vertices -labels -degree -seed -o)
+  real        simulated real-world dataset (-dataset AIDS|PDBS|PCM|PPI -scale -seed -o)
+  queries     query workload from a database (-db -count -edges -method walk|bfs -seed -o)
+  stats       print Table IV-style statistics of a database (-db)`)
+}
+
+func writeDB(path string, db *sq.Database) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sq.WriteDatabase(f, db); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func synthetic(args []string) error {
+	fs := flag.NewFlagSet("synthetic", flag.ExitOnError)
+	graphs := fs.Int("graphs", 1000, "|D|: number of data graphs")
+	vertices := fs.Int("vertices", 200, "|V(G)|: vertices per graph")
+	labels := fs.Int("labels", 20, "|Σ|: distinct labels")
+	degree := fs.Float64("degree", 8, "d(G): average degree")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "db.graph", "output file")
+	fs.Parse(args)
+
+	db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: *graphs, NumVertices: *vertices, NumLabels: *labels,
+		Degree: *degree, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeDB(*out, db); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d graphs to %s\n", db.Len(), *out)
+	return nil
+}
+
+func real(args []string) error {
+	fs := flag.NewFlagSet("real", flag.ExitOnError)
+	dataset := fs.String("dataset", "AIDS", "AIDS, PDBS, PCM or PPI")
+	scale := fs.Float64("scale", 0.05, "dataset scale in (0,1]")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "db.graph", "output file")
+	fs.Parse(args)
+
+	db, err := sq.GenerateReal(sq.RealDataset(*dataset), *scale, *seed)
+	if err != nil {
+		return err
+	}
+	if err := writeDB(*out, db); err != nil {
+		return err
+	}
+	s := db.ComputeStats()
+	fmt.Printf("wrote %s-like database to %s: %d graphs, %.0f vertices/graph, degree %.2f\n",
+		*dataset, *out, s.NumGraphs, s.VerticesPerGraph, s.DegreePerGraph)
+	return nil
+}
+
+func queries(args []string) error {
+	fs := flag.NewFlagSet("queries", flag.ExitOnError)
+	dbPath := fs.String("db", "db.graph", "database file")
+	count := fs.Int("count", 100, "number of queries")
+	edges := fs.Int("edges", 8, "edges per query")
+	method := fs.String("method", "walk", "walk (sparse) or bfs (dense)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "queries.graph", "output file")
+	fs.Parse(args)
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := sq.ReadDatabase(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	m := sq.QueryRandomWalk
+	if *method == "bfs" {
+		m = sq.QueryBFS
+	} else if *method != "walk" {
+		return fmt.Errorf("unknown method %q (want walk or bfs)", *method)
+	}
+	qs, err := sq.GenerateQuerySet(db, sq.QuerySetConfig{
+		Count: *count, Edges: *edges, Method: m, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeDB(*out, sq.NewDatabase(qs)); err != nil {
+		return err
+	}
+	st := sq.ComputeQuerySetStats(qs)
+	fmt.Printf("wrote %d queries to %s: %.1f vertices, degree %.2f, %.0f%% trees\n",
+		len(qs), *out, st.VerticesPerQuery, st.DegreePerQuery, 100*st.TreeFraction)
+	return nil
+}
+
+func stats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dbPath := fs.String("db", "db.graph", "database file")
+	fs.Parse(args)
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := sq.ReadDatabase(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	s := db.ComputeStats()
+	fmt.Printf("#graphs              %d\n", s.NumGraphs)
+	fmt.Printf("#labels              %d\n", s.NumLabels)
+	fmt.Printf("#vertices per graph  %.2f\n", s.VerticesPerGraph)
+	fmt.Printf("#edges per graph     %.2f\n", s.EdgesPerGraph)
+	fmt.Printf("degree per graph     %.2f\n", s.DegreePerGraph)
+	fmt.Printf("#labels per graph    %.2f\n", s.LabelsPerGraph)
+	return nil
+}

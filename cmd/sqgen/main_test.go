@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	sq "subgraphquery"
+)
+
+func TestSyntheticQueriesStatsPipeline(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.graph")
+	qPath := filepath.Join(dir, "q.graph")
+
+	if err := synthetic([]string{
+		"-graphs", "12", "-vertices", "20", "-labels", "4", "-degree", "4",
+		"-seed", "3", "-o", dbPath,
+	}); err != nil {
+		t.Fatalf("synthetic: %v", err)
+	}
+	f, err := os.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sq.ReadDatabase(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 12 {
+		t.Fatalf("generated %d graphs, want 12", db.Len())
+	}
+
+	if err := queries([]string{
+		"-db", dbPath, "-count", "5", "-edges", "4", "-method", "bfs",
+		"-seed", "2", "-o", qPath,
+	}); err != nil {
+		t.Fatalf("queries: %v", err)
+	}
+	qf, err := os.Open(qPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qdb, err := sq.ReadDatabase(qf)
+	qf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qdb.Len() != 5 {
+		t.Fatalf("generated %d queries, want 5", qdb.Len())
+	}
+	for i := 0; i < qdb.Len(); i++ {
+		if qdb.Graph(i).NumEdges() != 4 {
+			t.Errorf("query %d has %d edges, want 4", i, qdb.Graph(i).NumEdges())
+		}
+	}
+
+	if err := stats([]string{"-db", dbPath}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestRealSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "aids.graph")
+	if err := real([]string{"-dataset", "AIDS", "-scale", "0.002", "-seed", "1", "-o", out}); err != nil {
+		t.Fatalf("real: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sq.ReadDatabase(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Fatal("real dataset is empty")
+	}
+}
+
+func TestQueriesBadMethod(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.graph")
+	if err := synthetic([]string{"-graphs", "2", "-vertices", "10", "-labels", "2", "-degree", "3", "-o", dbPath}); err != nil {
+		t.Fatal(err)
+	}
+	err := queries([]string{"-db", dbPath, "-count", "1", "-edges", "2", "-method", "zigzag", "-o", filepath.Join(dir, "q.graph")})
+	if err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestStatsMissingFile(t *testing.T) {
+	if err := stats([]string{"-db", "/nonexistent/file.graph"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

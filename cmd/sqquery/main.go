@@ -1,0 +1,115 @@
+// sqquery runs a subgraph query workload against a graph database with a
+// chosen engine and reports per-query answers and the paper's metrics.
+//
+// Usage:
+//
+//	sqquery -db db.graph -queries q8s.graph -engine CFQL [-budget 10m] [-v]
+//
+// Engines: CT-Index, Grapes, GGSX (IFV); CFL, GraphQL, CFQL (vcFV);
+// vcGrapes, vcGGSX (IvcFV); Scan-VF2 (no filtering).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sq "subgraphquery"
+	"subgraphquery/internal/bench"
+	"subgraphquery/internal/core"
+)
+
+func main() {
+	dbPath := flag.String("db", "db.graph", "database file")
+	queryPath := flag.String("queries", "", "query workload file (required)")
+	engineName := flag.String("engine", "CFQL", "engine name")
+	budget := flag.Duration("budget", 10*time.Minute, "per-query time budget")
+	indexBudget := flag.Duration("index-budget", 24*time.Hour, "index construction budget")
+	workers := flag.Int("workers", 6, "verification workers for the Grapes engines")
+	verbose := flag.Bool("v", false, "print per-query results")
+	flag.Parse()
+
+	if err := run(*dbPath, *queryPath, *engineName, *budget, *indexBudget, *workers, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "sqquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, queryPath, engineName string, budget, indexBudget time.Duration, workers int, verbose bool) error {
+	if queryPath == "" {
+		return fmt.Errorf("-queries is required")
+	}
+	db, err := readDB(dbPath)
+	if err != nil {
+		return fmt.Errorf("reading database: %w", err)
+	}
+	queryDB, err := readDB(queryPath)
+	if err != nil {
+		return fmt.Errorf("reading queries: %w", err)
+	}
+
+	engine, err := bench.NewEngine(engineName)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	err = engine.Build(db, core.BuildOptions{
+		Deadline: time.Now().Add(indexBudget),
+		Workers:  workers,
+	})
+	if err != nil {
+		return fmt.Errorf("index construction: %w", err)
+	}
+	buildTime := time.Since(t0)
+	if bench.IsIndexed(engineName) {
+		fmt.Printf("index built in %v (%.2f MB)\n", buildTime.Round(time.Millisecond),
+			float64(engine.IndexMemory())/(1<<20))
+	}
+
+	var filter, verify time.Duration
+	var cands, answers, timeouts int
+	for i := 0; i < queryDB.Len(); i++ {
+		q := queryDB.Graph(i)
+		res := engine.Query(q, core.QueryOptions{
+			Deadline: time.Now().Add(budget),
+			Workers:  workers,
+		})
+		filter += res.FilterTime
+		verify += res.VerifyTime
+		cands += res.Candidates
+		answers += len(res.Answers)
+		if res.TimedOut {
+			timeouts++
+		}
+		if verbose {
+			status := ""
+			if res.TimedOut {
+				status = " TIMEOUT"
+			}
+			fmt.Printf("query %3d: |C|=%d |A|=%d filter=%v verify=%v%s\n",
+				i, res.Candidates, len(res.Answers),
+				res.FilterTime.Round(time.Microsecond), res.VerifyTime.Round(time.Microsecond), status)
+		}
+	}
+	n := queryDB.Len()
+	fmt.Printf("\nengine %s on %d queries over %d data graphs:\n", engineName, n, db.Len())
+	fmt.Printf("  avg filter time   %v\n", (filter / time.Duration(n)).Round(time.Microsecond))
+	fmt.Printf("  avg verify time   %v\n", (verify / time.Duration(n)).Round(time.Microsecond))
+	fmt.Printf("  avg candidates    %.1f\n", float64(cands)/float64(n))
+	fmt.Printf("  avg answers       %.1f\n", float64(answers)/float64(n))
+	if cands > 0 {
+		fmt.Printf("  filtering precision %.3f\n", float64(answers)/float64(cands))
+	}
+	fmt.Printf("  timeouts          %d\n", timeouts)
+	return nil
+}
+
+func readDB(path string) (*sq.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sq.ReadDatabase(f)
+}

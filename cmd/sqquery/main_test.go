@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	sq "subgraphquery"
+)
+
+func writeTestDB(t *testing.T, path string, db *sq.Database) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := sq.WriteDatabase(f, db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.graph")
+	qPath := filepath.Join(dir, "q.graph")
+
+	db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: 10, NumVertices: 20, NumLabels: 3, Degree: 4, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeTestDB(t, dbPath, db)
+	qs, err := sq.GenerateQuerySet(db, sq.QuerySetConfig{
+		Count: 4, Edges: 3, Method: sq.QueryRandomWalk, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeTestDB(t, qPath, sq.NewDatabase(qs))
+
+	for _, engine := range []string{"CFQL", "Grapes", "Scan-VF2"} {
+		if err := run(dbPath, qPath, engine, time.Minute, time.Minute, 2, true); err != nil {
+			t.Errorf("run with %s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.graph")
+	db, _ := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: 2, NumVertices: 10, NumLabels: 2, Degree: 3, Seed: 1,
+	})
+	writeTestDB(t, dbPath, db)
+
+	if err := run(dbPath, "", "CFQL", time.Minute, time.Minute, 1, false); err == nil {
+		t.Error("missing -queries should fail")
+	}
+	if err := run("/nonexistent", dbPath, "CFQL", time.Minute, time.Minute, 1, false); err == nil {
+		t.Error("missing database should fail")
+	}
+	if err := run(dbPath, dbPath, "NoSuchEngine", time.Minute, time.Minute, 1, false); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}

@@ -1,0 +1,59 @@
+// sqserver exposes a graph database over HTTP: the "query operation in a
+// graph database" setting the paper's introduction motivates (CAD, protein
+// interaction retrieval, social networks, RDF). The index-free CFQL engine
+// (optionally behind the GraphCache-style result cache) answers queries;
+// new data graphs can be appended at runtime with no index maintenance.
+//
+// Endpoints:
+//
+//	POST /query   body: one graph in the text format -> JSON answer
+//	POST /graphs  body: one graph in the text format -> JSON {"id": n}
+//	GET  /stats   JSON database statistics
+//
+// Usage:
+//
+//	sqserver -db db.graph [-addr :8080] [-engine CFQL] [-cache 64]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	sq "subgraphquery"
+	"subgraphquery/internal/bench"
+)
+
+func main() {
+	dbPath := flag.String("db", "db.graph", "database file")
+	addr := flag.String("addr", ":8080", "listen address")
+	engineName := flag.String("engine", "CFQL", "query engine")
+	cache := flag.Int("cache", 64, "result cache entries (0 disables)")
+	budget := flag.Duration("budget", 0, "per-query budget (0 = none)")
+	flag.Parse()
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		log.Fatalf("sqserver: %v", err)
+	}
+	db, err := sq.ReadDatabase(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("sqserver: %v", err)
+	}
+
+	engine, err := bench.NewEngine(*engineName)
+	if err != nil {
+		log.Fatalf("sqserver: %v", err)
+	}
+	srv, err := newServer(db, engine, *cache, *budget)
+	if err != nil {
+		log.Fatalf("sqserver: %v", err)
+	}
+	log.Printf("sqserver: %d graphs loaded, engine %s, listening on %s",
+		db.Len(), srv.engine.Name(), *addr)
+	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+		log.Fatal(err)
+	}
+}

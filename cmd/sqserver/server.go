@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	sq "subgraphquery"
+	"subgraphquery/internal/core"
+)
+
+// server holds the database and engine behind the HTTP handlers. A RWMutex
+// serializes appends against queries: the engines themselves are safe for
+// concurrent queries but not for concurrent database mutation.
+type server struct {
+	mu     sync.RWMutex
+	db     *sq.Database
+	engine sq.Engine
+	budget time.Duration
+}
+
+func newServer(db *sq.Database, engine sq.Engine, cacheEntries int, budget time.Duration) (*server, error) {
+	if cacheEntries > 0 {
+		engine = sq.NewCachedEngine(engine, cacheEntries)
+	}
+	if err := engine.Build(db, sq.BuildOptions{}); err != nil {
+		return nil, err
+	}
+	return &server{db: db, engine: engine, budget: budget}, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/query", s.handleQuery)
+	m.HandleFunc("/graphs", s.handleAppend)
+	m.HandleFunc("/stats", s.handleStats)
+	return m
+}
+
+// queryResponse is the JSON body returned by POST /query.
+type queryResponse struct {
+	Answers    []int  `json:"answers"`
+	Candidates int    `json:"candidates"`
+	FilterUS   int64  `json:"filter_us"`
+	VerifyUS   int64  `json:"verify_us"`
+	TimedOut   bool   `json:"timed_out,omitempty"`
+	Engine     string `json:"engine"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a query graph in the text format", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := sq.ReadGraph(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parsing query: %v", err), http.StatusBadRequest)
+		return
+	}
+	if !q.IsConnected() {
+		http.Error(w, "query graph must be connected", http.StatusBadRequest)
+		return
+	}
+	opts := sq.QueryOptions{}
+	if s.budget > 0 {
+		opts.Deadline = time.Now().Add(s.budget)
+	}
+	s.mu.RLock()
+	res := s.engine.Query(q, opts)
+	s.mu.RUnlock()
+
+	writeJSON(w, queryResponse{
+		Answers:    append([]int{}, res.Answers...),
+		Candidates: res.Candidates,
+		FilterUS:   res.FilterTime.Microseconds(),
+		VerifyUS:   res.VerifyTime.Microseconds(),
+		TimedOut:   res.TimedOut,
+		Engine:     s.engine.Name(),
+	})
+}
+
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a data graph in the text format", http.StatusMethodNotAllowed)
+		return
+	}
+	g, err := sq.ReadGraph(r.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parsing graph: %v", err), http.StatusBadRequest)
+		return
+	}
+	u, ok := s.engine.(core.Updatable)
+	if !ok {
+		http.Error(w, "engine does not support appends; restart with a vcFV engine", http.StatusConflict)
+		return
+	}
+	s.mu.Lock()
+	id, err := u.AppendGraph(g)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]int{"id": id})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	stats := s.db.ComputeStats()
+	mem := s.db.MemoryFootprint()
+	idx := s.engine.IndexMemory()
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{
+		"graphs":             stats.NumGraphs,
+		"labels":             stats.NumLabels,
+		"vertices_per_graph": stats.VerticesPerGraph,
+		"edges_per_graph":    stats.EdgesPerGraph,
+		"degree_per_graph":   stats.DegreePerGraph,
+		"dataset_bytes":      mem,
+		"index_bytes":        idx,
+		"engine":             s.engine.Name(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

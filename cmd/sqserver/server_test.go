@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	sq "subgraphquery"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: 15, NumVertices: 20, NumLabels: 3, Degree: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(db, sq.NewCFQLEngine(), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// graphText serializes a graph for request bodies.
+func graphText(t *testing.T, g *sq.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sq.WriteGraph(&buf, 0, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	// Query drawn from graph 0: must return at least graph 0.
+	qs, err := sq.GenerateQuerySet(srv.db, sq.QuerySetConfig{
+		Count: 1, Edges: 3, Method: sq.QueryRandomWalk, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(graphText(t, qs[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) == 0 {
+		t.Error("generated query should have answers")
+	}
+	if out.Engine != "CFQL+cache" {
+		t.Errorf("engine = %q", out.Engine)
+	}
+}
+
+func TestQueryRejectsBadInput(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"garbage":      "not a graph",
+		"disconnected": "t 0 4 2\nv 0 0 1\nv 1 0 1\nv 2 0 1\nv 3 0 1\ne 0 1\ne 2 3\n",
+	} {
+		resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	g, err := sq.FromEdges([]sq.Label{0, 1, 2}, []sq.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/graphs", "text/plain", strings.NewReader(graphText(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out["id"] != 15 {
+		t.Errorf("appended id = %d, want 15", out["id"])
+	}
+
+	// The appended graph is immediately queryable.
+	q, _ := sq.FromEdges([]sq.Label{1, 2}, []sq.Edge{{U: 0, V: 1}})
+	resp2, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(graphText(t, q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	found := false
+	for _, id := range qr.Answers {
+		if id == 15 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("appended graph missing from answers %v", qr.Answers)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["graphs"].(float64) != 15 {
+		t.Errorf("graphs = %v, want 15", out["graphs"])
+	}
+	if out["engine"] != "CFQL+cache" {
+		t.Errorf("engine = %v", out["engine"])
+	}
+}

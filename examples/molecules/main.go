@@ -1,0 +1,80 @@
+// Molecules: subgraph search over an AIDS-like molecule database,
+// reproducing the paper's headline comparison on its primary dataset —
+// the index-based Grapes engine versus the index-free CFQL engine.
+//
+// The example (1) generates a simulated AIDS dataset (sparse molecule-like
+// graphs, 62 element labels), (2) times Grapes' index construction, which
+// CFQL skips entirely, and (3) runs sparse and dense query workloads on
+// both engines, printing the per-phase breakdown the paper reports.
+//
+// Run with: go run ./examples/molecules [-graphs 2000] [-queries 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	sq "subgraphquery"
+)
+
+func main() {
+	graphs := flag.Int("graphs", 2000, "number of molecule graphs (paper: 40000)")
+	queries := flag.Int("queries", 20, "queries per workload (paper: 100)")
+	flag.Parse()
+
+	scale := float64(*graphs) / 40000
+	fmt.Printf("generating AIDS-like database (%d graphs)...\n", *graphs)
+	db, err := sq.GenerateReal(sq.AIDS, scale, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := db.ComputeStats()
+	fmt.Printf("database: %d graphs, %.0f vertices/graph, degree %.2f, %d labels\n\n",
+		stats.NumGraphs, stats.VerticesPerGraph, stats.DegreePerGraph, stats.NumLabels)
+
+	grapes := sq.NewGrapesEngine()
+	cfql := sq.NewCFQLEngine()
+
+	t0 := time.Now()
+	if err := grapes.Build(db, sq.BuildOptions{Workers: 6}); err != nil {
+		log.Fatalf("grapes index: %v", err)
+	}
+	fmt.Printf("Grapes index build: %v (%.1f MB)\n", time.Since(t0).Round(time.Millisecond),
+		float64(grapes.IndexMemory())/(1<<20))
+	if err := cfql.Build(db, sq.BuildOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CFQL   index build: none (index-free)\n\n")
+
+	for _, method := range []sq.QueryMethod{sq.QueryRandomWalk, sq.QueryBFS} {
+		for _, edges := range []int{8, 16} {
+			cfg := sq.QuerySetConfig{Count: *queries, Edges: edges, Method: method, Seed: 7}
+			qs, err := sq.GenerateQuerySet(db, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("workload %s (%d queries):\n", cfg.Name(), len(qs))
+			for _, eng := range []sq.Engine{grapes, cfql} {
+				var filter, verify time.Duration
+				var cands, answers int
+				for _, q := range qs {
+					res := eng.Query(q, sq.QueryOptions{})
+					filter += res.FilterTime
+					verify += res.VerifyTime
+					cands += res.Candidates
+					answers += len(res.Answers)
+				}
+				n := time.Duration(len(qs))
+				fmt.Printf("  %-8s filter %10v  verify %10v  |C(q)| %7.1f  |A(q)| %7.1f\n",
+					eng.Name(), (filter / n).Round(time.Microsecond), (verify / n).Round(time.Microsecond),
+					float64(cands)/float64(len(qs)), float64(answers)/float64(len(qs)))
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("note: with a fast verifier, filtering dominates on molecule data —")
+	fmt.Println("the paper's §IV-D observation that slow VF2 verification overstated")
+	fmt.Println("the value of index-based filtering.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a tiny graph database, run a subgraph query with the
+// index-free CFQL engine, and enumerate the embeddings inside one match.
+//
+// The example database holds three small molecules over labels
+// {0: C, 1: O, 2: N}; the query is an O-C-N path.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sq "subgraphquery"
+)
+
+func main() {
+	// Three data graphs: a triangle C-O-N, a branched chain O-C(-N-C), and
+	// a star with no nitrogen.
+	g0, err := sq.FromEdges(
+		[]sq.Label{0, 1, 2}, // C, O, N
+		[]sq.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g1, err := sq.FromEdges(
+		[]sq.Label{0, 1, 2, 0}, // C, O, N, C
+		[]sq.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 2, V: 3}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g2, err := sq.FromEdges(
+		[]sq.Label{0, 1, 1, 1}, // C with three O's
+		[]sq.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sq.NewDatabase([]*sq.Graph{g0, g1, g2})
+
+	// Query: O-C-N path... the O and N both attached to a C.
+	q, err := sq.FromEdges(
+		[]sq.Label{1, 0, 2}, // O, C, N
+		[]sq.Edge{{U: 0, V: 1}, {U: 1, V: 2}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The CFQL engine needs no index: Build only registers the database.
+	engine := sq.NewCFQLEngine()
+	if err := engine.Build(db, sq.BuildOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	res := engine.Query(q, sq.QueryOptions{})
+	fmt.Printf("query contained in data graphs: %v\n", res.Answers)
+	fmt.Printf("candidates after filtering:     %d of %d\n", res.Candidates, db.Len())
+	fmt.Printf("filter %v + verify %v = %v\n", res.FilterTime, res.VerifyTime, res.QueryTime())
+
+	// Full subgraph matching on one answer graph: enumerate all embeddings.
+	for _, id := range res.Answers {
+		fmt.Printf("graph %d: %d embeddings\n", id, sq.CountEmbeddings(q, db.Graph(id)))
+	}
+}

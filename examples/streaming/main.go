@@ -1,0 +1,122 @@
+// Streaming: the index-maintenance problem that motivates index-free
+// subgraph querying (paper §I: "whenever D is modified, I must be updated
+// correspondingly ... IFV algorithms are hardly applicable to graphs that
+// change frequently, such as networks of purchasing records").
+//
+// The example simulates a stream of new data graphs arriving in batches
+// and answers a standing query after every batch with three maintenance
+// strategies:
+//
+//	grapes-rebuild      Grapes, index rebuilt from scratch per batch
+//	grapes-incremental  Grapes, new graphs inserted into the live trie
+//	cfql                index-free: no maintenance at all
+//
+// All three must agree on every answer set; the cumulative maintenance
+// columns show what each strategy pays for correctness under updates.
+//
+// Run with: go run ./examples/streaming [-batches 5] [-batchsize 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	sq "subgraphquery"
+)
+
+func main() {
+	batches := flag.Int("batches", 5, "number of update batches")
+	batchSize := flag.Int("batchsize", 200, "graphs per batch")
+	flag.Parse()
+
+	// Standing query: a benzene-ring-like pattern (6-cycle, alternating
+	// labels).
+	q, err := sq.FromEdges(
+		[]sq.Label{0, 1, 0, 1, 0, 1},
+		[]sq.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 0}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := func(n int, seed int64) []*sq.Graph {
+		db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+			NumGraphs: n, NumVertices: 60, NumLabels: 4, Degree: 5, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return db.Graphs()
+	}
+	initial := gen(500, 21)
+
+	// Three engines over three private database copies: Append mutates.
+	rebuild := sq.NewGrapesEngine()
+	rebuildDB := sq.NewDatabase(append([]*sq.Graph(nil), initial...))
+	incremental := sq.NewGrapesEngine()
+	incrementalDB := sq.NewDatabase(append([]*sq.Graph(nil), initial...))
+	cfql := sq.NewCFQLEngine()
+	cfqlDB := sq.NewDatabase(append([]*sq.Graph(nil), initial...))
+
+	var rebuildCost, incCost, cfqlCost time.Duration
+	build := func(e sq.Engine, db *sq.Database) time.Duration {
+		t0 := time.Now()
+		if err := e.Build(db, sq.BuildOptions{Workers: 6}); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	rebuildCost += build(rebuild, rebuildDB)
+	incCost += build(incremental, incrementalDB)
+	cfqlCost += build(cfql, cfqlDB)
+
+	inc, ok := incremental.(sq.Updatable)
+	if !ok {
+		log.Fatal("grapes engine should support incremental appends")
+	}
+
+	r := rand.New(rand.NewSource(99))
+	fmt.Printf("%-6s %8s %16s %16s %12s   %s\n",
+		"batch", "|D|", "rebuild maint", "incr maint", "cfql maint", "answers")
+	for b := 0; b <= *batches; b++ {
+		if b > 0 {
+			batch := gen(*batchSize, r.Int63())
+			// Strategy 1: append then rebuild from scratch.
+			for _, g := range batch {
+				rebuildDB.Append(g)
+			}
+			rebuildCost += build(rebuild, rebuildDB)
+			// Strategy 2: incremental insertion into the live index.
+			t0 := time.Now()
+			for _, g := range batch {
+				if _, err := inc.AppendGraph(g); err != nil {
+					log.Fatal(err)
+				}
+			}
+			incCost += time.Since(t0)
+			// Strategy 3: index-free — nothing to maintain.
+			t1 := time.Now()
+			for _, g := range batch {
+				cfqlDB.Append(g)
+			}
+			cfqlCost += time.Since(t1)
+		}
+		a1 := rebuild.Query(q, sq.QueryOptions{})
+		a2 := incremental.Query(q, sq.QueryOptions{})
+		a3 := cfql.Query(q, sq.QueryOptions{})
+		if len(a1.Answers) != len(a2.Answers) || len(a2.Answers) != len(a3.Answers) {
+			log.Fatalf("strategies disagree: %d / %d / %d answers",
+				len(a1.Answers), len(a2.Answers), len(a3.Answers))
+		}
+		fmt.Printf("%-6d %8d %16v %16v %12v   %d\n",
+			b, cfqlDB.Len(), rebuildCost.Round(time.Millisecond),
+			incCost.Round(time.Millisecond), cfqlCost.Round(time.Millisecond),
+			len(a3.Answers))
+	}
+	fmt.Println("\nmaint = cumulative index maintenance (initial build + updates).")
+	fmt.Println("incremental insertion amortizes the trie build; the index-free engine")
+	fmt.Println("pays nothing at all — its auxiliary structures are per-query.")
+}

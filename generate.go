@@ -1,0 +1,63 @@
+package subgraphquery
+
+import (
+	"subgraphquery/internal/gen"
+)
+
+// Dataset and query-workload generation, re-exported from internal/gen:
+// the GraphGen-style synthetic generator and the random-walk / BFS query
+// extractors the paper's evaluation uses.
+
+// SyntheticConfig parameterizes the synthetic database generator.
+type SyntheticConfig = gen.SyntheticConfig
+
+// QuerySetConfig parameterizes a query workload.
+type QuerySetConfig = gen.QuerySetConfig
+
+// QueryMethod selects the query generation strategy.
+type QueryMethod = gen.QueryMethod
+
+// QuerySetStats summarizes a query set (Table V-style statistics).
+type QuerySetStats = gen.QuerySetStats
+
+// RealDataset names one of the simulated real-world datasets.
+type RealDataset = gen.RealDataset
+
+// Query generation methods.
+const (
+	// QueryRandomWalk extracts sparse queries (the paper's Q_iS sets).
+	QueryRandomWalk = gen.QueryRandomWalk
+	// QueryBFS extracts dense queries (the paper's Q_iD sets).
+	QueryBFS = gen.QueryBFS
+)
+
+// The four simulated real-world datasets (statistics match Table IV).
+const (
+	AIDS = gen.AIDS
+	PDBS = gen.PDBS
+	PCM  = gen.PCM
+	PPI  = gen.PPI
+)
+
+// GenerateSynthetic builds a synthetic database with the GraphGen-style
+// parameters |D|, |V(G)|, |Σ| and d(G).
+func GenerateSynthetic(cfg SyntheticConfig) (*Database, error) {
+	return gen.Synthetic(cfg)
+}
+
+// GenerateReal builds a simulated instance of a real-world dataset at the
+// given scale in (0, 1].
+func GenerateReal(name RealDataset, scale float64, seed int64) (*Database, error) {
+	return gen.Real(name, scale, seed)
+}
+
+// GenerateQuerySet extracts a query workload from the database; every query
+// is connected and contained in at least one data graph.
+func GenerateQuerySet(db *Database, cfg QuerySetConfig) ([]*Graph, error) {
+	return gen.QuerySet(db, cfg)
+}
+
+// ComputeQuerySetStats summarizes a query set.
+func ComputeQuerySetStats(queries []*Graph) QuerySetStats {
+	return gen.ComputeQuerySetStats(queries)
+}

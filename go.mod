@@ -1,0 +1,3 @@
+module subgraphquery
+
+go 1.22

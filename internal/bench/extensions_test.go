@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExtensionsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	cfg := tinyConfig()
+	rows, err := RunExtensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ExtensionEngines) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(ExtensionEngines))
+	}
+	// Engines that built must agree on the answer count (no timeouts at
+	// this scale means identical |A(q)|).
+	var wantAnswers float64 = -1
+	for _, r := range rows {
+		if r.BuildOOT || r.TimedOut > 0 {
+			continue
+		}
+		if wantAnswers < 0 {
+			wantAnswers = r.Answers
+		} else if r.Answers != wantAnswers {
+			t.Errorf("%s: answers %.2f != %.2f", r.Engine, r.Answers, wantAnswers)
+		}
+	}
+	if wantAnswers <= 0 {
+		t.Error("no engine produced answers")
+	}
+
+	var buf bytes.Buffer
+	out := cfg
+	out.Out = &buf
+	RenderExtensions(out, rows)
+	for _, en := range []string{"FG-Index", "TreePi", "CFQL", "Scan-VF2"} {
+		if !strings.Contains(buf.String(), en) {
+			t.Errorf("rendered table lacks %s", en)
+		}
+	}
+}

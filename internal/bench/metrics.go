@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"time"
+
+	"subgraphquery/internal/core"
+	"subgraphquery/internal/graph"
+)
+
+// SetMetrics aggregates one engine's behaviour over one query set — the
+// quantities defined in §IV-A "Metrics".
+type SetMetrics struct {
+	Queries  int // queries evaluated
+	TimedOut int // queries that hit the budget
+
+	// FilterTime and VerifyTime are averages per query.
+	FilterTime time.Duration
+	VerifyTime time.Duration
+
+	// Candidates is the average |C(q)|; Answers the average |A(q)|.
+	Candidates float64
+	Answers    float64
+
+	// Precision is the filtering precision of equation (1):
+	// mean over queries of |A(q)|/|C(q)| (1 when C(q) is empty).
+	Precision float64
+
+	// PerSITest is equation (3): mean over queries of
+	// T_verification(D,q)/|C(q)|, skipping queries with no candidates.
+	PerSITest time.Duration
+
+	// AuxMemory is the maximum per-query auxiliary (candidate set) memory.
+	AuxMemory int64
+}
+
+// RunQuerySet evaluates the engine on every query and aggregates metrics.
+// Per the paper, queries exceeding the budget are recorded at the budget
+// value and counted in TimedOut.
+func RunQuerySet(e core.Engine, queries []*graph.Graph, cfg Config) SetMetrics {
+	cfg = cfg.normalized()
+	var m SetMetrics
+	var precisionSum float64
+	var perSISum time.Duration
+	perSICount := 0
+	var filterSum, verifySum time.Duration
+
+	for _, q := range queries {
+		res := e.Query(q, core.QueryOptions{
+			Deadline: time.Now().Add(cfg.QueryBudget),
+			Workers:  cfg.Workers,
+		})
+		m.Queries++
+		if res.TimedOut {
+			m.TimedOut++
+			// Record the budget as the verification time, mirroring the
+			// paper's "record it as 10 minutes" rule.
+			if res.QueryTime() < cfg.QueryBudget {
+				res.VerifyTime = cfg.QueryBudget - res.FilterTime
+			}
+		}
+		filterSum += res.FilterTime
+		verifySum += res.VerifyTime
+		m.Candidates += float64(res.Candidates)
+		m.Answers += float64(len(res.Answers))
+		if res.Candidates > 0 {
+			precisionSum += float64(len(res.Answers)) / float64(res.Candidates)
+			perSISum += res.VerifyTime / time.Duration(res.Candidates)
+			perSICount++
+		} else {
+			precisionSum += 1 // perfect filtering: nothing to verify
+		}
+		if res.AuxMemory > m.AuxMemory {
+			m.AuxMemory = res.AuxMemory
+		}
+	}
+	if m.Queries > 0 {
+		n := time.Duration(m.Queries)
+		m.FilterTime = filterSum / n
+		m.VerifyTime = verifySum / n
+		m.Candidates /= float64(m.Queries)
+		m.Answers /= float64(m.Queries)
+		m.Precision = precisionSum / float64(m.Queries)
+	}
+	if perSICount > 0 {
+		m.PerSITest = perSISum / time.Duration(perSICount)
+	}
+	return m
+}
+
+// QueryTime returns the average query time (filtering + verification).
+func (m SetMetrics) QueryTime() time.Duration { return m.FilterTime + m.VerifyTime }

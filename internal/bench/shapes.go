@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShapeCheck records one qualitative claim of the paper evaluated against a
+// harness run. Absolute numbers vary with scale and hardware; these are the
+// findings that must *hold in shape* for the reproduction to count
+// (DESIGN.md lists them as expected shapes 1–7).
+type ShapeCheck struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// CheckShapes evaluates the real-dataset claims.
+func (ev *RealEvaluation) CheckShapes() []ShapeCheck {
+	var out []ShapeCheck
+
+	// 1. Per-SI-test time: VF2-based verification is orders of magnitude
+	// slower than efficient-matching verification (Figure 5).
+	{
+		var vf2, vc time.Duration
+		var n int
+		for _, ds := range ev.Datasets {
+			for _, set := range ev.QuerySetNames {
+				g, gok := ev.Metrics[ds][set]["Grapes"]
+				c, cok := ev.Metrics[ds][set]["CFQL"]
+				if gok && cok && g.Candidates > 0 && c.Candidates > 0 {
+					vf2 += g.PerSITest
+					vc += c.PerSITest
+					n++
+				}
+			}
+		}
+		ok := n > 0 && vf2 > 2*vc
+		out = append(out, ShapeCheck{
+			Name: "per-SI-test: VF2 (Grapes) slower than CFQL",
+			OK:   ok,
+			Detail: fmt.Sprintf("mean per-SI test %v (VF2) vs %v (CFQL) over %d cells",
+				avgDur(vf2, n), avgDur(vc, n), n),
+		})
+	}
+
+	// 2. Filtering precision of CFQL is competitive: at least GGSX's
+	// (Figure 2: vcFV comparable to IFV; GGSX is the weakest IFV filter).
+	{
+		var cfql, ggsx float64
+		var n int
+		for _, ds := range ev.Datasets {
+			for _, set := range ev.QuerySetNames {
+				g, gok := ev.Metrics[ds][set]["GGSX"]
+				c, cok := ev.Metrics[ds][set]["CFQL"]
+				if gok && cok {
+					cfql += c.Precision
+					ggsx += g.Precision
+					n++
+				}
+			}
+		}
+		out = append(out, ShapeCheck{
+			Name: "filtering precision: CFQL >= GGSX on average",
+			OK:   n > 0 && cfql >= ggsx,
+			Detail: fmt.Sprintf("mean precision %.3f (CFQL) vs %.3f (GGSX) over %d cells",
+				cfql/f(n), ggsx/f(n), n),
+		})
+	}
+
+	// 3. Integration helps: vcGrapes precision >= Grapes precision
+	// (Figure 2: "integrating with CFQL makes both vcGrapes and vcGGSX
+	// achieve a significantly higher filtering precision").
+	{
+		var vg, g float64
+		var n int
+		for _, ds := range ev.Datasets {
+			for _, set := range ev.QuerySetNames {
+				a, aok := ev.Metrics[ds][set]["vcGrapes"]
+				b, bok := ev.Metrics[ds][set]["Grapes"]
+				if aok && bok {
+					vg += a.Precision
+					g += b.Precision
+					n++
+				}
+			}
+		}
+		out = append(out, ShapeCheck{
+			Name: "two-level filtering: vcGrapes precision >= Grapes",
+			OK:   n > 0 && vg >= g,
+			Detail: fmt.Sprintf("mean precision %.3f (vcGrapes) vs %.3f (Grapes) over %d cells",
+				vg/f(n), g/f(n), n),
+		})
+	}
+
+	// 4. CFL's filter is faster than GraphQL's (Figure 3).
+	{
+		var cfl, gql time.Duration
+		var n int
+		for _, ds := range ev.Datasets {
+			for _, set := range ev.QuerySetNames {
+				a, aok := ev.Metrics[ds][set]["CFL"]
+				b, bok := ev.Metrics[ds][set]["GraphQL"]
+				if aok && bok {
+					cfl += a.FilterTime
+					gql += b.FilterTime
+					n++
+				}
+			}
+		}
+		out = append(out, ShapeCheck{
+			Name: "filtering time: CFL faster than GraphQL",
+			OK:   n > 0 && cfl < gql,
+			Detail: fmt.Sprintf("mean filter time %v (CFL) vs %v (GraphQL) over %d cells",
+				avgDur(cfl, n), avgDur(gql, n), n),
+		})
+	}
+
+	// 5. Verification time: IFV engines (VF2) slower than vcFV on average
+	// (Figure 4).
+	{
+		var ifv, vcfv time.Duration
+		var n int
+		for _, ds := range ev.Datasets {
+			for _, set := range ev.QuerySetNames {
+				a, aok := ev.Metrics[ds][set]["Grapes"]
+				b, bok := ev.Metrics[ds][set]["CFQL"]
+				if aok && bok {
+					ifv += a.VerifyTime
+					vcfv += b.VerifyTime
+					n++
+				}
+			}
+		}
+		out = append(out, ShapeCheck{
+			Name: "verification time: Grapes (VF2) slower than CFQL",
+			OK:   n > 0 && ifv > vcfv,
+			Detail: fmt.Sprintf("mean verification %v (Grapes) vs %v (CFQL) over %d cells",
+				avgDur(ifv, n), avgDur(vcfv, n), n),
+		})
+	}
+
+	// 6. CFQL's auxiliary memory is far below the index sizes (Table VII).
+	{
+		ok := true
+		detail := ""
+		for _, ds := range ev.Datasets {
+			im, exists := ev.IndexMemory[ds]["Grapes"]
+			if !exists {
+				continue
+			}
+			if ev.CFQLMemory[ds] >= im {
+				ok = false
+			}
+			detail += fmt.Sprintf("%s: CFQL %.3fMB vs Grapes %.1fMB; ", ds, mb(ev.CFQLMemory[ds]), mb(im))
+		}
+		out = append(out, ShapeCheck{
+			Name:   "memory: CFQL auxiliary << Grapes index",
+			OK:     ok,
+			Detail: detail,
+		})
+	}
+
+	// 7. CT-Index indexing cost dwarfs Grapes/GGSX or fails outright
+	// (Table VI: OOT on the dense datasets).
+	{
+		ok := true
+		detail := ""
+		for _, ds := range ev.Datasets {
+			ct := ev.IndexTime[ds]["CT-Index"]
+			gr := ev.IndexTime[ds]["Grapes"]
+			if !ct.OOT && !gr.OOT && ct.Time < gr.Time {
+				ok = false
+			}
+			detail += fmt.Sprintf("%s: CT=%s Grapes=%s; ", ds, ct, gr)
+		}
+		out = append(out, ShapeCheck{
+			Name:   "indexing: CT-Index slowest or OOT on every dataset",
+			OK:     ok,
+			Detail: detail,
+		})
+	}
+
+	return out
+}
+
+// CheckShapes evaluates the synthetic-study claims.
+func (ev *SyntheticEvaluation) CheckShapes() []ShapeCheck {
+	var out []ShapeCheck
+	cfg := ev.Config
+
+	// 1. |Σ|=1: label-free filtering admits (nearly) everything but most
+	// graphs contain the query, so precision stays high (Figure 8).
+	{
+		cell := ev.Cells[AxisLabels][0]
+		m, ok := cell.Metrics["CFQL"]
+		numGraphs := float64(syntheticConfig(AxisLabels, 1, cfg).NumGraphs)
+		pass := ok && m.Candidates > 0.9*numGraphs && m.Precision > 0.5
+		out = append(out, ShapeCheck{
+			Name: "|Σ|=1: all graphs pass the filter, precision stays high",
+			OK:   pass,
+			Detail: fmt.Sprintf("CFQL candidates %.1f of %.0f, precision %.3f",
+				m.Candidates, numGraphs, m.Precision),
+		})
+	}
+
+	// 2. Precision improves from |Σ|=10 to |Σ|=80 (Figure 8).
+	{
+		m10 := ev.Cells[AxisLabels][1].Metrics["CFQL"]
+		m80 := ev.Cells[AxisLabels][4].Metrics["CFQL"]
+		out = append(out, ShapeCheck{
+			Name: "precision rises with |Σ| (10 -> 80)",
+			OK:   m80.Precision >= m10.Precision,
+			Detail: fmt.Sprintf("CFQL precision %.3f at |Σ|=10 vs %.3f at |Σ|=80",
+				m10.Precision, m80.Precision),
+		})
+	}
+
+	// 3. CFQL filter time grows roughly linearly with |D| (Figure 9):
+	// compare the per-graph filter cost across the two largest completed
+	// cells — superlinear blowup would break the claim.
+	{
+		cells := ev.Cells[AxisGraphs]
+		points := SweepPoints(AxisGraphs, cfg)
+		var loIdx, hiIdx = -1, -1
+		for i := range cells {
+			if _, ok := cells[i].Metrics["CFQL"]; ok && !cells[i].Skipped {
+				if loIdx == -1 {
+					loIdx = i
+				}
+				hiIdx = i
+			}
+		}
+		ok := false
+		detail := "insufficient cells"
+		if loIdx >= 0 && hiIdx > loIdx {
+			lo := cells[loIdx].Metrics["CFQL"].FilterTime
+			hi := cells[hiIdx].Metrics["CFQL"].FilterTime
+			scaleUp := float64(points[hiIdx]) / float64(points[loIdx])
+			ratio := float64(hi) / float64(lo+1)
+			ok = ratio < 10*scaleUp // generous envelope around linear
+			detail = fmt.Sprintf("filter time %v at |D|=%d vs %v at |D|=%d (x%.0f data, x%.0f time)",
+				lo, points[loIdx], hi, points[hiIdx], scaleUp, ratio)
+		}
+		out = append(out, ShapeCheck{
+			Name:   "CFQL filter time roughly linear in |D|",
+			OK:     ok,
+			Detail: detail,
+		})
+	}
+
+	// 4. Index construction degrades with degree: Grapes at d=4 must build;
+	// by d=64 it is OOT or far slower (Table VIII).
+	{
+		cells := ev.Cells[AxisDegree]
+		first := cells[0].IndexTime["Grapes"]
+		last := cells[len(cells)-1].IndexTime["Grapes"]
+		ok := !first.OOT && (last.OOT || last.Time > 4*first.Time)
+		out = append(out, ShapeCheck{
+			Name:   "Grapes indexing degrades steeply with d(G)",
+			OK:     ok,
+			Detail: fmt.Sprintf("d=4: %s, d=64: %s", first, last),
+		})
+	}
+
+	// 5. CFQL memory is far below Grapes/GGSX wherever both exist
+	// (Table IX).
+	{
+		ok := true
+		worst := ""
+		for _, axis := range SweepAxes() {
+			for i, cell := range ev.Cells[axis] {
+				gm, exists := cell.IndexMemory["Grapes"]
+				if !exists || cell.Skipped {
+					continue
+				}
+				if cell.CFQLMemory >= gm {
+					ok = false
+					worst = fmt.Sprintf("%s[%d]: CFQL %.4fMB vs Grapes %.4fMB",
+						axis, i, mb(cell.CFQLMemory), mb(gm))
+				}
+			}
+		}
+		if worst == "" {
+			worst = "CFQL below Grapes in every completed cell"
+		}
+		out = append(out, ShapeCheck{
+			Name:   "memory: CFQL auxiliary << Grapes index (synthetic)",
+			OK:     ok,
+			Detail: worst,
+		})
+	}
+
+	return out
+}
+
+// RenderShapeReport prints a pass/fail checklist.
+func RenderShapeReport(w interface{ Write([]byte) (int, error) }, title string, checks []ShapeCheck) {
+	fmt.Fprintf(w, "%s\n", title)
+	pass := 0
+	for _, c := range checks {
+		mark := "FAIL"
+		if c.OK {
+			mark = "ok"
+			pass++
+		}
+		fmt.Fprintf(w, "  [%-4s] %s\n         %s\n", mark, c.Name, c.Detail)
+	}
+	fmt.Fprintf(w, "  %d/%d claims hold\n", pass, len(checks))
+}
+
+func avgDur(total time.Duration, n int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return (total / time.Duration(n)).Round(time.Microsecond)
+}
+
+func f(n int) float64 { return float64(n) }

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"subgraphquery/internal/gen"
+)
+
+// fabricatedReal builds a minimal RealEvaluation exhibiting the paper's
+// expected shapes (or, with invert=true, their opposites).
+func fabricatedReal(invert bool) *RealEvaluation {
+	fast, slow := 1*time.Millisecond, 100*time.Millisecond
+	if invert {
+		fast, slow = slow, fast
+	}
+	hi, lo := 0.9, 0.5
+	if invert {
+		hi, lo = lo, hi
+	}
+	ev := &RealEvaluation{
+		Config:        Config{}.normalized(),
+		Datasets:      []gen.RealDataset{gen.AIDS},
+		QuerySetNames: []string{"Q8S"},
+		Metrics:       map[gen.RealDataset]map[string]map[string]SetMetrics{},
+		IndexTime:     map[gen.RealDataset]map[string]IndexCell{},
+		IndexMemory:   map[gen.RealDataset]map[string]int64{},
+		DatasetMemory: map[gen.RealDataset]int64{gen.AIDS: 1 << 20},
+		CFQLMemory:    map[gen.RealDataset]int64{gen.AIDS: 1 << 10},
+		Available:     map[gen.RealDataset]map[string]bool{gen.AIDS: {}},
+	}
+	if invert {
+		ev.CFQLMemory[gen.AIDS] = 1 << 30
+	}
+	ev.Metrics[gen.AIDS] = map[string]map[string]SetMetrics{
+		"Q8S": {
+			"Grapes":   {Candidates: 10, Precision: lo, PerSITest: slow, VerifyTime: slow, FilterTime: fast},
+			"GGSX":     {Candidates: 12, Precision: lo, PerSITest: slow, VerifyTime: slow, FilterTime: fast},
+			"CFQL":     {Candidates: 10, Precision: hi, PerSITest: fast, VerifyTime: fast, FilterTime: fast},
+			"CFL":      {Candidates: 10, Precision: hi, PerSITest: fast, VerifyTime: fast, FilterTime: fast},
+			"GraphQL":  {Candidates: 10, Precision: hi, PerSITest: fast, VerifyTime: fast, FilterTime: slow},
+			"vcGrapes": {Candidates: 9, Precision: hi, PerSITest: fast, VerifyTime: fast, FilterTime: fast},
+		},
+	}
+	ev.IndexTime[gen.AIDS] = map[string]IndexCell{
+		"CT-Index": {OOT: !invert, Time: slow},
+		"Grapes":   {Time: fast},
+		"GGSX":     {Time: fast},
+	}
+	ev.IndexMemory[gen.AIDS] = map[string]int64{"Grapes": 1 << 24}
+	return ev
+}
+
+func TestRealShapesPassOnExpectedData(t *testing.T) {
+	checks := fabricatedReal(false).CheckShapes()
+	if len(checks) != 7 {
+		t.Fatalf("got %d checks, want 7", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("claim %q failed on conforming data: %s", c.Name, c.Detail)
+		}
+	}
+}
+
+func TestRealShapesFailOnInvertedData(t *testing.T) {
+	checks := fabricatedReal(true).CheckShapes()
+	failures := 0
+	for _, c := range checks {
+		if !c.OK {
+			failures++
+		}
+	}
+	if failures < 5 {
+		t.Errorf("only %d/7 claims failed on inverted data; the checker is too lenient", failures)
+	}
+}
+
+func fabricatedSynthetic(invert bool) *SyntheticEvaluation {
+	cfg := Config{}.normalized()
+	ev := &SyntheticEvaluation{Config: cfg, Cells: map[SweepAxis][]SyntheticCell{}}
+	numGraphs := float64(syntheticConfig(AxisLabels, 1, cfg).NumGraphs)
+	mk := func(cand, prec float64, filter time.Duration) SyntheticCell {
+		return SyntheticCell{
+			Metrics:     map[string]SetMetrics{"CFQL": {Candidates: cand, Precision: prec, FilterTime: filter}},
+			IndexTime:   map[string]IndexCell{"Grapes": {Time: time.Second}},
+			IndexMemory: map[string]int64{"Grapes": 1 << 24},
+			CFQLMemory:  1 << 10,
+		}
+	}
+	lowPrec, highPrec := 0.6, 0.95
+	if invert {
+		lowPrec, highPrec = highPrec, lowPrec
+	}
+	ev.Cells[AxisLabels] = []SyntheticCell{
+		mk(numGraphs, 0.9, time.Millisecond),
+		mk(numGraphs/2, lowPrec, time.Millisecond),
+		mk(numGraphs/3, 0.8, time.Millisecond),
+		mk(numGraphs/4, 0.9, time.Millisecond),
+		mk(numGraphs/5, highPrec, time.Millisecond),
+	}
+	if invert {
+		ev.Cells[AxisLabels][0] = mk(1, 0.1, time.Millisecond)
+	}
+	grow := []time.Duration{time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond, 80 * time.Millisecond, 700 * time.Millisecond}
+	if invert {
+		grow = []time.Duration{time.Millisecond, time.Second, 100 * time.Second, 1000 * time.Second, 100000 * time.Second}
+	}
+	var dCells, vCells, gCells []SyntheticCell
+	for i := 0; i < 5; i++ {
+		dCells = append(dCells, mk(10, 0.9, grow[i]))
+		vCells = append(vCells, mk(10, 0.9, grow[i]))
+		gCells = append(gCells, mk(10, 0.9, grow[i]))
+	}
+	// Degree ladder: Grapes degrades steeply (or not, when inverted).
+	dCells[0].IndexTime = map[string]IndexCell{"Grapes": {Time: time.Second}}
+	last := IndexCell{OOT: true}
+	if invert {
+		last = IndexCell{Time: time.Second}
+	}
+	dCells[4].IndexTime = map[string]IndexCell{"Grapes": last}
+	if invert {
+		gCells[4].CFQLMemory = 1 << 30
+	}
+	ev.Cells[AxisDegree] = dCells
+	ev.Cells[AxisVertices] = vCells
+	ev.Cells[AxisGraphs] = gCells
+	return ev
+}
+
+func TestSyntheticShapesPassOnExpectedData(t *testing.T) {
+	checks := fabricatedSynthetic(false).CheckShapes()
+	if len(checks) != 5 {
+		t.Fatalf("got %d checks, want 5", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("claim %q failed on conforming data: %s", c.Name, c.Detail)
+		}
+	}
+}
+
+func TestSyntheticShapesFailOnInvertedData(t *testing.T) {
+	checks := fabricatedSynthetic(true).CheckShapes()
+	failures := 0
+	for _, c := range checks {
+		if !c.OK {
+			failures++
+		}
+	}
+	if failures < 3 {
+		t.Errorf("only %d/5 claims failed on inverted data; the checker is too lenient", failures)
+	}
+}
+
+func TestRenderShapeReport(t *testing.T) {
+	var buf bytes.Buffer
+	RenderShapeReport(&buf, "title:", []ShapeCheck{
+		{Name: "a", OK: true, Detail: "da"},
+		{Name: "b", OK: false, Detail: "db"},
+	})
+	out := buf.String()
+	for _, want := range []string{"title:", "[ok", "[FAIL", "1/2 claims hold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/matching"
+)
+
+// Cached wraps an engine with a subgraph-query result cache in the spirit
+// of GraphCache (Wang, Ntarmos and Triantafillou [33], [34], discussed in
+// the paper's §II-B "Other Approaches"). Past answer sets speed up related
+// queries through the two containment monotonicity rules:
+//
+//   - subgraph hit: if a cached query q' ⊆ q, then A(q) ⊆ A(q'), so A(q')
+//     replaces the database as the candidate pool;
+//   - supergraph hit: if a cached query q” ⊇ q, then A(q”) ⊆ A(q), so
+//     members of A(q”) need no verification at all.
+//
+// Cache probes are subgraph isomorphism tests between *query* graphs —
+// tiny, so probing is cheap relative to querying the database.
+type Cached struct {
+	inner Engine
+	db    *graph.Database
+
+	mu      sync.Mutex
+	entries []cacheEntry
+	max     int
+
+	// Hits and Misses count cache outcomes for inspection.
+	Hits, Misses int
+}
+
+type cacheEntry struct {
+	query   *graph.Graph
+	answers []int
+}
+
+// NewCached wraps inner with a result cache of the given capacity
+// (0 selects 64 entries).
+func NewCached(inner Engine, capacity int) *Cached {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Cached{inner: inner, max: capacity}
+}
+
+// Name implements Engine.
+func (e *Cached) Name() string { return e.inner.Name() + "+cache" }
+
+// Build implements Engine and clears the cache: cached answer sets are
+// only valid for the database they were computed on.
+func (e *Cached) Build(db *graph.Database, opts BuildOptions) error {
+	e.mu.Lock()
+	e.entries = nil
+	e.db = db
+	e.mu.Unlock()
+	return e.inner.Build(db, opts)
+}
+
+// IndexMemory implements Engine.
+func (e *Cached) IndexMemory() int64 {
+	var cache int64
+	e.mu.Lock()
+	for _, ent := range e.entries {
+		cache += ent.query.MemoryFootprint() + int64(len(ent.answers))*8
+	}
+	e.mu.Unlock()
+	return e.inner.IndexMemory() + cache
+}
+
+// Query implements Engine.
+func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
+	if res, done := degenerate(q); done {
+		return res
+	}
+
+	// Probe the cache: find the tightest subgraph hit (smallest answer
+	// pool) and union the supergraph hits' answers.
+	probeOpts := matching.Options{StepBudget: 1 << 16} // query graphs are tiny
+	var pool []int
+	confirmed := map[int]bool{}
+	e.mu.Lock()
+	for _, ent := range e.entries {
+		if (matching.CFQL{}).FindFirst(ent.query, q, probeOpts).Found() {
+			// ent.query ⊆ q: answers of q are among ent.answers.
+			if pool == nil || len(ent.answers) < len(pool) {
+				pool = ent.answers
+			}
+		} else if (matching.CFQL{}).FindFirst(q, ent.query, probeOpts).Found() {
+			// q ⊆ ent.query: every answer of ent is an answer of q.
+			for _, id := range ent.answers {
+				confirmed[id] = true
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	var res *Result
+	if pool == nil {
+		e.mu.Lock()
+		e.Misses++
+		e.mu.Unlock()
+		res = e.inner.Query(q, opts)
+	} else {
+		e.mu.Lock()
+		e.Hits++
+		e.mu.Unlock()
+		res = e.verifyPool(q, pool, confirmed, opts)
+	}
+	if !res.TimedOut {
+		e.store(q, res.Answers)
+	}
+	return res
+}
+
+// verifyPool answers q by testing only the graphs of the candidate pool,
+// skipping those already confirmed by a supergraph hit.
+func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, opts QueryOptions) *Result {
+	res := &Result{Candidates: len(pool)}
+	t0 := time.Now()
+	for _, gid := range pool {
+		if confirmed[gid] {
+			res.Answers = append(res.Answers, gid)
+			continue
+		}
+		if expired(opts.Deadline) {
+			res.TimedOut = true
+			break
+		}
+		r := (matching.CFQL{}).FindFirst(q, e.db.Graph(gid), matching.Options{
+			Deadline:   opts.Deadline,
+			StepBudget: opts.StepBudgetPerGraph,
+		})
+		res.VerifySteps += r.Steps
+		if r.Aborted {
+			res.TimedOut = true
+		}
+		if r.Found() {
+			res.Answers = append(res.Answers, gid)
+		}
+	}
+	res.VerifyTime = time.Since(t0)
+	return res
+}
+
+// store inserts the (query, answers) pair, evicting the oldest entry when
+// full.
+func (e *Cached) store(q *graph.Graph, answers []int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent := cacheEntry{query: q, answers: append([]int(nil), answers...)}
+	if len(e.entries) == e.max {
+		copy(e.entries, e.entries[1:])
+		e.entries[len(e.entries)-1] = ent
+		return
+	}
+	e.entries = append(e.entries, ent)
+}
+
+// AppendGraph implements Updatable when the inner engine does; the cache
+// is invalidated because cached answer sets may miss the new graph.
+func (e *Cached) AppendGraph(g *graph.Graph) (int, error) {
+	u, ok := e.inner.(Updatable)
+	if !ok {
+		return 0, errNotUpdatable(e.inner.Name())
+	}
+	gid, err := u.AppendGraph(g)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.entries = nil
+	e.mu.Unlock()
+	return gid, nil
+}
+
+func errNotUpdatable(name string) error {
+	return &notUpdatableError{name}
+}
+
+type notUpdatableError struct{ name string }
+
+func (e *notUpdatableError) Error() string {
+	return "core: " + e.name + " does not support incremental updates"
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraphquery/internal/graph"
+)
+
+// extendQuery grows q by one pendant edge whose endpoint label exists in
+// the database, producing a supergraph of q.
+func extendQuery(q *graph.Graph, label graph.Label) *graph.Graph {
+	labels := append(append([]graph.Label(nil), q.Labels()...), label)
+	edges := append(q.Edges(), graph.Edge{U: 0, V: graph.VertexID(len(labels) - 1)})
+	return graph.MustFromEdges(labels, edges)
+}
+
+func TestCachedMatchesInner(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	db := randomDB(r, 20, 9, 2)
+	plain := NewCFQL()
+	cached := NewCached(NewCFQL(), 0)
+	if err := plain.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cached.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Issue related queries: base patterns and their extensions, repeated,
+	// so both subgraph and supergraph hits occur.
+	var queries []*graph.Graph
+	for k := 0; k < 6; k++ {
+		q := walkQuery(r, db.Graph(r.Intn(db.Len())), 2+r.Intn(3))
+		queries = append(queries, q, extendQuery(q, q.Label(0)), q)
+	}
+	for i, q := range queries {
+		want := plain.Query(q, QueryOptions{})
+		got := cached.Query(q, QueryOptions{})
+		if !equalInts(want.Answers, got.Answers) {
+			t.Fatalf("query %d: cached answers %v != plain %v", i, got.Answers, want.Answers)
+		}
+	}
+	if cached.Hits == 0 {
+		t.Error("no cache hits on repeated/contained queries")
+	}
+	if cached.Misses == 0 {
+		t.Error("first queries must miss")
+	}
+}
+
+func TestCachedRepeatHitsPool(t *testing.T) {
+	r := rand.New(rand.NewSource(409))
+	db := randomDB(r, 15, 8, 2)
+	cached := NewCached(NewCFQL(), 4)
+	if err := cached.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	q := walkQuery(r, db.Graph(0), 3)
+	first := cached.Query(q, QueryOptions{})
+	second := cached.Query(q, QueryOptions{})
+	if !equalInts(first.Answers, second.Answers) {
+		t.Fatalf("repeat query changed answers: %v vs %v", second.Answers, first.Answers)
+	}
+	if cached.Hits != 1 || cached.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", cached.Hits, cached.Misses)
+	}
+	// The repeat's candidate pool is the previous answer set.
+	if second.Candidates != len(first.Answers) {
+		t.Errorf("repeat candidates = %d, want %d", second.Candidates, len(first.Answers))
+	}
+}
+
+func TestCachedEviction(t *testing.T) {
+	r := rand.New(rand.NewSource(419))
+	db := randomDB(r, 10, 8, 2)
+	cached := NewCached(NewCFQL(), 2)
+	if err := cached.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 6; k++ {
+		q := walkQuery(r, db.Graph(r.Intn(db.Len())), 2+k%3)
+		cached.Query(q, QueryOptions{})
+	}
+	cached.mu.Lock()
+	n := len(cached.entries)
+	cached.mu.Unlock()
+	if n > 2 {
+		t.Errorf("cache holds %d entries, capacity 2", n)
+	}
+}
+
+func TestCachedBuildClears(t *testing.T) {
+	r := rand.New(rand.NewSource(421))
+	db := randomDB(r, 8, 8, 2)
+	cached := NewCached(NewCFQL(), 8)
+	if err := cached.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	q := walkQuery(r, db.Graph(0), 2)
+	cached.Query(q, QueryOptions{})
+	if err := cached.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cached.mu.Lock()
+	n := len(cached.entries)
+	cached.mu.Unlock()
+	if n != 0 {
+		t.Errorf("Build left %d cache entries", n)
+	}
+}
+
+func TestCachedAppendInvalidates(t *testing.T) {
+	r := rand.New(rand.NewSource(431))
+	db := randomDB(r, 8, 8, 2)
+	cached := NewCached(NewCFQL(), 8)
+	if err := cached.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	q := walkQuery(r, db.Graph(0), 2)
+	before := cached.Query(q, QueryOptions{})
+
+	extra := randomConnected(r, 8, 6, 2)
+	gid, err := cached.AppendGraph(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query drawn from the appended graph must see it (stale cache would
+	// hide it if not invalidated).
+	q2 := walkQuery(r, extra, 2)
+	res := cached.Query(q2, QueryOptions{})
+	if !res.Contains(gid) {
+		t.Errorf("appended graph %d missing from answers %v", gid, res.Answers)
+	}
+	// The original query still answers correctly (now possibly more).
+	after := cached.Query(q, QueryOptions{})
+	if len(after.Answers) < len(before.Answers) {
+		t.Errorf("answers shrank after append: %v -> %v", before.Answers, after.Answers)
+	}
+	if cached.Name() != "CFQL+cache" {
+		t.Errorf("Name = %q", cached.Name())
+	}
+}
+
+func TestCachedOverNonUpdatable(t *testing.T) {
+	r := rand.New(rand.NewSource(433))
+	db := randomDB(r, 5, 6, 2)
+	cached := NewCached(NewGIndex(), 4)
+	if err := cached.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.AppendGraph(randomConnected(r, 5, 3, 2)); err == nil {
+		t.Error("append over gIndex should fail (mining-based index)")
+	}
+}

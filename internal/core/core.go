@@ -1,0 +1,127 @@
+// Package core implements the paper's three categories of subgraph query
+// processing algorithms behind one Engine interface:
+//
+//   - IFV (Algorithm 1): index-based filtering, VF2 verification — Grapes,
+//     GGSX and CT-Index configurations.
+//   - vcFV (Algorithm 2): vertex-connectivity filtering via the
+//     preprocessing phase of a subgraph matching algorithm, verification by
+//     its enumeration phase stopped at the first embedding — CFL, GraphQL
+//     and CFQL configurations.
+//   - IvcFV (§III-C): index filtering followed by vertex-connectivity
+//     filtering and enumeration — vcGrapes and vcGGSX.
+//
+// Every Query call returns the answer set together with the per-phase
+// metrics the paper's evaluation reports: filtering time, verification
+// time, candidate count and auxiliary memory.
+package core
+
+import (
+	"time"
+
+	"subgraphquery/internal/graph"
+)
+
+// Engine answers subgraph queries over one graph database.
+type Engine interface {
+	// Name identifies the engine configuration (e.g. "CFQL", "vcGrapes").
+	Name() string
+
+	// Build prepares the engine for the database: IFV and IvcFV engines
+	// construct their index here; vcFV engines only retain the reference
+	// (their "index-free" property, §I). Build must be called before Query
+	// and again after the database changes — except for vcFV engines,
+	// whose Build is free.
+	Build(db *graph.Database, opts BuildOptions) error
+
+	// Query finds all data graphs containing q and reports metrics.
+	Query(q *graph.Graph, opts QueryOptions) *Result
+
+	// IndexMemory returns the byte footprint of the engine's persistent
+	// auxiliary structures (the index); 0 for vcFV engines.
+	IndexMemory() int64
+}
+
+// BuildOptions bounds index construction; vcFV engines ignore it.
+type BuildOptions struct {
+	// Deadline aborts index construction (paper: 24 hours).
+	Deadline time.Time
+	// MaxFeatures is a deterministic enumeration budget (see index pkg).
+	MaxFeatures int64
+	// Workers parallelizes index construction where supported (Grapes).
+	Workers int
+}
+
+// QueryOptions bounds query processing.
+type QueryOptions struct {
+	// Deadline aborts the query (paper: 10 minutes per query). Queries that
+	// exceed it report TimedOut and a partial answer set.
+	Deadline time.Time
+	// StepBudgetPerGraph bounds each subgraph isomorphism test's search
+	// steps, a deterministic timeout proxy for tests. 0 = unlimited.
+	StepBudgetPerGraph uint64
+	// Workers parallelizes per-graph verification where supported
+	// (the Grapes configurations). 0 selects 1.
+	Workers int
+}
+
+// Result reports a query's answers and the metrics of §IV-A.
+type Result struct {
+	// Answers is the answer set A(q): ascending ids of data graphs
+	// containing q.
+	Answers []int
+
+	// Candidates is |C(q)|, the number of graphs surviving filtering and
+	// entering verification.
+	Candidates int
+
+	// FilterTime is the time spent in the filtering step. For vcFV and
+	// IvcFV engines it includes extracting the candidate vertex sets, as
+	// the paper prescribes.
+	FilterTime time.Duration
+
+	// VerifyTime is the time spent in the verification step.
+	VerifyTime time.Duration
+
+	// VerifySteps sums search-tree steps across all verification calls.
+	VerifySteps uint64
+
+	// AuxMemory is the peak byte footprint of per-query auxiliary data
+	// (candidate vertex sets) for vcFV/IvcFV engines; 0 for pure IFV.
+	AuxMemory int64
+
+	// TimedOut reports that the query hit its Deadline (or a per-graph
+	// step budget); Answers is then a lower bound.
+	TimedOut bool
+}
+
+// QueryTime returns the paper's "query time" metric: filtering plus
+// verification time.
+func (r *Result) QueryTime() time.Duration { return r.FilterTime + r.VerifyTime }
+
+// Contains reports whether graph id is in the answer set.
+func (r *Result) Contains(id int) bool {
+	lo, hi := 0, len(r.Answers)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.Answers[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(r.Answers) && r.Answers[lo] == id
+}
+
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// degenerate handles the empty query uniformly across engines: a query
+// with no vertices has no answers and no candidates, by definition of a
+// connected query graph (§II-A assumes q is connected, hence non-empty).
+func degenerate(q *graph.Graph) (*Result, bool) {
+	if q.NumVertices() == 0 {
+		return &Result{}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestVcFVMetricsAccounting: the vcFV result decomposes into the paper's
+// metrics — filtering time covers candidate set construction on every data
+// graph, verification only runs on graphs with complete candidate sets.
+func TestVcFVMetricsAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	db := randomDB(r, 15, 9, 2)
+	e := NewCFQL()
+	if err := e.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 6; k++ {
+		q := walkQuery(r, db.Graph(r.Intn(db.Len())), 2+r.Intn(3))
+		res := e.Query(q, QueryOptions{})
+		if res.FilterTime <= 0 {
+			t.Errorf("FilterTime = %v, want > 0 (filter ran on %d graphs)", res.FilterTime, db.Len())
+		}
+		if res.Candidates > 0 && res.VerifyTime <= 0 {
+			t.Errorf("VerifyTime = %v with %d candidates", res.VerifyTime, res.Candidates)
+		}
+		if res.Candidates == 0 && res.VerifySteps != 0 {
+			t.Errorf("VerifySteps = %d with no candidates", res.VerifySteps)
+		}
+		if len(res.Answers) > res.Candidates {
+			t.Errorf("answers %d > candidates %d", len(res.Answers), res.Candidates)
+		}
+		if res.QueryTime() != res.FilterTime+res.VerifyTime {
+			t.Error("QueryTime != FilterTime + VerifyTime")
+		}
+	}
+}
+
+// TestIFVMetricsAccounting: same decomposition for the index-based engine.
+func TestIFVMetricsAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(607))
+	db := randomDB(r, 15, 9, 2)
+	e := NewGGSX()
+	if err := e.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 6; k++ {
+		q := walkQuery(r, db.Graph(r.Intn(db.Len())), 2+r.Intn(3))
+		res := e.Query(q, QueryOptions{})
+		if res.FilterTime <= 0 {
+			t.Errorf("FilterTime = %v, want > 0", res.FilterTime)
+		}
+		if res.AuxMemory != 0 {
+			t.Errorf("pure IFV engine reported AuxMemory %d", res.AuxMemory)
+		}
+		if len(res.Answers) > res.Candidates {
+			t.Errorf("answers %d > candidates %d", len(res.Answers), res.Candidates)
+		}
+	}
+}
+
+// TestVerifyStepsComparable: CFQL's verification steps are never more than
+// the naive scan's on the same query (the scan verifies every graph, CFQL
+// only candidates — and with better candidate sets).
+func TestVerifyStepsComparable(t *testing.T) {
+	r := rand.New(rand.NewSource(613))
+	db := randomDB(r, 12, 9, 2)
+	cfql := NewCFQL()
+	scan := NewScan()
+	if err := cfql.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	totalCFQL, totalScan := uint64(0), uint64(0)
+	for k := 0; k < 10; k++ {
+		q := walkQuery(r, db.Graph(r.Intn(db.Len())), 2+r.Intn(3))
+		totalCFQL += cfql.Query(q, QueryOptions{}).VerifySteps
+		totalScan += scan.Query(q, QueryOptions{}).VerifySteps
+	}
+	if totalCFQL > totalScan {
+		t.Errorf("CFQL spent %d verification steps, scan spent %d — filtering should reduce work",
+			totalCFQL, totalScan)
+	}
+}

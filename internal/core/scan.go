@@ -1,0 +1,60 @@
+package core
+
+import (
+	"time"
+
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/matching"
+)
+
+// scan is the naive baseline of §III-B's opening: run a subgraph
+// isomorphism test (VF2, first match) against every data graph with no
+// filtering at all. It doubles as the ground-truth oracle in tests and as
+// the ablation baseline quantifying what filtering buys.
+type scan struct {
+	db *graph.Database
+}
+
+// NewScan returns the filter-less VF2 scan engine.
+func NewScan() Engine { return &scan{} }
+
+// Name implements Engine.
+func (*scan) Name() string { return "Scan-VF2" }
+
+// Build implements Engine.
+func (e *scan) Build(db *graph.Database, _ BuildOptions) error {
+	e.db = db
+	return nil
+}
+
+// IndexMemory implements Engine.
+func (*scan) IndexMemory() int64 { return 0 }
+
+// Query implements Engine: every data graph is a candidate.
+func (e *scan) Query(q *graph.Graph, opts QueryOptions) *Result {
+	if res, done := degenerate(q); done {
+		return res
+	}
+	res := &Result{Candidates: e.db.Len()}
+	vf2 := &matching.VF2{}
+	t0 := time.Now()
+	for gid := 0; gid < e.db.Len(); gid++ {
+		if expired(opts.Deadline) {
+			res.TimedOut = true
+			break
+		}
+		r := vf2.FindFirst(q, e.db.Graph(gid), matching.Options{
+			Deadline:   opts.Deadline,
+			StepBudget: opts.StepBudgetPerGraph,
+		})
+		res.VerifySteps += r.Steps
+		if r.Aborted {
+			res.TimedOut = true
+		}
+		if r.Found() {
+			res.Answers = append(res.Answers, gid)
+		}
+	}
+	res.VerifyTime = time.Since(t0)
+	return res
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/index"
+)
+
+// Updatable is implemented by engines that can incorporate a newly
+// appended data graph without a full index rebuild. All vcFV engines
+// qualify trivially (they are index-free); IFV/IvcFV engines qualify when
+// their index supports incremental insertion (see index.Appender).
+type Updatable interface {
+	// AppendGraph adds g to the engine's database and updates any index,
+	// returning the new graph's id.
+	AppendGraph(g *graph.Graph) (int, error)
+}
+
+// AppendGraph implements Updatable for vcFV engines: the database gains
+// the graph; there is nothing else to maintain.
+func (e *vcFV) AppendGraph(g *graph.Graph) (int, error) {
+	return e.db.Append(g), nil
+}
+
+// AppendGraph implements Updatable for the parallel vcFV engine.
+func (e *parallelVcFV) AppendGraph(g *graph.Graph) (int, error) {
+	return e.db.Append(g), nil
+}
+
+// AppendGraph implements Updatable for the TurboIso engine.
+func (e *turboIso) AppendGraph(g *graph.Graph) (int, error) {
+	return e.db.Append(g), nil
+}
+
+// AppendGraph implements Updatable for the scan engine.
+func (e *scan) AppendGraph(g *graph.Graph) (int, error) {
+	return e.db.Append(g), nil
+}
+
+// AppendGraph implements Updatable for IFV engines whose index supports
+// incremental insertion.
+func (e *ifv) AppendGraph(g *graph.Graph) (int, error) {
+	app, ok := e.idx.(index.Appender)
+	if !ok {
+		return 0, fmt.Errorf("core: %s index does not support incremental updates; rebuild with Build", e.name)
+	}
+	if !e.built {
+		return 0, fmt.Errorf("core: %s index not built", e.name)
+	}
+	gid := e.db.Append(g)
+	if err := app.InsertGraph(g, gid); err != nil {
+		return 0, err
+	}
+	return gid, nil
+}
+
+// AppendGraph implements Updatable for IvcFV engines whose index supports
+// incremental insertion.
+func (e *ivcFV) AppendGraph(g *graph.Graph) (int, error) {
+	app, ok := e.idx.(index.Appender)
+	if !ok {
+		return 0, fmt.Errorf("core: %s index does not support incremental updates; rebuild with Build", e.name)
+	}
+	if !e.built {
+		return 0, fmt.Errorf("core: %s index not built", e.name)
+	}
+	gid := e.db.Append(g)
+	if err := app.InsertGraph(g, gid); err != nil {
+		return 0, err
+	}
+	return gid, nil
+}

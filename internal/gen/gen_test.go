@@ -1,0 +1,281 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/matching"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	cfg := SyntheticConfig{NumGraphs: 30, NumVertices: 50, NumLabels: 7, Degree: 6, Seed: 9}
+	db, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 30 {
+		t.Fatalf("Len = %d, want 30", db.Len())
+	}
+	for i := 0; i < db.Len(); i++ {
+		g := db.Graph(i)
+		if g.NumVertices() != 50 {
+			t.Errorf("graph %d has %d vertices, want 50", i, g.NumVertices())
+		}
+		if !g.IsConnected() {
+			t.Errorf("graph %d not connected", i)
+		}
+		if got := g.AverageDegree(); math.Abs(got-6) > 0.2 {
+			t.Errorf("graph %d degree %v, want ~6", i, got)
+		}
+		for _, l := range g.Labels() {
+			if int(l) >= 7 {
+				t.Errorf("graph %d label %d outside Σ", i, l)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{NumGraphs: 5, NumVertices: 30, NumLabels: 4, Degree: 4, Seed: 42}
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		ga, gb := a.Graph(i), b.Graph(i)
+		if ga.NumEdges() != gb.NumEdges() {
+			t.Fatalf("graph %d differs across runs with same seed", i)
+		}
+		ea, eb := ga.Edges(), gb.Edges()
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("graph %d edge %d differs: %v vs %v", i, j, ea[j], eb[j])
+			}
+		}
+	}
+	cfg.Seed = 43
+	c, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		ea, ec := a.Graph(i).Edges(), c.Graph(i).Edges()
+		if len(ea) != len(ec) {
+			same = false
+			break
+		}
+		for j := range ea {
+			if ea[j] != ec[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	if _, err := Synthetic(SyntheticConfig{NumGraphs: 0, NumVertices: 10, NumLabels: 2, Degree: 2}); err == nil {
+		t.Error("zero graphs should error")
+	}
+	if _, err := Synthetic(SyntheticConfig{NumGraphs: 1, NumVertices: 4, NumLabels: 2, Degree: 10}); err == nil {
+		t.Error("infeasible degree should error")
+	}
+}
+
+func TestRealDatasetStatistics(t *testing.T) {
+	// Published Table IV statistics, checked within tolerance at a reduced
+	// scale (absolute counts scale down; per-graph shape must hold).
+	cases := []struct {
+		name       RealDataset
+		scale      float64
+		wantDeg    float64
+		degTol     float64
+		wantLabels int
+	}{
+		{AIDS, 0.01, 2.09, 0.2, 62},
+		{PDBS, 0.05, 2.06, 0.25, 10},
+		{PCM, 0.1, 23.01, 2.0, 21},
+		{PPI, 0.25, 10.87, 1.2, 46},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.name), func(t *testing.T) {
+			db, err := Real(tc.name, tc.scale, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.Len() == 0 {
+				t.Fatal("empty database")
+			}
+			s := db.ComputeStats()
+			if math.Abs(s.DegreePerGraph-tc.wantDeg) > tc.degTol {
+				t.Errorf("degree per graph = %.2f, want %.2f±%.2f", s.DegreePerGraph, tc.wantDeg, tc.degTol)
+			}
+			if s.NumLabels > tc.wantLabels {
+				t.Errorf("labels = %d, want <= %d", s.NumLabels, tc.wantLabels)
+			}
+			for i := 0; i < db.Len(); i++ {
+				if !db.Graph(i).IsConnected() {
+					t.Fatalf("graph %d not connected", i)
+				}
+			}
+		})
+	}
+}
+
+func TestRealRelativeSizes(t *testing.T) {
+	aids, _ := Real(AIDS, 0.01, 1)
+	pcm, _ := Real(PCM, 0.1, 1)
+	ppi, _ := Real(PPI, 0.25, 1)
+	sa, sc, sp := aids.ComputeStats(), pcm.ComputeStats(), ppi.ComputeStats()
+	if !(sa.VerticesPerGraph < sc.VerticesPerGraph && sc.VerticesPerGraph < sp.VerticesPerGraph) {
+		t.Errorf("vertex counts should order AIDS < PCM < PPI: %.0f %.0f %.0f",
+			sa.VerticesPerGraph, sc.VerticesPerGraph, sp.VerticesPerGraph)
+	}
+	if !(sa.DegreePerGraph < sp.DegreePerGraph && sp.DegreePerGraph < sc.DegreePerGraph) {
+		t.Errorf("degrees should order AIDS < PPI < PCM: %.1f %.1f %.1f",
+			sa.DegreePerGraph, sp.DegreePerGraph, sc.DegreePerGraph)
+	}
+}
+
+func TestRealErrors(t *testing.T) {
+	if _, err := Real("nope", 0.5, 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if _, err := Real(AIDS, 0, 1); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := Real(AIDS, 1.5, 1); err == nil {
+		t.Error("scale > 1 should error")
+	}
+}
+
+func TestQuerySetBasics(t *testing.T) {
+	db, err := Synthetic(SyntheticConfig{NumGraphs: 20, NumVertices: 40, NumLabels: 5, Degree: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []QueryMethod{QueryRandomWalk, QueryBFS} {
+		for _, edges := range []int{4, 8, 16} {
+			cfg := QuerySetConfig{Count: 25, Edges: edges, Method: method, Seed: 5}
+			qs, err := QuerySet(db, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(qs) != 25 {
+				t.Fatalf("%s: got %d queries, want 25", cfg.Name(), len(qs))
+			}
+			for _, q := range qs {
+				if q.NumEdges() != edges {
+					t.Fatalf("%s: query has %d edges, want %d", cfg.Name(), q.NumEdges(), edges)
+				}
+				if !q.IsConnected() {
+					t.Fatalf("%s: disconnected query", cfg.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestQueriesHaveAnswers: every generated query must be contained in at
+// least one data graph (by construction it is a subgraph of its source).
+func TestQueriesHaveAnswers(t *testing.T) {
+	db, err := Synthetic(SyntheticConfig{NumGraphs: 10, NumVertices: 30, NumLabels: 4, Degree: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []QueryMethod{QueryRandomWalk, QueryBFS} {
+		qs, err := QuerySet(db, QuerySetConfig{Count: 10, Edges: 6, Method: method, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range qs {
+			found := false
+			for i := 0; i < db.Len(); i++ {
+				if (&matching.VF2{}).FindFirst(q, db.Graph(i), matching.Options{}).Found() {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("method %v query %d has no answers", method, qi)
+			}
+		}
+	}
+}
+
+// TestBFSQueriesDenserThanWalk reproduces the workload property the paper
+// relies on: BFS query sets are denser than random walk sets of the same
+// edge count (Table V).
+func TestBFSQueriesDenserThanWalk(t *testing.T) {
+	db, err := Synthetic(SyntheticConfig{NumGraphs: 20, NumVertices: 60, NumLabels: 5, Degree: 8, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := QuerySet(db, QuerySetConfig{Count: 40, Edges: 8, Method: QueryRandomWalk, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := QuerySet(db, QuerySetConfig{Count: 40, Edges: 8, Method: QueryBFS, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ds := ComputeQuerySetStats(sparse), ComputeQuerySetStats(dense)
+	if ds.DegreePerQuery <= ss.DegreePerQuery {
+		t.Errorf("BFS degree %.2f should exceed walk degree %.2f", ds.DegreePerQuery, ss.DegreePerQuery)
+	}
+	if ds.VerticesPerQuery >= ss.VerticesPerQuery {
+		t.Errorf("BFS |V| %.2f should be below walk |V| %.2f", ds.VerticesPerQuery, ss.VerticesPerQuery)
+	}
+}
+
+func TestQuerySetName(t *testing.T) {
+	if got := (QuerySetConfig{Edges: 8, Method: QueryRandomWalk}).Name(); got != "Q8S" {
+		t.Errorf("Name = %q, want Q8S", got)
+	}
+	if got := (QuerySetConfig{Edges: 32, Method: QueryBFS}).Name(); got != "Q32D" {
+		t.Errorf("Name = %q, want Q32D", got)
+	}
+}
+
+func TestQuerySetErrors(t *testing.T) {
+	empty := graph.NewDatabase(nil)
+	if _, err := QuerySet(empty, QuerySetConfig{Count: 1, Edges: 2}); err == nil {
+		t.Error("empty database should error")
+	}
+	db, _ := Synthetic(SyntheticConfig{NumGraphs: 2, NumVertices: 10, NumLabels: 2, Degree: 3, Seed: 1})
+	if _, err := QuerySet(db, QuerySetConfig{Count: 0, Edges: 2}); err == nil {
+		t.Error("zero count should error")
+	}
+	if _, err := QuerySet(db, QuerySetConfig{Count: 1, Edges: 0}); err == nil {
+		t.Error("zero edges should error")
+	}
+}
+
+func TestComputeQuerySetStatsEmpty(t *testing.T) {
+	s := ComputeQuerySetStats(nil)
+	if s.VerticesPerQuery != 0 || s.TreeFraction != 0 {
+		t.Errorf("empty stats = %+v, want zeros", s)
+	}
+}
+
+func TestEdgeSet(t *testing.T) {
+	es := newEdgeSet(4)
+	if !es.add(0, 1) || es.add(1, 0) || es.add(0, 0) {
+		t.Error("edgeSet add/dedup misbehaved")
+	}
+	if !es.has(0, 1) || !es.has(1, 0) || es.has(2, 3) {
+		t.Error("edgeSet has misbehaved")
+	}
+	if es.len() != 1 {
+		t.Errorf("len = %d, want 1", es.len())
+	}
+}

@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subgraphquery/internal/graph"
+)
+
+// Property-based tests (testing/quick) on the generators.
+
+// TestQuickSyntheticInvariants: every generated graph is connected, has
+// the requested vertex count, labels within Σ, and edge count
+// ⌊|V|·d/2⌋ (bounded by the complete graph).
+func TestQuickSyntheticInvariants(t *testing.T) {
+	f := func(seed int64, rawV, rawL, rawD uint8) bool {
+		v := 2 + int(rawV)%60
+		l := 1 + int(rawL)%8
+		d := 1 + float64(rawD%10)
+		wantE := int(float64(v) * d / 2)
+		maxE := v * (v - 1) / 2
+		if wantE > maxE {
+			return true // infeasible configs are rejected by Synthetic; skip
+		}
+		db, err := Synthetic(SyntheticConfig{
+			NumGraphs: 3, NumVertices: v, NumLabels: l, Degree: d, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < db.Len(); i++ {
+			g := db.Graph(i)
+			if g.NumVertices() != v || !g.IsConnected() {
+				return false
+			}
+			minE := v - 1
+			if wantE > minE {
+				minE = wantE
+			}
+			if g.NumEdges() != minE {
+				return false
+			}
+			for _, lab := range g.Labels() {
+				if int(lab) >= l {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQueriesAreSubgraphStats: every generated query's edge count is
+// exact and its vertex count lies in [edges/ (max possible density) ...
+// edges+1]; also it is connected.
+func TestQuickQueryInvariants(t *testing.T) {
+	db, err := Synthetic(SyntheticConfig{
+		NumGraphs: 8, NumVertices: 40, NumLabels: 4, Degree: 6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, rawE, method uint8) bool {
+		edges := 2 + int(rawE)%10
+		m := QueryRandomWalk
+		if method%2 == 1 {
+			m = QueryBFS
+		}
+		qs, err := QuerySet(db, QuerySetConfig{Count: 3, Edges: edges, Method: m, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, q := range qs {
+			if q.NumEdges() != edges || !q.IsConnected() {
+				return false
+			}
+			if q.NumVertices() > edges+1 {
+				return false // connected graph with e edges has <= e+1 vertices
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSerializationRoundTrip: any generated graph survives the text
+// format unchanged.
+func TestQuickSerializationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(r, 2+r.Intn(30), 5+r.Intn(40), func() graph.Label {
+			return graph.Label(r.Intn(6))
+		})
+		var buf bytes.Buffer
+		if err := graph.WriteGraph(&buf, 0, g); err != nil {
+			return false
+		}
+		back, err := graph.ReadGraph(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if back.Label(graph.VertexID(v)) != g.Label(graph.VertexID(v)) {
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			if !back.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPreferentialAttachmentShape: PA graphs are connected with the
+// requested size and a heavy tail (max degree well above the average).
+func TestQuickPreferentialAttachmentShape(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := 60 + r.Intn(100)
+		g := preferentialAttachment(r, v, 3, 6, func() graph.Label { return 0 })
+		if g.NumVertices() != v || !g.IsConnected() {
+			return false
+		}
+		return float64(g.MaxDegree()) > 1.5*g.AverageDegree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

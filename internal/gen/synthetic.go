@@ -1,0 +1,123 @@
+// Package gen generates the datasets and query workloads of the paper's
+// evaluation: GraphGen-style synthetic graph databases parameterized by
+// |D|, |V(G)|, |Σ| and d(G) (§IV-A), simulators matched to the published
+// statistics of the real-world datasets AIDS, PDBS, PCM and PPI (Table IV),
+// and the two query generators — random walk (sparse, Q_iS) and
+// breadth-first search (dense, Q_iD).
+//
+// All generation is deterministic given the seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgraphquery/internal/graph"
+)
+
+// SyntheticConfig parameterizes the GraphGen-like generator. The paper's
+// default synthetic dataset is {NumGraphs: 1000, NumVertices: 200,
+// NumLabels: 20, Degree: 8}; its scalability study varies one parameter at
+// a time (Tables VIII/IX, Figures 8/9).
+type SyntheticConfig struct {
+	NumGraphs   int     // |D|
+	NumVertices int     // |V(G)| per data graph
+	NumLabels   int     // |Σ|
+	Degree      float64 // d(G) = 2|E|/|V|
+	Seed        int64
+}
+
+// DefaultSynthetic returns the paper's default synthetic configuration.
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{NumGraphs: 1000, NumVertices: 200, NumLabels: 20, Degree: 8, Seed: 1}
+}
+
+// Synthetic generates a database per cfg. Each data graph is connected: a
+// uniform random spanning tree plus uniform random extra edges up to
+// ⌊|V|·d/2⌋ total, with labels drawn uniformly from Σ.
+func Synthetic(cfg SyntheticConfig) (*graph.Database, error) {
+	if cfg.NumGraphs <= 0 || cfg.NumVertices <= 0 || cfg.NumLabels <= 0 {
+		return nil, fmt.Errorf("gen: non-positive synthetic parameter: %+v", cfg)
+	}
+	maxEdges := int64(cfg.NumVertices) * int64(cfg.NumVertices-1) / 2
+	wantEdges := int64(float64(cfg.NumVertices) * cfg.Degree / 2)
+	if wantEdges > maxEdges {
+		return nil, fmt.Errorf("gen: degree %v infeasible for %d vertices", cfg.Degree, cfg.NumVertices)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	graphs := make([]*graph.Graph, cfg.NumGraphs)
+	for i := range graphs {
+		graphs[i] = randomConnectedGraph(r, cfg.NumVertices, int(wantEdges), func() graph.Label {
+			return graph.Label(r.Intn(cfg.NumLabels))
+		})
+	}
+	return graph.NewDatabase(graphs), nil
+}
+
+// randomConnectedGraph builds a connected graph with n vertices and
+// approximately wantEdges edges (at least n-1), labels drawn from nextLabel.
+func randomConnectedGraph(r *rand.Rand, n, wantEdges int, nextLabel func() graph.Label) *graph.Graph {
+	labels := make([]graph.Label, n)
+	for i := range labels {
+		labels[i] = nextLabel()
+	}
+	es := newEdgeSet(n)
+	// Random spanning tree: attach each vertex to a uniformly random
+	// earlier vertex of a random permutation.
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		es.add(graph.VertexID(perm[i]), graph.VertexID(perm[r.Intn(i)]))
+	}
+	maxEdges := n * (n - 1) / 2
+	if wantEdges > maxEdges {
+		wantEdges = maxEdges
+	}
+	for es.len() < wantEdges {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			es.add(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return graph.MustFromEdges(labels, es.edges)
+}
+
+// edgeSet deduplicates undirected edges.
+type edgeSet struct {
+	seen  map[uint64]struct{}
+	edges []graph.Edge
+}
+
+func newEdgeSet(n int) *edgeSet {
+	return &edgeSet{seen: make(map[uint64]struct{}, 2*n)}
+}
+
+func (s *edgeSet) key(u, v graph.VertexID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// add inserts the edge if new and reports whether it was inserted.
+func (s *edgeSet) add(u, v graph.VertexID) bool {
+	if u == v {
+		return false
+	}
+	k := s.key(u, v)
+	if _, ok := s.seen[k]; ok {
+		return false
+	}
+	s.seen[k] = struct{}{}
+	if u > v {
+		u, v = v, u
+	}
+	s.edges = append(s.edges, graph.Edge{U: u, V: v})
+	return true
+}
+
+func (s *edgeSet) has(u, v graph.VertexID) bool {
+	_, ok := s.seen[s.key(u, v)]
+	return ok
+}
+
+func (s *edgeSet) len() int { return len(s.edges) }

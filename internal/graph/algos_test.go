@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBFSTreeSingleVertex(t *testing.T) {
+	g := MustFromEdges([]Label{5}, nil)
+	tr := NewBFSTree(g, 0)
+	if len(tr.Order) != 1 || tr.Order[0] != 0 {
+		t.Errorf("Order = %v, want [0]", tr.Order)
+	}
+	if len(tr.Levels) != 1 || len(tr.Levels[0]) != 1 {
+		t.Errorf("Levels = %v, want [[0]]", tr.Levels)
+	}
+	if len(tr.Children[0]) != 0 {
+		t.Errorf("root of singleton should have no children")
+	}
+}
+
+func TestBFSTreeLevels(t *testing.T) {
+	// A path 0-1-2-3 rooted at 1: levels {1}, {0,2}, {3}.
+	g := MustFromEdges([]Label{0, 0, 0, 0},
+		[]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	tr := NewBFSTree(g, 1)
+	if len(tr.Levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(tr.Levels))
+	}
+	if len(tr.Levels[0]) != 1 || tr.Levels[0][0] != 1 {
+		t.Errorf("level 0 = %v", tr.Levels[0])
+	}
+	if len(tr.Levels[1]) != 2 {
+		t.Errorf("level 1 = %v", tr.Levels[1])
+	}
+	if len(tr.Levels[2]) != 1 || tr.Levels[2][0] != 3 {
+		t.Errorf("level 2 = %v", tr.Levels[2])
+	}
+}
+
+func TestBFSTreeCoversAllLevels(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(r, 3+r.Intn(30), r.Intn(40), 1+r.Intn(3))
+		tr := NewBFSTree(g, VertexID(r.Intn(g.NumVertices())))
+		total := 0
+		for d, level := range tr.Levels {
+			total += len(level)
+			for _, v := range level {
+				if int(tr.Depth[v]) != d {
+					t.Fatalf("vertex %d in level %d has depth %d", v, d, tr.Depth[v])
+				}
+			}
+		}
+		if total != g.NumVertices() {
+			t.Fatalf("levels cover %d of %d vertices", total, g.NumVertices())
+		}
+	}
+}
+
+func TestTwoCoreOfCycleIsEverything(t *testing.T) {
+	g := MustFromEdges(make([]Label, 5),
+		[]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0}})
+	for v, in := range g.TwoCore() {
+		if !in {
+			t.Errorf("cycle vertex %d should be in the 2-core", v)
+		}
+	}
+}
+
+func TestTwoCoreEmptyGraph(t *testing.T) {
+	g := MustFromEdges(nil, nil)
+	if len(g.TwoCore()) != 0 {
+		t.Error("empty graph 2-core should be empty")
+	}
+	if g.CoreSize() != 0 {
+		t.Error("empty graph core size should be 0")
+	}
+}
+
+func TestIsTreeEdgeCases(t *testing.T) {
+	single := MustFromEdges([]Label{0}, nil)
+	if !single.IsTree() {
+		t.Error("single vertex is a tree")
+	}
+	empty := MustFromEdges(nil, nil)
+	if empty.IsTree() {
+		t.Error("empty graph is not a tree (|E| != |V|-1)")
+	}
+	disc := MustFromEdges([]Label{0, 0, 0, 0}, []Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if disc.IsTree() {
+		t.Error("forest with two components is not a tree")
+	}
+}
+
+func TestAverageDegreeEmptyGraph(t *testing.T) {
+	g := MustFromEdges(nil, nil)
+	if got := g.AverageDegree(); got != 0 {
+		t.Errorf("AverageDegree of empty graph = %v", got)
+	}
+}

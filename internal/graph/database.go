@@ -1,0 +1,79 @@
+package graph
+
+// Database is a graph database D = {G_1, ..., G_n}: an ordered collection of
+// data graphs held in memory, as the paper assumes throughout (§II-B: "the
+// graph database itself consumes a small amount of memory space compared
+// with the indices, we assume that it fits into memory").
+type Database struct {
+	graphs []*Graph
+}
+
+// NewDatabase returns a database over the given data graphs. The slice is
+// retained; callers should not modify it afterwards.
+func NewDatabase(graphs []*Graph) *Database {
+	return &Database{graphs: graphs}
+}
+
+// Len returns |D|, the number of data graphs.
+func (d *Database) Len() int { return len(d.graphs) }
+
+// Graph returns the i-th data graph.
+func (d *Database) Graph(i int) *Graph { return d.graphs[i] }
+
+// Graphs returns the underlying slice of data graphs; callers must not
+// modify it.
+func (d *Database) Graphs() []*Graph { return d.graphs }
+
+// Append adds a data graph to the database and returns its id. Engines that
+// keep indices must be rebuilt or updated after appends; the vcFV engines
+// need no maintenance, which is the index-update advantage §I highlights.
+func (d *Database) Append(g *Graph) int {
+	d.graphs = append(d.graphs, g)
+	return len(d.graphs) - 1
+}
+
+// Stats summarizes a database in the shape of the paper's Table IV.
+type Stats struct {
+	NumGraphs        int
+	NumLabels        int     // distinct labels across D
+	VerticesPerGraph float64 // average |V(G)|
+	EdgesPerGraph    float64 // average |E(G)|
+	DegreePerGraph   float64 // average of per-graph average degree
+	LabelsPerGraph   float64 // average distinct labels per graph
+}
+
+// ComputeStats scans the database and returns its Table IV-style statistics.
+func (d *Database) ComputeStats() Stats {
+	s := Stats{NumGraphs: len(d.graphs)}
+	if len(d.graphs) == 0 {
+		return s
+	}
+	all := make(map[Label]struct{})
+	var v, e, deg, lab float64
+	for _, g := range d.graphs {
+		v += float64(g.NumVertices())
+		e += float64(g.NumEdges())
+		deg += g.AverageDegree()
+		lab += float64(g.DistinctLabels())
+		for _, l := range g.Labels() {
+			all[l] = struct{}{}
+		}
+	}
+	n := float64(len(d.graphs))
+	s.NumLabels = len(all)
+	s.VerticesPerGraph = v / n
+	s.EdgesPerGraph = e / n
+	s.DegreePerGraph = deg / n
+	s.LabelsPerGraph = lab / n
+	return s
+}
+
+// MemoryFootprint returns the total CSR byte size of all data graphs: the
+// "Datasets" row of the paper's memory cost tables.
+func (d *Database) MemoryFootprint() int64 {
+	var total int64
+	for _, g := range d.graphs {
+		total += g.MemoryFootprint()
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDatabase: the text parser must never panic and must either
+// produce a structurally valid database or an error, for arbitrary input.
+func FuzzReadDatabase(f *testing.F) {
+	f.Add("t 0 2 1\nv 0 1 1\nv 1 2 1\ne 0 1\n")
+	f.Add("t 0 1 0\nv 0 0 0\n")
+	f.Add("# comment\n\nt 0 0 0\n")
+	f.Add("t 0 2 1\nv 0 1 1\nv 1 2 1\ne 0 9\n")
+	f.Add("v 0 1 1\n")
+	f.Add("t x y z\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ReadDatabase(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must round-trip cleanly.
+		var buf bytes.Buffer
+		if err := WriteDatabase(&buf, db); err != nil {
+			t.Fatalf("serialize parsed db: %v", err)
+		}
+		back, err := ReadDatabase(&buf)
+		if err != nil {
+			t.Fatalf("reparse serialized db: %v", err)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed graph count: %d -> %d", db.Len(), back.Len())
+		}
+		for i := 0; i < db.Len(); i++ {
+			a, b := db.Graph(i), back.Graph(i)
+			if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+				t.Fatalf("round trip changed graph %d shape", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package index
+
+import (
+	"subgraphquery/internal/graph"
+)
+
+// Appender is implemented by indexes that can absorb one appended data
+// graph without a rebuild — the incremental maintenance whose absence in
+// most IFV systems the paper cites as a core limitation (§I, [39]). The
+// enumeration-based indexes support it naturally: the new graph's features
+// are enumerated and inserted; existing entries never change because
+// posting lists are per-graph. Mining-based indexes (gIndex) do not — their
+// feature selection depends on global supports.
+type Appender interface {
+	// InsertGraph indexes g under the id gid. gid must be larger than
+	// every previously indexed id (append-only), keeping posting lists
+	// sorted.
+	InsertGraph(g *graph.Graph, gid int) error
+}
+
+// InsertGraph implements Appender for the Grapes trie.
+func (ix *Grapes) InsertGraph(g *graph.Graph, gid int) error {
+	if ix.root == nil {
+		ix.root = &grapesNode{}
+		ix.nodes = 1
+	}
+	counts := countPaths(g, ix.maxLen())
+	for key, c := range counts {
+		ix.insert(key, int32(gid), c)
+	}
+	if gid >= ix.numGraphs {
+		ix.numGraphs = gid + 1
+	}
+	return nil
+}
+
+// InsertGraph implements Appender for the GGSX suffix tree.
+func (ix *GGSX) InsertGraph(g *graph.Graph, gid int) error {
+	if ix.root == nil {
+		ix.root = &ggsxNode{}
+		ix.nodes = 1
+	}
+	enumeratePaths(g, ix.maxLen(), func(labels []graph.Label) bool {
+		for s := 0; s < len(labels); s++ {
+			ix.insert(labels[s:], int32(gid))
+		}
+		return true
+	})
+	if gid >= ix.numGraphs {
+		ix.numGraphs = gid + 1
+	}
+	return nil
+}
+
+// InsertGraph implements Appender for GraphGrep's hash fingerprints.
+func (ix *GraphGrep) InsertGraph(g *graph.Graph, gid int) error {
+	table := make(map[uint32]int32)
+	enumeratePaths(g, ix.maxLen(), func(labels []graph.Label) bool {
+		table[ix.bucket(labels)]++
+		return true
+	})
+	for gid >= len(ix.tables) {
+		ix.tables = append(ix.tables, map[uint32]int32{})
+	}
+	ix.tables[gid] = table
+	return nil
+}
+
+// InsertGraph implements Appender for CT-Index fingerprints.
+func (ix *CTIndex) InsertGraph(g *graph.Graph, gid int) error {
+	if ix.words == 0 {
+		ix.words = (ix.bits() + 63) / 64
+	}
+	var budget int64
+	fp, err := ix.fingerprint(g, &budget, BuildOptions{})
+	if err != nil {
+		return err
+	}
+	for gid >= len(ix.fingerprints) {
+		ix.fingerprints = append(ix.fingerprints, make([]uint64, ix.words))
+	}
+	ix.fingerprints[gid] = fp
+	return nil
+}

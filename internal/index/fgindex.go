@@ -1,0 +1,328 @@
+package index
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"subgraphquery/internal/graph"
+)
+
+// FGIndexLite is a mining-based *graph*-feature index in the spirit of
+// FG-Index (Cheng, Ke, Ng and Lu [4]: "towards verification-free query
+// processing on graph databases"). Every connected subgraph of up to
+// MaxFeatureEdges edges is enumerated per data graph and canonicalized
+// exactly (small graphs admit exact canonical forms by permutation
+// minimization); frequent features keep their posting lists.
+//
+// The signature property of FG-Index is reproduced: when the *entire
+// query* is one of the indexed features, its posting list is the exact
+// answer set — no verification at all. Larger queries fall back to
+// feature-intersection filtering like the other mining-based indexes.
+type FGIndexLite struct {
+	// MaxFeatureEdges bounds feature size; 0 selects 4 (features then have
+	// at most 5 vertices, keeping exact canonicalization trivial).
+	MaxFeatureEdges int
+	// SupportRatio is the minimum fraction of graphs containing a kept
+	// feature; 0 selects 0.05. Size-≤1 features are always kept.
+	SupportRatio float64
+
+	features  map[string][]int32
+	numGraphs int
+}
+
+// Name implements Index.
+func (*FGIndexLite) Name() string { return "FG-Index" }
+
+func (ix *FGIndexLite) maxEdges() int {
+	if ix.MaxFeatureEdges <= 0 {
+		return 4
+	}
+	return ix.MaxFeatureEdges
+}
+
+func (ix *FGIndexLite) support() float64 {
+	if ix.SupportRatio <= 0 {
+		return 0.05
+	}
+	return ix.SupportRatio
+}
+
+// Build implements Index.
+func (ix *FGIndexLite) Build(db *graph.Database, opts BuildOptions) error {
+	ix.numGraphs = db.Len()
+	postings := make(map[string][]int32)
+	var features int64
+	for gid := 0; gid < db.Len(); gid++ {
+		seen := make(map[string]bool)
+		ok := enumerateConnectedSubgraphs(db.Graph(gid), ix.maxEdges(), func(code string) bool {
+			features++
+			if features%8192 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				return false
+			}
+			if opts.MaxFeatures > 0 && features > opts.MaxFeatures {
+				return false
+			}
+			if !seen[code] {
+				seen[code] = true
+				postings[code] = append(postings[code], int32(gid))
+			}
+			return true
+		})
+		if !ok {
+			return ErrBudget
+		}
+	}
+	minSupport := int(ix.support() * float64(db.Len()))
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	ix.features = make(map[string][]int32)
+	for code, ids := range postings {
+		if len(ids) >= minSupport || isSingleVertexGraphCode(code) {
+			ix.features[code] = ids
+		}
+	}
+	return nil
+}
+
+// FilterExact returns the candidate ids and whether they are already the
+// exact answer set (the query matched an indexed feature verbatim).
+func (ix *FGIndexLite) FilterExact(q *graph.Graph) ([]int, bool) {
+	if ix.features == nil {
+		return nil, false
+	}
+	if q.NumEdges() <= ix.maxEdges() && q.NumVertices() <= ix.maxEdges()+1 {
+		if ids, ok := ix.features[canonicalSmallGraphCode(q)]; ok {
+			return toInts(append([]int32(nil), ids...)), true
+		}
+		// A small connected query absent from the feature map can still
+		// have answers if it was mined away (support below threshold);
+		// fall through to filtering.
+	}
+	needed := make(map[string]bool)
+	enumerateConnectedSubgraphs(q, ix.maxEdges(), func(code string) bool {
+		needed[code] = true
+		return true
+	})
+	cand := allGraphIDs(ix.numGraphs)
+	for code := range needed {
+		ids, ok := ix.features[code]
+		if !ok {
+			if isSingleVertexGraphCode(code) {
+				return nil, false
+			}
+			continue
+		}
+		cand = intersectSorted(cand, ids)
+		if len(cand) == 0 {
+			return nil, false
+		}
+	}
+	return toInts(cand), false
+}
+
+// Filter implements Index.
+func (ix *FGIndexLite) Filter(q *graph.Graph) []int {
+	ids, _ := ix.FilterExact(q)
+	return ids
+}
+
+// MemoryFootprint implements Index.
+func (ix *FGIndexLite) MemoryFootprint() int64 {
+	var b int64
+	for code, ids := range ix.features {
+		b += int64(len(code)) + 48 + int64(len(ids))*4
+	}
+	return b
+}
+
+func isSingleVertexGraphCode(code string) bool {
+	return strings.HasPrefix(code, "G1|")
+}
+
+// enumerateConnectedSubgraphs visits the canonical code of every connected
+// subgraph (edge subset spanning a connected vertex set) of g with at most
+// maxE edges, with growth-order duplicates. Growth alternates between
+// adding an edge to a new vertex and closing an edge between two existing
+// vertices.
+func enumerateConnectedSubgraphs(g *graph.Graph, maxE int, visit func(code string) bool) bool {
+	inSub := make([]bool, g.NumVertices())
+	verts := make([]graph.VertexID, 0, maxE+1)
+	var edges []graph.Edge
+	edgeSeen := make(map[[2]graph.VertexID]bool)
+
+	var grow func() bool
+	grow = func() bool {
+		if !visit(subgraphCode(g, verts, edges)) {
+			return false
+		}
+		if len(edges) == maxE {
+			return true
+		}
+		for _, v := range verts {
+			for _, w := range g.Neighbors(v) {
+				a, b := v, w
+				if a > b {
+					a, b = b, a
+				}
+				if edgeSeen[[2]graph.VertexID{a, b}] {
+					continue
+				}
+				edgeSeen[[2]graph.VertexID{a, b}] = true
+				newVertex := !inSub[w]
+				if newVertex {
+					inSub[w] = true
+					verts = append(verts, w)
+				}
+				edges = append(edges, graph.Edge{U: v, V: w})
+				ok := grow()
+				edges = edges[:len(edges)-1]
+				if newVertex {
+					inSub[w] = false
+					verts = verts[:len(verts)-1]
+				}
+				delete(edgeSeen, [2]graph.VertexID{a, b})
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		vv := graph.VertexID(v)
+		inSub[vv] = true
+		verts = append(verts[:0], vv)
+		edges = edges[:0]
+		ok := grow()
+		inSub[vv] = false
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// subgraphCode canonicalizes the feature given by (verts, edges) of g.
+func subgraphCode(g *graph.Graph, verts []graph.VertexID, edges []graph.Edge) string {
+	n := len(verts)
+	labels := make([]graph.Label, n)
+	pos := make(map[graph.VertexID]int, n)
+	for i, v := range verts {
+		pos[v] = i
+		labels[i] = g.Label(v)
+	}
+	var adj uint64 // bitmap over (i,j) pairs, i<j, n<=8
+	for _, e := range edges {
+		i, j := pos[e.U], pos[e.V]
+		if i > j {
+			i, j = j, i
+		}
+		adj |= 1 << uint(i*8+j)
+	}
+	return canonicalCode(labels, adj, n)
+}
+
+// canonicalSmallGraphCode canonicalizes a whole small graph.
+func canonicalSmallGraphCode(g *graph.Graph) string {
+	n := g.NumVertices()
+	labels := make([]graph.Label, n)
+	for i := range labels {
+		labels[i] = g.Label(graph.VertexID(i))
+	}
+	var adj uint64
+	for _, e := range g.Edges() {
+		i, j := int(e.U), int(e.V)
+		if i > j {
+			i, j = j, i
+		}
+		adj |= 1 << uint(i*8+j)
+	}
+	return canonicalCode(labels, adj, n)
+}
+
+// canonicalCode computes the exact canonical string of a labeled graph
+// with at most 8 vertices by minimizing over all vertex permutations.
+func canonicalCode(labels []graph.Label, adj uint64, n int) string {
+	if n > 8 {
+		// Callers bound feature size well below this; degrade gracefully
+		// with a non-canonical but deterministic code.
+		return encodeCode(labels, adj, n)
+	}
+	// Vertices are first grouped by label (labels in canonical order are
+	// then fixed); only permutations within equal-label groups can affect
+	// the code, so the search space is the product of group factorials
+	// instead of n!.
+	order := make([]int, n) // original indices sorted by label
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return labels[order[a]] < labels[order[b]] })
+	sortedLabels := make([]graph.Label, n)
+	for newPos, old := range order {
+		sortedLabels[newPos] = labels[old]
+	}
+
+	perm := append([]int(nil), order...) // perm[newPos] = original index
+	var bestAdj uint64
+	haveBest := false
+	evaluate := func() {
+		var padj uint64
+		inv := make([]int, n) // original -> new position
+		for newPos, old := range perm {
+			inv[old] = newPos
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if adj&(1<<uint(i*8+j)) != 0 {
+					a, b := inv[i], inv[j]
+					if a > b {
+						a, b = b, a
+					}
+					padj |= 1 << uint(a*8+b)
+				}
+			}
+		}
+		if !haveBest || padj < bestAdj {
+			bestAdj = padj
+			haveBest = true
+		}
+	}
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			evaluate()
+			return
+		}
+		for i := k; i < n; i++ {
+			if sortedLabels[i] != sortedLabels[k] {
+				break // only swap within the same label group
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+			permute(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	permute(0)
+	return encodeCode(sortedLabels, bestAdj, n)
+}
+
+func encodeCode(labels []graph.Label, adj uint64, n int) string {
+	var b strings.Builder
+	b.WriteString("G")
+	b.WriteString(strconv.Itoa(n))
+	b.WriteString("|")
+	parts := make([]string, n)
+	for i, l := range labels {
+		parts[i] = strconv.FormatUint(uint64(l), 36)
+	}
+	if n > 8 {
+		sort.Strings(parts) // deterministic fallback only
+	}
+	b.WriteString(strings.Join(parts, ","))
+	b.WriteString("|")
+	b.WriteString(strconv.FormatUint(adj, 36))
+	return b.String()
+}

@@ -1,0 +1,283 @@
+package index
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"subgraphquery/internal/graph"
+)
+
+// Grapes is the path-trie index of Giugno et al. [10]: every labeled simple
+// path of up to MaxPathLength edges is enumerated exhaustively for every
+// data graph and stored in a trie whose nodes carry per-graph occurrence
+// counts. Filtering admits a data graph only if, for every path feature f
+// of the query, the graph contains at least as many occurrences of f as the
+// query does. Construction runs on a worker pool (the paper uses 6
+// threads).
+type Grapes struct {
+	// MaxPathLength is the maximum feature length in edges;
+	// 0 selects DefaultMaxPathLength.
+	MaxPathLength int
+
+	root      *grapesNode
+	numGraphs int
+	nodes     int64
+	entries   int64
+}
+
+type grapesNode struct {
+	children map[graph.Label]*grapesNode
+	// graphIDs (ascending) and counts are parallel: counts[i] occurrences
+	// of this node's path in graph graphIDs[i].
+	graphIDs []int32
+	counts   []int32
+}
+
+// Name implements Index.
+func (*Grapes) Name() string { return "Grapes" }
+
+func (ix *Grapes) maxLen() int {
+	if ix.MaxPathLength <= 0 {
+		return DefaultMaxPathLength
+	}
+	return ix.MaxPathLength
+}
+
+// Build implements Index. Path enumeration is parallel across data graphs;
+// trie insertion happens in ascending graph id order so per-node id lists
+// stay sorted.
+func (ix *Grapes) Build(db *graph.Database, opts BuildOptions) error {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+
+	var budgetErr error
+	var mu sync.Mutex
+	var used int64
+
+	// Workers enumerate per-graph path counts and stream them to a single
+	// merger goroutine that inserts into the trie immediately — bounded
+	// memory instead of buffering every graph's feature map.
+	type buildResult struct {
+		gid    int32
+		counts map[string]int32
+	}
+	results := make(chan buildResult, workers)
+	mergeDone := make(chan struct{})
+	ix.root = &grapesNode{}
+	ix.nodes = 1
+	ix.entries = 0
+	ix.numGraphs = db.Len()
+	go func() {
+		defer close(mergeDone)
+		for r := range results {
+			for key, c := range r.counts {
+				ix.insert(key, r.gid, c)
+			}
+		}
+	}()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Keep draining after a budget failure so the producer
+				// never blocks on a dead pool.
+				mu.Lock()
+				dead := budgetErr != nil
+				mu.Unlock()
+				if dead {
+					continue
+				}
+				counts := make(map[string]int32)
+				var local int64
+				ok := enumeratePaths(db.Graph(i), ix.maxLen(), func(labels []graph.Label) bool {
+					counts[pathKey(labels)]++
+					local++
+					if local%8192 == 0 {
+						if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+							return false
+						}
+						if opts.MaxFeatures > 0 {
+							mu.Lock()
+							used += local
+							local = 0
+							over := used > opts.MaxFeatures
+							mu.Unlock()
+							if over {
+								return false
+							}
+						}
+					}
+					return true
+				})
+				if !ok {
+					mu.Lock()
+					budgetErr = ErrBudget
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				used += local
+				if opts.MaxFeatures > 0 && used > opts.MaxFeatures {
+					budgetErr = ErrBudget
+					mu.Unlock()
+					continue
+				}
+				mu.Unlock()
+				results <- buildResult{gid: int32(i), counts: counts}
+			}
+		}()
+	}
+	for i := 0; i < db.Len(); i++ {
+		jobs <- i
+		mu.Lock()
+		stop := budgetErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-mergeDone
+	if budgetErr != nil {
+		ix.root = nil
+		return budgetErr
+	}
+	ix.sortPostings()
+	return nil
+}
+
+// sortPostings orders every node's posting list by graph id; merging is
+// out of order across workers.
+func (ix *Grapes) sortPostings() {
+	var walk func(n *grapesNode)
+	walk = func(n *grapesNode) {
+		if len(n.graphIDs) > 1 {
+			idx := make([]int, len(n.graphIDs))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return n.graphIDs[idx[a]] < n.graphIDs[idx[b]] })
+			ids := make([]int32, len(idx))
+			counts := make([]int32, len(idx))
+			for pos, i := range idx {
+				ids[pos] = n.graphIDs[i]
+				counts[pos] = n.counts[i]
+			}
+			n.graphIDs, n.counts = ids, counts
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+}
+
+func (ix *Grapes) insert(key string, gid, count int32) {
+	node := ix.root
+	for i := 0; i < len(key); i += 4 {
+		l := graph.Label(uint32(key[i]) | uint32(key[i+1])<<8 | uint32(key[i+2])<<16 | uint32(key[i+3])<<24)
+		if node.children == nil {
+			node.children = make(map[graph.Label]*grapesNode)
+		}
+		child := node.children[l]
+		if child == nil {
+			child = &grapesNode{}
+			node.children[l] = child
+			ix.nodes++
+		}
+		node = child
+	}
+	node.graphIDs = append(node.graphIDs, gid)
+	node.counts = append(node.counts, count)
+	ix.entries++
+}
+
+// lookup returns the trie node of the given feature, or nil.
+func (ix *Grapes) lookup(key string) *grapesNode {
+	node := ix.root
+	for i := 0; i < len(key); i += 4 {
+		if node.children == nil {
+			return nil
+		}
+		l := graph.Label(uint32(key[i]) | uint32(key[i+1])<<8 | uint32(key[i+2])<<16 | uint32(key[i+3])<<24)
+		node = node.children[l]
+		if node == nil {
+			return nil
+		}
+	}
+	return node
+}
+
+// Filter implements Index: C(q) = graphs containing at least count_q(f)
+// occurrences of every path feature f of q.
+func (ix *Grapes) Filter(q *graph.Graph) []int {
+	if ix.root == nil {
+		return nil
+	}
+	features := countPaths(q, ix.maxLen())
+	cand := allGraphIDs(ix.numGraphs)
+	for key, need := range features {
+		node := ix.lookup(key)
+		if node == nil {
+			return nil
+		}
+		cand = retainWithCount(cand, node.graphIDs, node.counts, need)
+		if len(cand) == 0 {
+			return nil
+		}
+	}
+	return toInts(cand)
+}
+
+// MemoryFootprint implements Index: nodes plus per-node posting lists.
+func (ix *Grapes) MemoryFootprint() int64 {
+	const nodeOverhead = 64 // struct, map header, child pointer amortized
+	return ix.nodes*nodeOverhead + ix.entries*8
+}
+
+// allGraphIDs returns [0..n).
+func allGraphIDs(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+// retainWithCount intersects the sorted candidate ids with the sorted
+// posting list, keeping ids whose count meets the requirement.
+func retainWithCount(cand, ids []int32, counts []int32, need int32) []int32 {
+	out := cand[:0]
+	j := 0
+	for _, c := range cand {
+		for j < len(ids) && ids[j] < c {
+			j++
+		}
+		if j < len(ids) && ids[j] == c && counts[j] >= need {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func toInts(ids []int32) []int {
+	out := make([]int, len(ids))
+	for i, v := range ids {
+		out[i] = int(v)
+	}
+	sort.Ints(out)
+	return out
+}

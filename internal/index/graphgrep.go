@@ -1,0 +1,110 @@
+package index
+
+import (
+	"hash/fnv"
+	"time"
+
+	"subgraphquery/internal/graph"
+)
+
+// GraphGrep (Shasha, Wang and Giugno [30]) — the ancestor of Grapes and
+// GGSX in Table II: path features hashed into a fixed-width table of
+// occurrence counts per graph ("fingerprint"). Hash collisions merge
+// feature counts, which stays complete: if q ⊆ G then for every bucket b,
+// Σ_{f∈b} count_q(f) ≤ Σ_{f∈b} count_G(f), so comparing bucket counts
+// never rejects a true answer. Collisions only cost precision — the reason
+// its successors moved to exact tries and suffix trees.
+type GraphGrep struct {
+	// MaxPathLength is the maximum feature length in edges;
+	// 0 selects DefaultMaxPathLength.
+	MaxPathLength int
+	// Buckets is the fingerprint width; 0 selects 4096.
+	Buckets int
+
+	tables []map[uint32]int32 // per graph: bucket -> count
+}
+
+// Name implements Index.
+func (*GraphGrep) Name() string { return "GraphGrep" }
+
+func (ix *GraphGrep) maxLen() int {
+	if ix.MaxPathLength <= 0 {
+		return DefaultMaxPathLength
+	}
+	return ix.MaxPathLength
+}
+
+func (ix *GraphGrep) buckets() uint32 {
+	if ix.Buckets <= 0 {
+		return 4096
+	}
+	return uint32(ix.Buckets)
+}
+
+// Build implements Index.
+func (ix *GraphGrep) Build(db *graph.Database, opts BuildOptions) error {
+	ix.tables = make([]map[uint32]int32, db.Len())
+	var features int64
+	for gid := 0; gid < db.Len(); gid++ {
+		table := make(map[uint32]int32)
+		ok := enumeratePaths(db.Graph(gid), ix.maxLen(), func(labels []graph.Label) bool {
+			table[ix.bucket(labels)]++
+			features++
+			if features%8192 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				return false
+			}
+			return opts.MaxFeatures <= 0 || features <= opts.MaxFeatures
+		})
+		if !ok {
+			ix.tables = nil
+			return ErrBudget
+		}
+		ix.tables[gid] = table
+	}
+	return nil
+}
+
+func (ix *GraphGrep) bucket(labels []graph.Label) uint32 {
+	h := fnv.New32a()
+	var buf [4]byte
+	for _, l := range labels {
+		buf[0], buf[1], buf[2], buf[3] = byte(l), byte(l>>8), byte(l>>16), byte(l>>24)
+		h.Write(buf[:])
+	}
+	return h.Sum32() % ix.buckets()
+}
+
+// Filter implements Index.
+func (ix *GraphGrep) Filter(q *graph.Graph) []int {
+	if ix.tables == nil {
+		return nil
+	}
+	need := make(map[uint32]int32)
+	enumeratePaths(q, ix.maxLen(), func(labels []graph.Label) bool {
+		need[ix.bucket(labels)]++
+		return true
+	})
+	var out []int
+	for gid, table := range ix.tables {
+		pass := true
+		for b, c := range need {
+			if table[b] < c {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			out = append(out, gid)
+		}
+	}
+	return out
+}
+
+// MemoryFootprint implements Index.
+func (ix *GraphGrep) MemoryFootprint() int64 {
+	var b int64
+	for _, t := range ix.tables {
+		b += 48 + int64(len(t))*16
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+// Package index implements the graph database indexes of the three IFV
+// algorithms the paper compares against (§III-A):
+//
+//   - Grapes [10]: exhaustively enumerated labeled paths up to a maximum
+//     length, stored in a trie with per-graph occurrence counts, built and
+//     probed with a worker pool (the paper configures 6 threads).
+//   - GGSX (GraphGrepSX) [2]: the same path features stored in a suffix
+//     tree keeping per-graph presence sets.
+//   - CT-Index [20]: tree and cycle features up to a maximum size, hashed
+//     into fixed-width per-graph bit fingerprints.
+//
+// Every index implements the Index interface used by the IFV engine in
+// internal/core. Index construction accepts a budget so the experiment
+// harness can report out-of-time (OOT) conditions the way the paper does
+// instead of hanging: the paper's Table VI and VIII mark CT-Index OOT on
+// most datasets.
+package index
+
+import (
+	"errors"
+	"time"
+
+	"subgraphquery/internal/graph"
+)
+
+// Index is a graph database index: built once over D, it maps a query graph
+// to the set of data graph ids that contain all the query's features — the
+// candidate set C(q) of Algorithm 1.
+type Index interface {
+	// Name identifies the index in experiment output.
+	Name() string
+
+	// Build constructs the index over the database. It replaces any
+	// previous contents and may return ErrBudget when opts limits are hit.
+	Build(db *graph.Database, opts BuildOptions) error
+
+	// Filter returns the ids of data graphs that contain every feature of
+	// q, in ascending order.
+	Filter(q *graph.Graph) []int
+
+	// MemoryFootprint returns the approximate byte size of the index,
+	// the paper's "Memory Cost" metric (Tables VII and IX).
+	MemoryFootprint() int64
+}
+
+// BuildOptions bounds index construction.
+type BuildOptions struct {
+	// Deadline aborts construction when exceeded (the paper allows 24h);
+	// zero means no deadline.
+	Deadline time.Time
+
+	// MaxFeatures aborts construction after this many enumerated feature
+	// instances, a deterministic out-of-time proxy for tests. 0 = no limit.
+	MaxFeatures int64
+
+	// Workers sets the parallelism of index construction for indexes that
+	// support it (Grapes). 0 selects 1.
+	Workers int
+}
+
+// ErrBudget is returned by Build when a Deadline or MaxFeatures budget was
+// exhausted; the harness reports the corresponding experiment cell as OOT.
+var ErrBudget = errors.New("index: construction budget exhausted")
+
+// ExactFilter is implemented by indexes that can sometimes answer a query
+// outright — FG-Index's "verification-free query processing": when the
+// whole query matches an indexed feature, the posting list *is* the answer
+// set. exact=false degrades to ordinary candidate filtering.
+type ExactFilter interface {
+	FilterExact(q *graph.Graph) (ids []int, exact bool)
+}
+
+// DefaultMaxPathLength is the paper's configured maximum path feature
+// length (in edges) for Grapes and GGSX: "enumerate paths of up to a
+// length of 4".
+const DefaultMaxPathLength = 4

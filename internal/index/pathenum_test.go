@@ -1,0 +1,162 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraphquery/internal/graph"
+)
+
+func TestEnumeratePathsTriangle(t *testing.T) {
+	// Triangle with labels 0,1,2: directed simple paths up to 2 edges:
+	// 3 of length 0, 6 of length 1, 6 of length 2.
+	g := graph.MustFromEdges([]graph.Label{0, 1, 2},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	byLen := map[int]int{}
+	enumeratePaths(g, 2, func(labels []graph.Label) bool {
+		byLen[len(labels)-1]++
+		return true
+	})
+	if byLen[0] != 3 || byLen[1] != 6 || byLen[2] != 6 {
+		t.Errorf("path counts by length = %v, want map[0:3 1:6 2:6]", byLen)
+	}
+}
+
+func TestEnumeratePathsRespectsSimplicity(t *testing.T) {
+	// A triangle has no simple path of 3 edges that is not the cycle; with
+	// maxLen=3 the only length-3 walks would revisit the start, so none.
+	g := graph.MustFromEdges([]graph.Label{0, 0, 0},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	count3 := 0
+	enumeratePaths(g, 3, func(labels []graph.Label) bool {
+		if len(labels) == 4 {
+			count3++
+		}
+		return true
+	})
+	if count3 != 0 {
+		t.Errorf("found %d length-3 simple paths in a triangle, want 0", count3)
+	}
+}
+
+func TestEnumeratePathsAbort(t *testing.T) {
+	g := graph.MustFromEdges([]graph.Label{0, 0, 0},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	calls := 0
+	done := enumeratePaths(g, 4, func([]graph.Label) bool {
+		calls++
+		return calls < 2
+	})
+	if done {
+		t.Error("enumeratePaths should report abort")
+	}
+	if calls != 2 {
+		t.Errorf("visitor called %d times after aborting, want 2", calls)
+	}
+}
+
+func TestCountPathsMatchesEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	g := randomConnected(r, 8, 6, 2)
+	counts := countPaths(g, 3)
+	total := int32(0)
+	for _, c := range counts {
+		total += c
+	}
+	n := int32(0)
+	enumeratePaths(g, 3, func([]graph.Label) bool { n++; return true })
+	if total != n {
+		t.Errorf("countPaths total %d != enumeration total %d", total, n)
+	}
+}
+
+func TestPathKeyInjective(t *testing.T) {
+	a := pathKey([]graph.Label{1, 2})
+	b := pathKey([]graph.Label{2, 1})
+	c := pathKey([]graph.Label{1, 2, 0})
+	if a == b || a == c || b == c {
+		t.Error("pathKey collided on distinct sequences")
+	}
+	if pathKey([]graph.Label{1 << 20}) == pathKey([]graph.Label{1}) {
+		t.Error("pathKey truncates wide labels")
+	}
+}
+
+// TestPathCountMonotoneUnderSubgraph: the core soundness property of path
+// count filtering. If q ⊆ G (witnessed by construction: q is drawn from G),
+// then count_G(f) >= count_q(f) for every feature f.
+func TestPathCountMonotoneUnderSubgraph(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 25; trial++ {
+		g := randomConnected(r, 6+r.Intn(8), r.Intn(12), 1+r.Intn(3))
+		q := walkQuery(r, g, 1+r.Intn(5))
+		qc := countPaths(q, DefaultMaxPathLength)
+		gc := countPaths(g, DefaultMaxPathLength)
+		for key, need := range qc {
+			if gc[key] < need {
+				t.Fatalf("trial %d: feature with count %d in q has %d in supergraph",
+					trial, need, gc[key])
+			}
+		}
+	}
+}
+
+func TestTreeCodeInvariance(t *testing.T) {
+	g := graph.MustFromEdges([]graph.Label{5, 7, 9},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	// The same path relabeled with different vertex ids must canonicalize
+	// identically.
+	h := graph.MustFromEdges([]graph.Label{9, 7, 5},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	cg := treeCode(g, []graph.VertexID{0, 1, 2}, g.Edges())
+	ch := treeCode(h, []graph.VertexID{0, 1, 2}, h.Edges())
+	if cg != ch {
+		t.Errorf("treeCode not invariant: %q vs %q", cg, ch)
+	}
+	// A star and a path with the same labels must differ.
+	star := graph.MustFromEdges([]graph.Label{7, 5, 9},
+		[]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}})
+	cs := treeCode(star, []graph.VertexID{0, 1, 2}, star.Edges())
+	path := graph.MustFromEdges([]graph.Label{5, 7, 9},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	cp := treeCode(path, []graph.VertexID{0, 1, 2}, path.Edges())
+	// star center 7 with leaves 5,9; path center 7 with leaves 5,9 — these
+	// are actually isomorphic trees, so the codes must match.
+	if cs != cp {
+		t.Errorf("isomorphic trees got different codes: %q vs %q", cs, cp)
+	}
+	// A genuinely different tree: path with center 5.
+	path2 := graph.MustFromEdges([]graph.Label{7, 5, 9},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	cp2 := treeCode(path2, []graph.VertexID{0, 1, 2}, path2.Edges())
+	if cp2 == cp {
+		t.Errorf("non-isomorphic trees share code %q", cp2)
+	}
+}
+
+func TestCycleCodeInvariance(t *testing.T) {
+	g := graph.MustFromEdges([]graph.Label{1, 2, 3, 4},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
+	base := cycleCode(g, []graph.VertexID{0, 1, 2, 3})
+	rot := cycleCode(g, []graph.VertexID{2, 3, 0, 1})
+	rev := cycleCode(g, []graph.VertexID{3, 2, 1, 0})
+	if base != rot || base != rev {
+		t.Errorf("cycleCode not rotation/reflection invariant: %q %q %q", base, rot, rev)
+	}
+	other := graph.MustFromEdges([]graph.Label{1, 3, 2, 4},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
+	if cycleCode(other, []graph.VertexID{0, 1, 2, 3}) == base {
+		t.Error("distinct label cycles share a code")
+	}
+}
+
+func TestCycleCodeAmbiguityGuard(t *testing.T) {
+	// Multi-digit labels must not be confusable: cycle (1,23) vs (12,3).
+	a := graph.MustFromEdges([]graph.Label{1, 23, 1},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	b := graph.MustFromEdges([]graph.Label{12, 3, 1},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	if cycleCode(a, []graph.VertexID{0, 1, 2}) == cycleCode(b, []graph.VertexID{0, 1, 2}) {
+		t.Error("cycleCode is ambiguous across label boundaries")
+	}
+}

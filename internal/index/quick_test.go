@@ -1,0 +1,208 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subgraphquery/internal/graph"
+)
+
+// Property-based tests (testing/quick) on the index data structures.
+
+// TestQuickTrieCountsMatchDirect: for any database, the Grapes trie must
+// report exactly the per-graph occurrence counts that direct path counting
+// produces.
+func TestQuickTrieCountsMatchDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 3+r.Intn(5), 7, 1+r.Intn(3))
+		var ix Grapes
+		if err := ix.Build(db, BuildOptions{}); err != nil {
+			return false
+		}
+		for gid := 0; gid < db.Len(); gid++ {
+			want := countPaths(db.Graph(gid), ix.maxLen())
+			for key, c := range want {
+				node := ix.lookup(key)
+				if node == nil {
+					return false
+				}
+				found := false
+				for i, id := range node.graphIDs {
+					if id == int32(gid) {
+						if node.counts[i] != c {
+							return false
+						}
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSuffixClosure: every suffix of every GGSX-indexed path is itself
+// reachable in the suffix tree with the same graph id recorded.
+func TestQuickSuffixClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r, 2+r.Intn(4), 6, 1+r.Intn(3))
+		var ix GGSX
+		if err := ix.Build(db, BuildOptions{}); err != nil {
+			return false
+		}
+		for gid := 0; gid < db.Len(); gid++ {
+			ok := true
+			enumeratePaths(db.Graph(gid), ix.maxLen(), func(labels []graph.Label) bool {
+				for s := 0; s < len(labels); s++ {
+					node := ix.lookup(pathKey(labels[s:]))
+					if node == nil {
+						ok = false
+						return false
+					}
+					present := false
+					for _, id := range node.graphIDs {
+						if id == int32(gid) {
+							present = true
+							break
+						}
+					}
+					if !present {
+						ok = false
+						return false
+					}
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFingerprintSubset: if q is drawn from G, q's CT-Index
+// fingerprint must be a bit-subset of G's.
+func TestQuickFingerprintSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnected(r, 6+r.Intn(8), r.Intn(8), 1+r.Intn(3))
+		q := walkQuery(r, g, 1+r.Intn(4))
+		var ix CTIndex
+		if err := ix.Build(graph.NewDatabase([]*graph.Graph{g}), BuildOptions{}); err != nil {
+			return false
+		}
+		var budget int64
+		fq, err := ix.fingerprint(q, &budget, BuildOptions{})
+		if err != nil {
+			return false
+		}
+		fg := ix.fingerprints[0]
+		for w := range fq {
+			if fq[w]&^fg[w] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntersectSorted: intersectSorted agrees with a map-based
+// reference on arbitrary sorted inputs.
+func TestQuickIntersectSorted(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		a := dedupSorted(rawA)
+		b := dedupSorted(rawB)
+		ref := map[int32]bool{}
+		for _, x := range b {
+			ref[x] = true
+		}
+		var want []int32
+		for _, x := range a {
+			if ref[x] {
+				want = append(want, x)
+			}
+		}
+		got := intersectSorted(append([]int32(nil), a...), b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupSorted(raw []uint8) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, x := range raw {
+		seen[int32(x)] = true
+	}
+	for x := int32(0); x < 256; x++ {
+		if seen[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestQuickRetainWithCount: retainWithCount keeps exactly the candidates
+// whose posting-list count meets the threshold.
+func TestQuickRetainWithCount(t *testing.T) {
+	f := func(rawCand, rawIDs []uint8, rawCounts []uint8, need uint8) bool {
+		cand := dedupSorted(rawCand)
+		ids := dedupSorted(rawIDs)
+		counts := make([]int32, len(ids))
+		for i := range counts {
+			if i < len(rawCounts) {
+				counts[i] = int32(rawCounts[i])
+			}
+		}
+		ref := map[int32]int32{}
+		for i, id := range ids {
+			ref[id] = counts[i]
+		}
+		var want []int32
+		for _, c := range cand {
+			if cnt, ok := ref[c]; ok && cnt >= int32(need) {
+				want = append(want, c)
+			}
+		}
+		got := retainWithCount(append([]int32(nil), cand...), ids, counts, int32(need))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraphquery/internal/graph"
+)
+
+func TestTreePiMinesInfrequentFeatures(t *testing.T) {
+	// 10 identical path graphs plus one graph with a unique star feature:
+	// with support 0.5 the star's size-3 feature must be mined away while
+	// the shared path features stay.
+	path := graph.MustFromEdges([]graph.Label{0, 1, 0},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	star := graph.MustFromEdges([]graph.Label{2, 3, 3, 3},
+		[]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	graphs := []*graph.Graph{star}
+	for i := 0; i < 10; i++ {
+		graphs = append(graphs, path)
+	}
+	db := graph.NewDatabase(graphs)
+
+	ix := &TreePiLite{SupportRatio: 0.5}
+	if err := ix.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// The star code (center 2, three leaves 3) is infrequent.
+	starCode := treeCode(star, []graph.VertexID{0, 1, 2, 3}, star.Edges())
+	if _, kept := ix.features[starCode]; kept {
+		t.Error("infrequent star feature should be mined away")
+	}
+	// The shared path code is frequent.
+	pathCode := treeCode(path, []graph.VertexID{0, 1, 2}, path.Edges())
+	if _, kept := ix.features[pathCode]; !kept {
+		t.Error("frequent path feature should be kept")
+	}
+	// Completeness survives mining: a star query still yields graph 0.
+	got := ix.Filter(star)
+	found := false
+	for _, id := range got {
+		if id == 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("star query lost its answer after mining: %v", got)
+	}
+}
+
+func TestTreePiPrecisionBelowExhaustive(t *testing.T) {
+	// Mining away features can only weaken filtering: TreePi candidates
+	// must be a superset of Grapes candidates restricted to tree features…
+	// verified here indirectly: TreePi candidates ⊇ true answers (in
+	// completeness tests) and Filter returns sorted unique ids.
+	r := rand.New(rand.NewSource(601))
+	db := randomDB(r, 10, 7, 2)
+	ix := &TreePiLite{SupportRatio: 0.3}
+	if err := ix.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		q := walkQuery(r, db.Graph(r.Intn(db.Len())), 1+r.Intn(3))
+		ids := ix.Filter(q)
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				t.Fatalf("ids not sorted: %v", ids)
+			}
+		}
+		for id := range trueAnswers(db, q) {
+			present := false
+			for _, got := range ids {
+				if got == id {
+					present = true
+					break
+				}
+			}
+			if !present {
+				t.Fatalf("mined index dropped true answer %d", id)
+			}
+		}
+	}
+}
+
+func TestIsSingleVertexCode(t *testing.T) {
+	g := graph.MustFromEdges([]graph.Label{5}, nil)
+	code := treeCode(g, []graph.VertexID{0}, nil)
+	if !isSingleVertexCode(code) {
+		t.Errorf("single-vertex code %q not recognized", code)
+	}
+	p := graph.MustFromEdges([]graph.Label{5, 6}, []graph.Edge{{U: 0, V: 1}})
+	code2 := treeCode(p, []graph.VertexID{0, 1}, p.Edges())
+	if isSingleVertexCode(code2) {
+		t.Errorf("edge code %q misclassified", code2)
+	}
+}

@@ -1,0 +1,116 @@
+package matching
+
+// Maximum bipartite matching via BFS-based augmenting paths, the algorithm
+// the paper selects for GraphQL's pseudo subgraph isomorphism refinement
+// following the study of maximum transversal algorithms by Duff, Kaya and
+// Uçar [8]: "a breadth-first search based maximum bigraph matching algorithm
+// whose time complexity is O(|V(B)| × |E(B)|) ... has a reasonable
+// performance and it is easy to implement".
+
+// bipartiteMatcher finds maximum matchings in bipartite graphs given by
+// adjacency lists from left vertices to right vertices. It is reusable
+// across calls to avoid allocation in the refinement inner loop.
+type bipartiteMatcher struct {
+	matchL  []int32 // matchL[l] = right vertex matched to l, or -1
+	matchR  []int32 // matchR[r] = left vertex matched to r, or -1
+	parent  []int32 // BFS tree: parent[r] = left vertex that reached right r
+	visited []int32 // visit stamps for right vertices
+	stamp   int32
+	queue   []int32
+}
+
+// reset prepares the matcher for a bipartite graph with nl left and nr
+// right vertices.
+func (m *bipartiteMatcher) reset(nl, nr int) {
+	if cap(m.matchL) < nl {
+		m.matchL = make([]int32, nl)
+	}
+	m.matchL = m.matchL[:nl]
+	for i := range m.matchL {
+		m.matchL[i] = -1
+	}
+	if cap(m.matchR) < nr {
+		m.matchR = make([]int32, nr)
+		m.parent = make([]int32, nr)
+		m.visited = make([]int32, nr)
+	}
+	m.matchR = m.matchR[:nr]
+	m.parent = m.parent[:nr]
+	m.visited = m.visited[:nr]
+	for i := range m.matchR {
+		m.matchR[i] = -1
+		m.visited[i] = 0
+	}
+	m.stamp = 0
+}
+
+// maxMatching computes the size of a maximum matching. adj[l] lists the
+// right vertices adjacent to left vertex l. It augments from each left
+// vertex in turn using BFS, O(V × E) overall.
+func (m *bipartiteMatcher) maxMatching(adj [][]int32) int {
+	size := 0
+	for l := range adj {
+		m.stamp++
+		if m.augment(int32(l), adj) {
+			size++
+		}
+	}
+	return size
+}
+
+// semiPerfect reports whether a matching saturating every left vertex
+// exists — the semi-perfect matching test of GraphQL's refinement: every
+// neighbor of the query vertex must be matchable to a distinct neighbor of
+// the data vertex. It exits early as soon as a left vertex cannot be
+// augmented.
+func (m *bipartiteMatcher) semiPerfect(adj [][]int32) bool {
+	for l := range adj {
+		m.stamp++
+		if !m.augment(int32(l), adj) {
+			return false
+		}
+	}
+	return true
+}
+
+// augment searches for an augmenting path from free left vertex l using BFS
+// and applies it if found.
+func (m *bipartiteMatcher) augment(l int32, adj [][]int32) bool {
+	m.queue = m.queue[:0]
+	m.queue = append(m.queue, l)
+	for qi := 0; qi < len(m.queue); qi++ {
+		cur := m.queue[qi]
+		for _, r := range adj[cur] {
+			if m.visited[r] == m.stamp {
+				continue
+			}
+			m.visited[r] = m.stamp
+			m.parent[r] = cur
+			if m.matchR[r] == -1 {
+				// Augment along the alternating path back to l.
+				for {
+					prevL := m.parent[r]
+					prevR := m.matchL[prevL]
+					m.matchR[r] = prevL
+					m.matchL[prevL] = r
+					if prevL == l {
+						return true
+					}
+					r = prevR
+				}
+			}
+			m.queue = append(m.queue, m.matchR[r])
+		}
+	}
+	return false
+}
+
+// MaxBipartiteMatching computes the size of a maximum matching in the
+// bipartite graph where adj[l] lists right-side neighbors of left vertex l
+// and nr is the number of right vertices. Exported for direct use and
+// testing; the GraphQL filter uses the reusable matcher internally.
+func MaxBipartiteMatching(adj [][]int32, nr int) int {
+	var m bipartiteMatcher
+	m.reset(len(adj), nr)
+	return m.maxMatching(adj)
+}

@@ -1,0 +1,136 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceMatching computes the maximum bipartite matching size by
+// exhaustive assignment (exponential; only for tiny instances).
+func bruteForceMatching(adj [][]int32, nr int) int {
+	usedR := make([]bool, nr)
+	var best int
+	var rec func(l, size int)
+	rec = func(l, size int) {
+		if size > best {
+			best = size
+		}
+		if l == len(adj) {
+			return
+		}
+		rec(l+1, size) // leave l unmatched
+		for _, r := range adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				rec(l+1, size+1)
+				usedR[r] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestMaxBipartiteMatchingSmallCases(t *testing.T) {
+	cases := []struct {
+		name string
+		adj  [][]int32
+		nr   int
+		want int
+	}{
+		{"empty", nil, 0, 0},
+		{"single", [][]int32{{0}}, 1, 1},
+		{"no-edges", [][]int32{{}, {}}, 3, 0},
+		{"perfect", [][]int32{{0}, {1}, {2}}, 3, 3},
+		{"contention", [][]int32{{0}, {0}}, 1, 1},
+		{"augmenting", [][]int32{{0, 1}, {0}}, 2, 2},
+		{"chain", [][]int32{{0, 1}, {1, 2}, {2, 3}}, 4, 3},
+		{"hall-violation", [][]int32{{0}, {0}, {0, 1}}, 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := MaxBipartiteMatching(tc.adj, tc.nr); got != tc.want {
+				t.Errorf("MaxBipartiteMatching = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaxBipartiteMatchingAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		nl, nr := 1+r.Intn(6), 1+r.Intn(6)
+		adj := make([][]int32, nl)
+		for l := range adj {
+			for rr := 0; rr < nr; rr++ {
+				if r.Intn(3) == 0 {
+					adj[l] = append(adj[l], int32(rr))
+				}
+			}
+		}
+		want := bruteForceMatching(adj, nr)
+		if got := MaxBipartiteMatching(adj, nr); got != want {
+			t.Fatalf("trial %d: matching = %d, want %d (adj=%v nr=%d)", trial, got, want, adj, nr)
+		}
+	}
+}
+
+func TestSemiPerfect(t *testing.T) {
+	var m bipartiteMatcher
+
+	// Saturating matching exists.
+	m.reset(2, 3)
+	if !m.semiPerfect([][]int32{{0, 1}, {1, 2}}) {
+		t.Error("semiPerfect should succeed")
+	}
+
+	// Left vertex with empty adjacency can never be saturated.
+	m.reset(2, 2)
+	if m.semiPerfect([][]int32{{0, 1}, {}}) {
+		t.Error("semiPerfect should fail with an isolated left vertex")
+	}
+
+	// Hall violation: three left vertices share two right vertices.
+	m.reset(3, 2)
+	if m.semiPerfect([][]int32{{0, 1}, {0, 1}, {0, 1}}) {
+		t.Error("semiPerfect should fail on a Hall violation")
+	}
+}
+
+func TestSemiPerfectMatchesMaxMatching(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	var m bipartiteMatcher
+	for trial := 0; trial < 200; trial++ {
+		nl, nr := 1+r.Intn(5), 1+r.Intn(7)
+		adj := make([][]int32, nl)
+		for l := range adj {
+			for rr := 0; rr < nr; rr++ {
+				if r.Intn(2) == 0 {
+					adj[l] = append(adj[l], int32(rr))
+				}
+			}
+		}
+		want := bruteForceMatching(adj, nr) == nl
+		m.reset(nl, nr)
+		if got := m.semiPerfect(adj); got != want {
+			t.Fatalf("trial %d: semiPerfect = %v, want %v (adj=%v)", trial, got, want, adj)
+		}
+	}
+}
+
+func TestMatcherReuse(t *testing.T) {
+	var m bipartiteMatcher
+	// Run a large instance, then a small one; stale state must not leak.
+	big := make([][]int32, 10)
+	for i := range big {
+		big[i] = []int32{int32(i)}
+	}
+	m.reset(10, 10)
+	if got := m.maxMatching(big); got != 10 {
+		t.Fatalf("big matching = %d, want 10", got)
+	}
+	m.reset(1, 1)
+	if got := m.maxMatching([][]int32{{}}); got != 0 {
+		t.Fatalf("small matching after reuse = %d, want 0", got)
+	}
+}

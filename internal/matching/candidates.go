@@ -1,0 +1,104 @@
+package matching
+
+import "subgraphquery/internal/graph"
+
+// Candidates is the candidate vertex set structure Φ of Definition III.1:
+// Sets[u] lists the data vertices that may be matched to query vertex u. A
+// filter is correct when its output is *complete*: every data vertex that
+// participates in some subgraph isomorphism appears in the respective set.
+type Candidates struct {
+	Sets [][]graph.VertexID
+
+	// member[u] is a bitset over data vertices mirroring Sets[u], used for
+	// O(1) membership tests during refinement and enumeration.
+	member []bitset
+	nData  int
+}
+
+// NewCandidates returns an empty candidate structure for a query with
+// numQuery vertices against a data graph with numData vertices.
+func NewCandidates(numQuery, numData int) *Candidates {
+	c := &Candidates{
+		Sets:   make([][]graph.VertexID, numQuery),
+		member: make([]bitset, numQuery),
+		nData:  numData,
+	}
+	for i := range c.member {
+		c.member[i] = newBitset(numData)
+	}
+	return c
+}
+
+// Add inserts data vertex v into Φ(u) if not already present.
+func (c *Candidates) Add(u graph.VertexID, v graph.VertexID) {
+	if !c.member[u].get(uint32(v)) {
+		c.member[u].set(uint32(v))
+		c.Sets[u] = append(c.Sets[u], v)
+	}
+}
+
+// Contains reports whether v ∈ Φ(u).
+func (c *Candidates) Contains(u, v graph.VertexID) bool {
+	return c.member[u].get(uint32(v))
+}
+
+// Count returns |Φ(u)|.
+func (c *Candidates) Count(u graph.VertexID) int { return len(c.Sets[u]) }
+
+// AnyEmpty reports whether some query vertex has an empty candidate set; by
+// Proposition III.1 the data graph then cannot contain the query, which is
+// the filtering condition of the vcFV framework (Algorithm 2, line 5).
+func (c *Candidates) AnyEmpty() bool {
+	for _, s := range c.Sets {
+		if len(s) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Retain keeps in Φ(u) only the vertices for which keep returns true.
+func (c *Candidates) Retain(u graph.VertexID, keep func(v graph.VertexID) bool) {
+	s := c.Sets[u][:0]
+	for _, v := range c.Sets[u] {
+		if keep(v) {
+			s = append(s, v)
+		} else {
+			c.member[u].clear(uint32(v))
+		}
+	}
+	c.Sets[u] = s
+}
+
+// TotalSize returns the sum of candidate set sizes, the quantity whose byte
+// cost the paper reports as the memory footprint of vcFV algorithms.
+func (c *Candidates) TotalSize() int {
+	total := 0
+	for _, s := range c.Sets {
+		total += len(s)
+	}
+	return total
+}
+
+// MemoryFootprint returns the byte size of the candidate vertex sets plus
+// their membership bitsets — the auxiliary data structure cost of a vcFV
+// algorithm on one data graph (space complexity O(|V(q)|·|V(G)|) for the
+// bitsets and O(|V(q)|·|E(G)|) worst case for the sets).
+func (c *Candidates) MemoryFootprint() int64 {
+	var b int64
+	for _, s := range c.Sets {
+		b += int64(len(s)) * 4
+	}
+	for _, m := range c.member {
+		b += int64(len(m)) * 8
+	}
+	return b
+}
+
+// bitset is a fixed-size bit vector over data vertex ids.
+type bitset []uint64
+
+func newBitset(n int) bitset       { return make(bitset, (n+63)/64) }
+func (b bitset) get(i uint32) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+func (b bitset) set(i uint32)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) clear(i uint32)    { b[i>>6] &^= 1 << (i & 63) }

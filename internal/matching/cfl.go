@@ -1,0 +1,353 @@
+package matching
+
+import (
+	"sort"
+
+	"subgraphquery/internal/graph"
+)
+
+// CFL (Bi, Chang, Lin, Qin, Zhang [1]) — the state-of-the-art
+// preprocessing-enumeration subgraph matching algorithm at the time of the
+// paper. Its two phases, used separately by the vcFV engines:
+//
+//   - CFLFilter builds a complete candidate vertex set along a BFS tree q_t
+//     of the query: top-down generation with backward pruning on non-tree
+//     edges, then a bottom-up refinement pass — the CPI construction of the
+//     CFL paper, with time O(|E(q)|·|E(G)|) and space O(|V(q)|·|E(G)|).
+//   - CFLOrder produces the path-based matching order that prioritizes the
+//     query's core structure (2-core): root-to-leaf paths of q_t are ranked
+//     by their estimated number of embeddings, core paths first.
+
+// CFLFilter computes candidate sets for q against g. It returns early (with
+// some sets possibly empty) as soon as any candidate set becomes empty.
+func CFLFilter(q, g *graph.Graph) *Candidates {
+	return cflFilter(q, g, true)
+}
+
+// CFLFilterTopDownOnly is the ablation variant that skips the bottom-up
+// refinement pass, isolating its contribution to filtering precision
+// (DESIGN.md ablation index).
+func CFLFilterTopDownOnly(q, g *graph.Graph) *Candidates {
+	return cflFilter(q, g, false)
+}
+
+func cflFilter(q, g *graph.Graph, bottomUp bool) *Candidates {
+	nq := q.NumVertices()
+	cand := NewCandidates(nq, g.NumVertices())
+	if nq == 0 {
+		return cand
+	}
+
+	root := cflRoot(q, g)
+	tree := graph.NewBFSTree(q, root)
+
+	// Top-down generation along the BFS order. processed[u'] marks query
+	// vertices whose candidate sets exist already; for each new u, a data
+	// vertex v qualifies if label/degree match and, for *every* processed
+	// neighbor u' of u, v is adjacent to some candidate of u' (backward
+	// pruning over both tree and non-tree edges).
+	processed := make([]bool, nq)
+	lastEpoch := make([]int64, g.NumVertices()) // epoch at which v was last marked
+	chain := make([]int32, g.NumVertices())     // consecutive before-neighbors satisfied
+	var epoch int64
+	var marked []graph.VertexID // vertices marked during the current epoch
+
+	for _, u := range tree.Order {
+		qDeg := q.Degree(u)
+		qLab := q.Label(u)
+		var before []graph.VertexID
+		for _, up := range q.Neighbors(u) {
+			if processed[up] {
+				before = append(before, up)
+			}
+		}
+		if len(before) == 0 {
+			// The root: label + degree + neighborhood-label-frequency seed.
+			prof := graph.NLFOf(q, u)
+			for v := 0; v < g.NumVertices(); v++ {
+				vv := graph.VertexID(v)
+				if g.Label(vv) == qLab && g.Degree(vv) >= qDeg && profileSubsumed(g, vv, prof) {
+					cand.Add(u, vv)
+				}
+			}
+		} else {
+			// A data vertex v survives iff, for every processed neighbor u'
+			// of u, v is adjacent to some candidate in Φ(u'). One epoch per
+			// u'; chain[v] counts how many consecutive epochs marked v.
+			for i, up := range before {
+				prevEpoch := epoch
+				epoch++
+				if i == len(before)-1 {
+					marked = marked[:0]
+				}
+				for _, vp := range cand.Sets[up] {
+					for _, w := range g.NeighborsWithLabel(vp, qLab) {
+						if lastEpoch[w] == epoch {
+							continue // already counted for this u'
+						}
+						if i == 0 {
+							chain[w] = 1
+						} else if lastEpoch[w] == prevEpoch && chain[w] == int32(i) {
+							chain[w] = int32(i + 1)
+						} else {
+							continue // missed an earlier u'
+						}
+						lastEpoch[w] = epoch
+						if i == len(before)-1 {
+							marked = append(marked, w)
+						}
+					}
+				}
+			}
+			need := int32(len(before))
+			for _, vv := range marked {
+				if chain[vv] == need && g.Degree(vv) >= qDeg {
+					cand.Add(u, vv)
+				}
+			}
+		}
+		if cand.Count(u) == 0 {
+			return cand
+		}
+		processed[u] = true
+	}
+
+	if !bottomUp {
+		return cand
+	}
+
+	// Bottom-up refinement: in reverse BFS order, keep v ∈ Φ(u) only if for
+	// every neighbor u' processed after u (tree children and forward
+	// non-tree edges), N(v) ∩ Φ(u') ≠ ∅.
+	pos := make([]int, nq)
+	for i, u := range tree.Order {
+		pos[u] = i
+	}
+	for i := nq - 1; i >= 0; i-- {
+		u := tree.Order[i]
+		var after []graph.VertexID
+		for _, up := range q.Neighbors(u) {
+			if pos[up] > i {
+				after = append(after, up)
+			}
+		}
+		if len(after) == 0 {
+			continue
+		}
+		cand.Retain(u, func(v graph.VertexID) bool {
+			for _, up := range after {
+				ok := false
+				for _, w := range g.NeighborsWithLabel(v, q.Label(up)) {
+					if cand.Contains(up, w) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			return true
+		})
+		if cand.Count(u) == 0 {
+			return cand
+		}
+	}
+	return cand
+}
+
+// cflRoot selects the BFS root as the query vertex minimizing the ratio of
+// label-and-degree-qualified data vertices to its degree, CFL's root
+// selection rule.
+func cflRoot(q, g *graph.Graph) graph.VertexID {
+	best := graph.VertexID(0)
+	bestScore := -1.0
+	for u := 0; u < q.NumVertices(); u++ {
+		uu := graph.VertexID(u)
+		cnt := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := graph.VertexID(v)
+			if g.Label(vv) == q.Label(uu) && g.Degree(vv) >= q.Degree(uu) {
+				cnt++
+			}
+		}
+		deg := q.Degree(uu)
+		if deg == 0 {
+			deg = 1
+		}
+		score := float64(cnt) / float64(deg)
+		if bestScore < 0 || score < bestScore {
+			bestScore = score
+			best = uu
+		}
+	}
+	return best
+}
+
+// CFLOrder computes the path-based matching order over the BFS tree rooted
+// the same way the filter builds it: decompose q_t into root-to-leaf paths,
+// estimate each path's embedding count through the candidate sets, and
+// concatenate paths in ascending estimated cost with 2-core paths first.
+func CFLOrder(q, g *graph.Graph, cand *Candidates) []graph.VertexID {
+	n := q.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	root := cflRoot(q, g)
+	tree := graph.NewBFSTree(q, root)
+	core := q.TwoCore()
+
+	// Enumerate root-to-leaf tree paths.
+	var paths [][]graph.VertexID
+	var walk func(u graph.VertexID, prefix []graph.VertexID)
+	walk = func(u graph.VertexID, prefix []graph.VertexID) {
+		prefix = append(prefix, u)
+		if len(tree.Children[u]) == 0 {
+			paths = append(paths, append([]graph.VertexID(nil), prefix...))
+			return
+		}
+		for _, c := range tree.Children[u] {
+			walk(c, prefix)
+		}
+	}
+	walk(root, nil)
+
+	type scored struct {
+		path   []graph.VertexID
+		cost   float64
+		inCore bool
+	}
+	ranked := make([]scored, len(paths))
+	for i, p := range paths {
+		ranked[i] = scored{
+			path:   p,
+			cost:   pathEmbeddingEstimate(g, q, cand, p),
+			inCore: pathInCore(core, p),
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].inCore != ranked[j].inCore {
+			return ranked[i].inCore // core paths first
+		}
+		return ranked[i].cost < ranked[j].cost
+	})
+
+	order := make([]graph.VertexID, 0, n)
+	in := make([]bool, n)
+	for _, s := range ranked {
+		for _, u := range s.path {
+			if !in[u] {
+				in[u] = true
+				order = append(order, u)
+			}
+		}
+	}
+	return order
+}
+
+// pathInCore reports whether every non-root vertex of the path lies in the
+// query's 2-core.
+func pathInCore(core []bool, path []graph.VertexID) bool {
+	for _, u := range path[1:] {
+		if !core[u] {
+			return false
+		}
+	}
+	return len(path) > 1
+}
+
+// pathEmbeddingEstimate counts, by dynamic programming over the candidate
+// sets, the number of homomorphic embeddings of the tree path — CFL's
+// cardinality estimate for ranking paths.
+func pathEmbeddingEstimate(g, q *graph.Graph, cand *Candidates, path []graph.VertexID) float64 {
+	weight := make([]float64, g.NumVertices())
+	cur := append([]graph.VertexID(nil), cand.Sets[path[0]]...)
+	for _, v := range cur {
+		weight[v] = 1
+	}
+	for i := 1; i < len(path); i++ {
+		u := path[i]
+		next := make([]graph.VertexID, 0, len(cur))
+		nextWeight := make([]float64, g.NumVertices())
+		for _, vp := range cur {
+			c := weight[vp]
+			for _, w := range g.NeighborsWithLabel(vp, q.Label(u)) {
+				if cand.Contains(u, w) {
+					if nextWeight[w] == 0 {
+						next = append(next, w)
+					}
+					nextWeight[w] += c
+				}
+			}
+		}
+		cur, weight = next, nextWeight
+		if len(cur) == 0 {
+			return 0
+		}
+	}
+	total := 0.0
+	for _, v := range cur {
+		total += weight[v]
+	}
+	return total
+}
+
+// CFL bundles the two phases as a preprocessing-enumeration matcher using
+// CFL's own path-based ordering.
+type CFL struct{}
+
+// Filter runs CFL's preprocessing phase.
+func (CFL) Filter(q, g *graph.Graph) *Candidates { return CFLFilter(q, g) }
+
+// Run enumerates embeddings with CFL's filter and path-based order.
+func (a CFL) Run(q, g *graph.Graph, opts Options) Result {
+	if q.NumVertices() == 0 {
+		return Result{Embeddings: 1}
+	}
+	cand := CFLFilter(q, g)
+	if cand.AnyEmpty() {
+		return Result{}
+	}
+	order := CFLOrder(q, g, cand)
+	res, err := Enumerate(q, g, cand, order, opts)
+	if err != nil {
+		panic(err) // BFS-tree path order is connected for connected queries
+	}
+	return res
+}
+
+// FindFirst stops at the first embedding.
+func (a CFL) FindFirst(q, g *graph.Graph, opts Options) Result {
+	opts.Limit = 1
+	return a.Run(q, g, opts)
+}
+
+// CFQL is the paper's new vcFV algorithm: CFL's Filter with GraphQL's
+// join-based ordering and enumeration (§III-B), "taking advantage of both
+// CFL and GraphQL".
+type CFQL struct{}
+
+// Filter runs CFL's preprocessing phase (CFQL's filtering step).
+func (CFQL) Filter(q, g *graph.Graph) *Candidates { return CFLFilter(q, g) }
+
+// Run enumerates embeddings with CFL's filter and GraphQL's order.
+func (a CFQL) Run(q, g *graph.Graph, opts Options) Result {
+	if q.NumVertices() == 0 {
+		return Result{Embeddings: 1}
+	}
+	cand := CFLFilter(q, g)
+	if cand.AnyEmpty() {
+		return Result{}
+	}
+	res, err := Enumerate(q, g, cand, GraphQLOrder(q, cand), opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// FindFirst stops at the first embedding.
+func (a CFQL) FindFirst(q, g *graph.Graph, opts Options) Result {
+	opts.Limit = 1
+	return a.Run(q, g, opts)
+}

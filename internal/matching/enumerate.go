@@ -1,0 +1,175 @@
+package matching
+
+import (
+	"fmt"
+
+	"subgraphquery/internal/graph"
+)
+
+// Enumerate performs the backtracking search common to the
+// preprocessing-enumeration algorithms: it extends partial embeddings along
+// the given matching order, drawing candidates of the next query vertex u
+// from Φ(u) intersected with the data neighborhood of an already-matched
+// neighbor of u, and checking every edge back to matched query vertices.
+//
+// The order must be connected: each vertex after the first needs at least
+// one earlier neighbor in q (both GraphQL's join-based order and CFL's
+// path-based order guarantee this). Enumerate returns an error for
+// disconnected orders rather than silently enumerating a cartesian product.
+func Enumerate(q, g *graph.Graph, cand *Candidates, order []graph.VertexID, opts Options) (Result, error) {
+	n := q.NumVertices()
+	if len(order) != n {
+		return Result{}, fmt.Errorf("matching: order covers %d of %d query vertices", len(order), n)
+	}
+	e := enumerator{
+		q:       q,
+		g:       g,
+		cand:    cand,
+		order:   order,
+		opts:    &opts,
+		budget:  newBudget(&opts),
+		mapping: make([]graph.VertexID, n),
+		used:    newBitset(g.NumVertices()),
+	}
+
+	// Precompute, for each position i > 0, the query neighbors of order[i]
+	// that appear earlier in the order ("backward neighbors"), and pick the
+	// pivot whose data-side neighborhood will seed the candidates.
+	e.backward = make([][]graph.VertexID, n)
+	pos := make([]int, n)
+	for i, u := range order {
+		pos[u] = i
+	}
+	seen := make([]bool, n)
+	for i, u := range order {
+		for _, w := range q.Neighbors(u) {
+			if seen[w] {
+				e.backward[i] = append(e.backward[i], w)
+			}
+		}
+		if i > 0 && len(e.backward[i]) == 0 {
+			return Result{}, fmt.Errorf("matching: order is not connected at position %d (vertex %d)", i, u)
+		}
+		// Pivot: the earliest-matched backward neighbor. Candidates are then
+		// drawn from the data adjacency of its image, restricted by label.
+		if len(e.backward[i]) > 0 {
+			best := e.backward[i][0]
+			for _, w := range e.backward[i][1:] {
+				if pos[w] < pos[best] {
+					best = w
+				}
+			}
+			// Move pivot to front so the check loop can skip it.
+			for j, w := range e.backward[i] {
+				if w == best {
+					e.backward[i][0], e.backward[i][j] = e.backward[i][j], e.backward[i][0]
+					break
+				}
+			}
+		}
+		seen[u] = true
+	}
+
+	e.search(0)
+	return Result{Embeddings: e.found, Steps: e.budget.steps, Aborted: e.budget.aborted, Stopped: e.stopped}, nil
+}
+
+type enumerator struct {
+	q, g     *graph.Graph
+	cand     *Candidates
+	order    []graph.VertexID
+	backward [][]graph.VertexID
+	opts     *Options
+	budget   budget
+
+	mapping []graph.VertexID
+	used    bitset
+	found   uint64
+	stop    bool
+	stopped bool // an OnEmbedding callback returned false
+}
+
+// search extends the partial embedding at the given depth. It sets e.stop
+// when the limit is reached, the caller cancels, or the budget is exhausted.
+func (e *enumerator) search(depth int) {
+	if depth == len(e.order) {
+		e.found++
+		if e.opts.OnEmbedding != nil && !e.opts.OnEmbedding(e.mapping) {
+			e.stop = true
+			e.stopped = true
+		}
+		if e.opts.Limit != 0 && e.found >= e.opts.Limit {
+			e.stop = true
+		}
+		return
+	}
+	if e.budget.spend() {
+		e.stop = true
+		return
+	}
+	u := e.order[depth]
+	if depth == 0 {
+		for _, v := range e.cand.Sets[u] {
+			e.extend(depth, u, v)
+			if e.stop {
+				return
+			}
+		}
+		return
+	}
+	bw := e.backward[depth]
+	pivotImage := e.mapping[bw[0]]
+	for _, v := range e.g.NeighborsWithLabel(pivotImage, e.q.Label(u)) {
+		if e.used.get(uint32(v)) || !e.cand.Contains(u, v) {
+			continue
+		}
+		ok := true
+		for _, w := range bw[1:] {
+			if !e.g.HasEdge(e.mapping[w], v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.extend(depth, u, v)
+			if e.stop {
+				return
+			}
+		}
+	}
+}
+
+func (e *enumerator) extend(depth int, u, v graph.VertexID) {
+	e.mapping[u] = v
+	e.used.set(uint32(v))
+	e.search(depth + 1)
+	e.used.clear(uint32(v))
+}
+
+// VerifyOrder checks that order is a valid connected permutation of the
+// query vertices; exposed for tests of the ordering strategies.
+func VerifyOrder(q *graph.Graph, order []graph.VertexID) error {
+	if len(order) != q.NumVertices() {
+		return fmt.Errorf("matching: order has %d vertices, query has %d", len(order), q.NumVertices())
+	}
+	seen := make([]bool, q.NumVertices())
+	for i, u := range order {
+		if int(u) >= q.NumVertices() || seen[u] {
+			return fmt.Errorf("matching: order is not a permutation at position %d", i)
+		}
+		if i > 0 {
+			connected := false
+			for _, w := range q.Neighbors(u) {
+				if seen[w] {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				return fmt.Errorf("matching: vertex %d at position %d has no earlier neighbor", u, i)
+			}
+		}
+		seen[u] = true
+	}
+	return nil
+}

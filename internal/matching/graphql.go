@@ -1,0 +1,234 @@
+package matching
+
+import (
+	"sort"
+
+	"subgraphquery/internal/graph"
+)
+
+// GraphQL's preprocessing and enumeration phases (He & Singh [14]), split
+// the way the paper uses them in the vcFV framework:
+//
+//   - GraphQLFilter is the Filter function of Algorithm 2: candidate sets
+//     from neighborhood profiles, then pruning by the pseudo subgraph
+//     isomorphism test of Closure-Tree [13] — a semi-perfect bipartite
+//     matching between query-vertex and data-vertex neighborhoods.
+//   - GraphQLOrder is the join-based ordering strategy: repeatedly pick the
+//     query vertex with the fewest candidates among the neighbors of the
+//     already-selected vertices.
+//
+// GraphQL's Verify is GraphQLOrder + Enumerate; CFQL reuses the same Verify
+// on top of CFLFilter.
+
+// DefaultRefinementRounds bounds GraphQL's pseudo-isomorphism refinement.
+// The test is applied to every (u, v) candidate pair per round; additional
+// rounds propagate pruning through neighbors.
+const DefaultRefinementRounds = 3
+
+// GraphQLFilter computes a complete candidate vertex set for every query
+// vertex, or nil sets when some set becomes empty (the data graph then
+// cannot contain q, Proposition III.1). The candidate generation and
+// pruning proceed in ascending query vertex id, as the paper's
+// implementation specifies. rounds = 0 selects DefaultRefinementRounds;
+// rounds < 0 disables the pseudo-isomorphism refinement entirely (the
+// neighborhood-profile-only ablation).
+//
+// Space complexity O(|V(q)|·|V(G)|); time O(|V(q)|·|V(G)|·Θ(d_q, d_G)) with
+// Θ the bipartite matching cost.
+func GraphQLFilter(q, g *graph.Graph, rounds int) *Candidates {
+	if rounds == 0 {
+		rounds = DefaultRefinementRounds
+	}
+	if rounds < 0 {
+		rounds = 0
+	}
+	nq := q.NumVertices()
+	cand := NewCandidates(nq, g.NumVertices())
+
+	// Step 1: candidates by neighborhood profile, in ascending id order.
+	for u := 0; u < nq; u++ {
+		uu := graph.VertexID(u)
+		prof := graph.NLFOf(q, uu)
+		deg := q.Degree(uu)
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := graph.VertexID(v)
+			if g.Label(vv) != q.Label(uu) || g.Degree(vv) < deg {
+				continue
+			}
+			if profileSubsumed(g, vv, prof) {
+				cand.Add(uu, vv)
+			}
+		}
+		if cand.Count(uu) == 0 {
+			return cand
+		}
+	}
+
+	// Step 2: pseudo subgraph isomorphism pruning via semi-perfect
+	// bipartite matching, iterated for a bounded number of rounds.
+	var m bipartiteMatcher
+	adj := make([][]int32, 0, q.MaxDegree())
+	for r := 0; r < rounds; r++ {
+		changed := false
+		for u := 0; u < nq; u++ {
+			uu := graph.VertexID(u)
+			qn := q.Neighbors(uu)
+			before := cand.Count(uu)
+			cand.Retain(uu, func(v graph.VertexID) bool {
+				gn := g.Neighbors(v)
+				if len(gn) < len(qn) {
+					return false
+				}
+				// Build the bigraph B between N(u) and N(v): edge when the
+				// data neighbor is a candidate of the query neighbor.
+				adj = adj[:0]
+				for _, up := range qn {
+					row := make([]int32, 0, 4)
+					for j, w := range gn {
+						if cand.Contains(up, w) {
+							row = append(row, int32(j))
+						}
+					}
+					if len(row) == 0 {
+						return false
+					}
+					adj = append(adj, row)
+				}
+				m.reset(len(qn), len(gn))
+				return m.semiPerfect(adj)
+			})
+			if cand.Count(uu) == 0 {
+				return cand
+			}
+			if cand.Count(uu) != before {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cand
+}
+
+// profileSubsumed reports whether data vertex v has, for every neighbor
+// label of the query profile, at least as many neighbors with that label.
+func profileSubsumed(g *graph.Graph, v graph.VertexID, prof graph.NLF) bool {
+	ok := true
+	prof.ForEach(func(l graph.Label, count int) bool {
+		if len(g.NeighborsWithLabel(v, l)) < count {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// GraphQLOrder computes the join-based matching order: start from the query
+// vertex with the minimum number of candidates; at each step select, among
+// the un-ordered neighbors of the ordered prefix, the vertex with the
+// minimum number of candidates (ties toward higher degree, then lower id).
+func GraphQLOrder(q *graph.Graph, cand *Candidates) []graph.VertexID {
+	n := q.NumVertices()
+	order := make([]graph.VertexID, 0, n)
+	in := make([]bool, n)
+	frontier := make([]bool, n) // un-ordered neighbors of the prefix
+
+	better := func(a, b graph.VertexID) bool {
+		ca, cb := cand.Count(a), cand.Count(b)
+		if ca != cb {
+			return ca < cb
+		}
+		da, db := q.Degree(a), q.Degree(b)
+		if da != db {
+			return da > db
+		}
+		return a < b
+	}
+
+	pick := func(eligible func(u graph.VertexID) bool) graph.VertexID {
+		best := graph.VertexID(0)
+		have := false
+		for u := 0; u < n; u++ {
+			uu := graph.VertexID(u)
+			if in[u] || !eligible(uu) {
+				continue
+			}
+			if !have || better(uu, best) {
+				best = uu
+				have = true
+			}
+		}
+		if !have { // disconnected query; fall back to any free vertex
+			for u := 0; u < n; u++ {
+				if !in[u] {
+					return graph.VertexID(u)
+				}
+			}
+		}
+		return best
+	}
+
+	first := pick(func(graph.VertexID) bool { return true })
+	order = append(order, first)
+	in[first] = true
+	for _, w := range q.Neighbors(first) {
+		frontier[w] = true
+	}
+	for len(order) < n {
+		next := pick(func(u graph.VertexID) bool { return frontier[u] })
+		order = append(order, next)
+		in[next] = true
+		frontier[next] = false
+		for _, w := range q.Neighbors(next) {
+			if !in[w] {
+				frontier[w] = true
+			}
+		}
+	}
+	return order
+}
+
+// GraphQL bundles the two phases as one preprocessing-enumeration matcher.
+type GraphQL struct {
+	// RefinementRounds bounds the filter's pruning iterations;
+	// 0 selects DefaultRefinementRounds.
+	RefinementRounds int
+}
+
+// Filter runs GraphQL's preprocessing phase.
+func (a GraphQL) Filter(q, g *graph.Graph) *Candidates {
+	return GraphQLFilter(q, g, a.RefinementRounds)
+}
+
+// Run enumerates embeddings with GraphQL's filter and join-based order.
+func (a GraphQL) Run(q, g *graph.Graph, opts Options) Result {
+	if q.NumVertices() == 0 {
+		return Result{Embeddings: 1}
+	}
+	cand := a.Filter(q, g)
+	if cand.AnyEmpty() {
+		return Result{}
+	}
+	res, err := Enumerate(q, g, cand, GraphQLOrder(q, cand), opts)
+	if err != nil {
+		panic(err) // connected query + join-based order cannot disconnect
+	}
+	return res
+}
+
+// FindFirst stops at the first embedding.
+func (a GraphQL) FindFirst(q, g *graph.Graph, opts Options) Result {
+	opts.Limit = 1
+	return a.Run(q, g, opts)
+}
+
+// SortCandidates orders every candidate set ascending by vertex id; useful
+// for deterministic tests and stable enumeration order.
+func SortCandidates(cand *Candidates) {
+	for u := range cand.Sets {
+		s := cand.Sets[u]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+}

@@ -1,0 +1,92 @@
+// Package matching implements the subgraph isomorphism and subgraph matching
+// algorithms the paper studies: the direct-enumeration baselines Ullmann and
+// VF2, and the preprocessing-enumeration algorithms GraphQL and CFL, whose
+// Filter (preprocessing) and Verify (enumeration) phases are exposed
+// separately so the query engines in internal/core can recombine them —
+// exactly how the paper derives CFQL (CFL's Filter + GraphQL's Verify).
+//
+// All algorithms operate on vertex-labeled undirected graphs and find
+// subgraph isomorphisms as defined in Definition II.1: injective mappings
+// preserving labels and edges.
+package matching
+
+import (
+	"time"
+
+	"subgraphquery/internal/graph"
+)
+
+// Options bounds an enumeration. The zero value means "find everything with
+// no limits", which is rarely what a caller wants: subgraph query
+// verification passes Limit=1, and the experiment harness sets deadlines to
+// emulate the paper's 10-minute per-query budget.
+type Options struct {
+	// Limit stops the enumeration after this many embeddings have been
+	// found. 0 means unlimited. Verification (the Verify function of the
+	// paper's Algorithm 2) uses Limit = 1.
+	Limit uint64
+
+	// Deadline aborts the enumeration when exceeded. The zero time means no
+	// deadline. The deadline is checked every few thousand recursion steps,
+	// so overshoot is bounded and cheap.
+	Deadline time.Time
+
+	// StepBudget aborts after this many recursion steps, a deterministic
+	// alternative to Deadline for tests. 0 means unlimited.
+	StepBudget uint64
+
+	// OnEmbedding, when non-nil, receives each found embedding: mapping[u]
+	// is the data vertex matched to query vertex u. The slice is reused
+	// between calls; callers must copy it to retain it. Returning false
+	// stops the enumeration early.
+	OnEmbedding func(mapping []graph.VertexID) bool
+}
+
+// Result reports the outcome of an enumeration.
+type Result struct {
+	// Embeddings is the number of subgraph isomorphisms found before the
+	// enumeration stopped.
+	Embeddings uint64
+
+	// Steps is the number of recursive search-tree nodes expanded.
+	Steps uint64
+
+	// Aborted is true if the enumeration hit its Deadline or StepBudget
+	// before completing; Embeddings is then a lower bound.
+	Aborted bool
+
+	// Stopped is true if an OnEmbedding callback returned false, halting
+	// the enumeration early.
+	Stopped bool
+}
+
+// Found reports whether at least one embedding was discovered.
+func (r Result) Found() bool { return r.Embeddings > 0 }
+
+const deadlineCheckInterval = 4096
+
+// budget tracks steps against Options during a recursive search.
+type budget struct {
+	steps      uint64
+	stepBudget uint64
+	deadline   time.Time
+	aborted    bool
+}
+
+func newBudget(opts *Options) budget {
+	return budget{stepBudget: opts.StepBudget, deadline: opts.Deadline}
+}
+
+// spend consumes one step and reports whether the search must abort.
+func (b *budget) spend() bool {
+	b.steps++
+	if b.stepBudget != 0 && b.steps > b.stepBudget {
+		b.aborted = true
+		return true
+	}
+	if !b.deadline.IsZero() && b.steps%deadlineCheckInterval == 0 && time.Now().After(b.deadline) {
+		b.aborted = true
+		return true
+	}
+	return false
+}

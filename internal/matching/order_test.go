@@ -1,0 +1,123 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"subgraphquery/internal/graph"
+)
+
+func TestCTIndexOrderDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnectedGraph(r, 6+r.Intn(10), r.Intn(12), 1+r.Intn(3))
+		q := randomQueryFrom(r, g, 1+r.Intn(5))
+		a := CTIndexOrder(q, g)
+		b := CTIndexOrder(q, g)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("CTIndexOrder not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestCTIndexOrderStartsHighDegree(t *testing.T) {
+	// A star query: the center has the maximum degree and must come first.
+	q := graph.MustFromEdges([]graph.Label{0, 1, 1, 1},
+		[]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	g := graph.MustFromEdges([]graph.Label{0, 1, 1, 1, 1},
+		[]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	order := CTIndexOrder(q, g)
+	if order[0] != 0 {
+		t.Errorf("CTIndexOrder starts at %d, want the star center 0", order[0])
+	}
+}
+
+func TestGraphQLOrderDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnectedGraph(r, 6+r.Intn(10), r.Intn(12), 1+r.Intn(3))
+		q := randomQueryFrom(r, g, 1+r.Intn(5))
+		cand := GraphQLFilter(q, g, 0)
+		if cand.AnyEmpty() {
+			continue
+		}
+		a := GraphQLOrder(q, cand)
+		b := GraphQLOrder(q, cand)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("GraphQLOrder not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestBudgetStepLimit(t *testing.T) {
+	opts := Options{StepBudget: 3}
+	b := newBudget(&opts)
+	for i := 0; i < 3; i++ {
+		if b.spend() {
+			t.Fatalf("aborted at step %d, budget is 3", i+1)
+		}
+	}
+	if !b.spend() {
+		t.Error("step 4 should exceed StepBudget 3")
+	}
+	if !b.aborted {
+		t.Error("aborted flag not set")
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	opts := Options{Deadline: time.Now().Add(-time.Second)}
+	b := newBudget(&opts)
+	// The deadline is polled every deadlineCheckInterval steps.
+	aborted := false
+	for i := 0; i < deadlineCheckInterval+1; i++ {
+		if b.spend() {
+			aborted = true
+			break
+		}
+	}
+	if !aborted {
+		t.Error("expired deadline never aborted the budget")
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	opts := Options{}
+	b := newBudget(&opts)
+	for i := 0; i < 10000; i++ {
+		if b.spend() {
+			t.Fatal("unlimited budget aborted")
+		}
+	}
+	if b.steps != 10000 {
+		t.Errorf("steps = %d, want 10000", b.steps)
+	}
+}
+
+func TestEnumerateRejectsBadOrders(t *testing.T) {
+	q, g := fig1()
+	cand := CFLFilter(q, g)
+	cases := map[string][]graph.VertexID{
+		"too-short":    {0, 1},
+		"disconnected": {3, 0, 1, 2},
+	}
+	for name, order := range cases {
+		if _, err := Enumerate(q, g, cand, order, Options{}); err == nil {
+			t.Errorf("Enumerate accepted %s order", name)
+		}
+	}
+}
+
+func TestResultFound(t *testing.T) {
+	if (Result{}).Found() {
+		t.Error("zero result should not be Found")
+	}
+	if !(Result{Embeddings: 2}).Found() {
+		t.Error("result with embeddings should be Found")
+	}
+}

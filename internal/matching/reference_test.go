@@ -1,0 +1,174 @@
+package matching
+
+import (
+	"math/rand"
+
+	"subgraphquery/internal/graph"
+)
+
+// bruteForceCount enumerates all subgraph isomorphisms from q to g by plain
+// backtracking over all injective label-preserving assignments. It is the
+// ground truth every algorithm in this package is checked against.
+func bruteForceCount(q, g *graph.Graph) uint64 {
+	n := q.NumVertices()
+	if n == 0 {
+		return 1
+	}
+	mapping := make([]int32, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	used := make([]bool, g.NumVertices())
+	var count uint64
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			count++
+			return
+		}
+		uu := graph.VertexID(u)
+		for v := 0; v < g.NumVertices(); v++ {
+			if used[v] || g.Label(graph.VertexID(v)) != q.Label(uu) {
+				continue
+			}
+			ok := true
+			for _, w := range q.Neighbors(uu) {
+				if mapping[w] >= 0 && !g.HasEdge(graph.VertexID(v), graph.VertexID(mapping[w])) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[u] = int32(v)
+			used[v] = true
+			rec(u + 1)
+			mapping[u] = -1
+			used[v] = false
+		}
+	}
+	rec(0)
+	return count
+}
+
+// bruteForceEmbeddings returns every embedding as an explicit mapping slice.
+func bruteForceEmbeddings(q, g *graph.Graph) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	n := q.NumVertices()
+	mapping := make([]int32, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	used := make([]bool, g.NumVertices())
+	var rec func(u int)
+	rec = func(u int) {
+		if u == n {
+			emb := make([]graph.VertexID, n)
+			for i, v := range mapping {
+				emb[i] = graph.VertexID(v)
+			}
+			out = append(out, emb)
+			return
+		}
+		uu := graph.VertexID(u)
+		for v := 0; v < g.NumVertices(); v++ {
+			if used[v] || g.Label(graph.VertexID(v)) != q.Label(uu) {
+				continue
+			}
+			ok := true
+			for _, w := range q.Neighbors(uu) {
+				if mapping[w] >= 0 && !g.HasEdge(graph.VertexID(v), graph.VertexID(mapping[w])) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[u] = int32(v)
+			used[v] = true
+			rec(u + 1)
+			mapping[u] = -1
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+// randomConnectedGraph builds a random connected labeled graph.
+func randomConnectedGraph(r *rand.Rand, n, extraEdges, labels int) *graph.Graph {
+	if n <= 0 {
+		n = 1
+	}
+	lab := make([]graph.Label, n)
+	for i := range lab {
+		lab[i] = graph.Label(r.Intn(labels))
+	}
+	seen := map[[2]graph.VertexID]bool{}
+	var edges []graph.Edge
+	add := func(u, v graph.VertexID) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]graph.VertexID{u, v}] {
+			return
+		}
+		seen[[2]graph.VertexID{u, v}] = true
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	for v := 1; v < n; v++ {
+		add(graph.VertexID(r.Intn(v)), graph.VertexID(v))
+	}
+	for i := 0; i < extraEdges; i++ {
+		add(graph.VertexID(r.Intn(n)), graph.VertexID(r.Intn(n)))
+	}
+	return graph.MustFromEdges(lab, edges)
+}
+
+// randomQueryFrom extracts a connected query of roughly qEdges edges from g
+// by a random walk, so that at least one embedding is guaranteed to exist.
+func randomQueryFrom(r *rand.Rand, g *graph.Graph, qEdges int) *graph.Graph {
+	start := graph.VertexID(r.Intn(g.NumVertices()))
+	chosen := map[graph.VertexID]graph.VertexID{start: 0} // data -> query id
+	labels := []graph.Label{g.Label(start)}
+	seenEdge := map[[2]graph.VertexID]bool{}
+	var edges []graph.Edge
+	cur := start
+	for steps := 0; len(edges) < qEdges && steps < 20*qEdges+50; steps++ {
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) == 0 {
+			break
+		}
+		next := nbrs[r.Intn(len(nbrs))]
+		a, b := cur, next
+		if a > b {
+			a, b = b, a
+		}
+		if !seenEdge[[2]graph.VertexID{a, b}] {
+			seenEdge[[2]graph.VertexID{a, b}] = true
+			if _, ok := chosen[next]; !ok {
+				chosen[next] = graph.VertexID(len(labels))
+				labels = append(labels, g.Label(next))
+			}
+			edges = append(edges, graph.Edge{U: chosen[cur], V: chosen[next]})
+		}
+		cur = next
+	}
+	if len(edges) == 0 {
+		// Degenerate fallback: single edge if any exists.
+		if g.NumEdges() > 0 {
+			e := g.Edges()[0]
+			return graph.MustFromEdges(
+				[]graph.Label{g.Label(e.U), g.Label(e.V)},
+				[]graph.Edge{{U: 0, V: 1}},
+			)
+		}
+		return graph.MustFromEdges([]graph.Label{g.Label(start)}, nil)
+	}
+	return graph.MustFromEdges(labels, edges)
+}

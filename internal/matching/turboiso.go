@@ -1,0 +1,198 @@
+package matching
+
+import (
+	"time"
+
+	"subgraphquery/internal/graph"
+)
+
+// TurboIso (Han, Lee and Lee [11]) — the third preprocessing-enumeration
+// subgraph matching algorithm the paper names alongside GraphQL and CFL.
+// Its distinguishing ideas, implemented here:
+//
+//   - Start vertex selection by minimum freq(L(u))/deg(u) rank.
+//   - Candidate region exploration: for each data vertex matching the start
+//     vertex, a DFS along the query's BFS tree collects the per-query-vertex
+//     candidate sets local to that region; regions that fail to cover some
+//     query vertex are rejected wholesale before any enumeration.
+//   - Per-region matching order by ascending region candidate counts.
+//
+// The NEC (neighborhood equivalence class) combine-and-permute optimization
+// of the original is not implemented; each embedding is enumerated
+// explicitly. This keeps result semantics identical to the other matchers.
+type TurboIso struct{}
+
+// Run enumerates subgraph isomorphisms from q to g under opts.
+func (a TurboIso) Run(q, g *graph.Graph, opts Options) Result {
+	if q.NumVertices() == 0 {
+		return Result{Embeddings: 1}
+	}
+	if q.NumVertices() > g.NumVertices() || q.NumEdges() > g.NumEdges() {
+		return Result{}
+	}
+
+	start := turboStartVertex(q, g)
+	tree := graph.NewBFSTree(q, start)
+
+	var total Result
+	budget := newBudget(&opts)
+	prof := graph.NLFOf(q, start)
+	remaining := opts.Limit
+
+	for v := 0; v < g.NumVertices(); v++ {
+		vs := graph.VertexID(v)
+		// Region enumerations can be individually tiny; check the deadline
+		// between regions too, not only inside the search.
+		if !opts.Deadline.IsZero() && v%256 == 0 && time.Now().After(opts.Deadline) {
+			total.Aborted = true
+			break
+		}
+		if g.Label(vs) != q.Label(start) || g.Degree(vs) < q.Degree(start) {
+			continue
+		}
+		if !profileSubsumed(g, vs, prof) {
+			continue
+		}
+		region := exploreRegion(q, g, tree, vs)
+		if region == nil {
+			continue
+		}
+		order := regionOrder(q, tree, region)
+		sub := opts
+		sub.Limit = remaining
+		sub.StepBudget = 0
+		sub.Deadline = opts.Deadline
+		// Thread the global step budget through regions.
+		if opts.StepBudget != 0 {
+			if budget.steps >= opts.StepBudget {
+				total.Aborted = true
+				break
+			}
+			sub.StepBudget = opts.StepBudget - budget.steps
+		}
+		r, err := Enumerate(q, g, region, order, sub)
+		if err != nil {
+			panic(err) // BFS-tree orders are connected for connected queries
+		}
+		total.Embeddings += r.Embeddings
+		budget.steps += r.Steps
+		total.Steps = budget.steps
+		if r.Stopped {
+			total.Stopped = true
+			break
+		}
+		if r.Aborted {
+			total.Aborted = true
+			break
+		}
+		if opts.Limit != 0 {
+			if r.Embeddings >= remaining {
+				break
+			}
+			remaining -= r.Embeddings
+		}
+	}
+	total.Steps = budget.steps
+	return total
+}
+
+// FindFirst stops at the first embedding.
+func (a TurboIso) FindFirst(q, g *graph.Graph, opts Options) Result {
+	opts.Limit = 1
+	return a.Run(q, g, opts)
+}
+
+// turboStartVertex ranks query vertices by freq(g, L(u)) / deg(u) and
+// returns the minimum — rare labels and high degrees first.
+func turboStartVertex(q, g *graph.Graph) graph.VertexID {
+	best := graph.VertexID(0)
+	bestScore := -1.0
+	for u := 0; u < q.NumVertices(); u++ {
+		uu := graph.VertexID(u)
+		deg := q.Degree(uu)
+		if deg == 0 {
+			deg = 1
+		}
+		score := float64(g.LabelFrequency(q.Label(uu))) / float64(deg)
+		if bestScore < 0 || score < bestScore {
+			bestScore = score
+			best = uu
+		}
+	}
+	return best
+}
+
+// exploreRegion collects, for every query vertex, the candidate data
+// vertices reachable from vs along the query BFS tree with label and degree
+// filtering — TurboIso's candidate region. Returns nil if some query vertex
+// has no candidates in the region (the region cannot contain an embedding).
+func exploreRegion(q, g *graph.Graph, tree *graph.BFSTree, vs graph.VertexID) *Candidates {
+	cand := NewCandidates(q.NumVertices(), g.NumVertices())
+	cand.Add(tree.Root, vs)
+	for _, u := range tree.Order {
+		if u == tree.Root {
+			continue
+		}
+		parent := graph.VertexID(tree.Parent[u])
+		qDeg := q.Degree(u)
+		for _, vp := range cand.Sets[parent] {
+			for _, w := range g.NeighborsWithLabel(vp, q.Label(u)) {
+				if g.Degree(w) >= qDeg {
+					cand.Add(u, w)
+				}
+			}
+		}
+		if cand.Count(u) == 0 {
+			return nil
+		}
+	}
+	return cand
+}
+
+// regionOrder orders the query vertices by ascending region candidate
+// count, repaired to stay connected (every vertex after the first has an
+// earlier query neighbor). The root always comes first: its region
+// candidate set is the single start vertex.
+func regionOrder(q *graph.Graph, tree *graph.BFSTree, region *Candidates) []graph.VertexID {
+	n := q.NumVertices()
+	order := make([]graph.VertexID, 0, n)
+	in := make([]bool, n)
+	order = append(order, tree.Root)
+	in[tree.Root] = true
+	for len(order) < n {
+		best := graph.VertexID(0)
+		have := false
+		for u := 0; u < n; u++ {
+			uu := graph.VertexID(u)
+			if in[u] {
+				continue
+			}
+			adjacent := false
+			for _, w := range q.Neighbors(uu) {
+				if in[w] {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				continue
+			}
+			if !have || region.Count(uu) < region.Count(best) ||
+				(region.Count(uu) == region.Count(best) && uu < best) {
+				best = uu
+				have = true
+			}
+		}
+		if !have { // disconnected query: take any remaining vertex
+			for u := 0; u < n; u++ {
+				if !in[u] {
+					best = graph.VertexID(u)
+					break
+				}
+			}
+		}
+		in[best] = true
+		order = append(order, best)
+	}
+	return order
+}

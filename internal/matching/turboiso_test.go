@@ -1,0 +1,143 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraphquery/internal/graph"
+)
+
+func TestTurboStartVertex(t *testing.T) {
+	q, g := fig1()
+	// u2 has the unique label C (frequency 1 in G) and the highest degree;
+	// its rank freq/deg = 1/3 is minimal.
+	if got := turboStartVertex(q, g); got != 2 {
+		t.Errorf("turboStartVertex = %d, want 2", got)
+	}
+}
+
+func TestExploreRegion(t *testing.T) {
+	q, g := fig1()
+	tree := graph.NewBFSTree(q, 2) // rooted at u2
+	region := exploreRegion(q, g, tree, 2)
+	if region == nil {
+		t.Fatal("region from v2 should exist (it hosts the embedding)")
+	}
+	// The region pins the root and must contain the true embedding's
+	// images.
+	if region.Count(2) != 1 || !region.Contains(2, 2) {
+		t.Errorf("root candidate set = %v, want exactly {v2}", region.Sets[2])
+	}
+	for u, v := range map[graph.VertexID]graph.VertexID{0: 0, 1: 1, 3: 3} {
+		if !region.Contains(u, v) {
+			t.Errorf("region misses embedding mapping (%d,%d)", u, v)
+		}
+	}
+
+	// A region rooted at a vertex with the wrong neighborhood dies.
+	// v4 has label A but degree 1 < deg(u0)=2; use u0's other candidate v0
+	// against a pruned graph: build a graph without the triangle.
+	g2 := graph.MustFromEdges(
+		[]graph.Label{0, 1, 2, 1}, // C,O,N,B-chain: no triangle
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}},
+	)
+	tree2 := graph.NewBFSTree(q, 2)
+	region2 := exploreRegion(q, g2, tree2, 2)
+	if region2 != nil {
+		// The region may exist structurally (labels reachable); the
+		// enumeration must then find nothing.
+		order := regionOrder(q, tree2, region2)
+		r, err := Enumerate(q, g2, region2, order, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Embeddings != 0 {
+			t.Errorf("found %d embeddings in triangle-free graph", r.Embeddings)
+		}
+	}
+}
+
+func TestRegionOrderValid(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 30; trial++ {
+		g := randomConnectedGraph(r, 5+r.Intn(12), r.Intn(14), 1+r.Intn(3))
+		q := randomQueryFrom(r, g, 1+r.Intn(5))
+		start := turboStartVertex(q, g)
+		tree := graph.NewBFSTree(q, start)
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := graph.VertexID(v)
+			if g.Label(vv) != q.Label(start) || g.Degree(vv) < q.Degree(start) {
+				continue
+			}
+			region := exploreRegion(q, g, tree, vv)
+			if region == nil {
+				continue
+			}
+			if err := VerifyOrder(q, regionOrder(q, tree, region)); err != nil {
+				t.Fatalf("invalid region order: %v", err)
+			}
+		}
+	}
+}
+
+// TestTurboIsoRegionPartition: regions partition embeddings by the start
+// vertex image, so summing per-region counts must equal the total.
+func TestTurboIsoRegionPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 30; trial++ {
+		g := randomConnectedGraph(r, 5+r.Intn(10), r.Intn(12), 1+r.Intn(3))
+		q := randomQueryFrom(r, g, 1+r.Intn(4))
+		want := bruteForceCount(q, g)
+		got := TurboIso{}.Run(q, g, Options{})
+		if got.Embeddings != want {
+			t.Fatalf("trial %d: TurboIso %d != brute force %d", trial, got.Embeddings, want)
+		}
+	}
+}
+
+func TestQISequenceValid(t *testing.T) {
+	r := rand.New(rand.NewSource(227))
+	for trial := 0; trial < 30; trial++ {
+		g := randomConnectedGraph(r, 5+r.Intn(12), r.Intn(14), 1+r.Intn(4))
+		q := randomQueryFrom(r, g, 1+r.Intn(5))
+		if err := VerifyOrder(q, QISequence(q, g)); err != nil {
+			t.Fatalf("invalid QI-sequence: %v", err)
+		}
+	}
+}
+
+func TestQISequenceStartsRare(t *testing.T) {
+	// Query has one vertex with a label that is rare in the data graph;
+	// the QI-sequence must start there.
+	q := graph.MustFromEdges([]graph.Label{0, 0, 7},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g := graph.MustFromEdges([]graph.Label{0, 0, 0, 0, 7},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	order := QISequence(q, g)
+	if order[0] != 2 {
+		t.Errorf("QI-sequence starts at %d, want 2 (the rare label)", order[0])
+	}
+}
+
+func TestTurboIsoFindFirstStopsEarly(t *testing.T) {
+	// A single-label star query on a large star graph has many embeddings;
+	// FindFirst must not enumerate them all.
+	n := 40
+	labels := make([]graph.Label, n)
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.VertexID(i)})
+	}
+	g := graph.MustFromEdges(labels, edges)
+	q := graph.MustFromEdges(make([]graph.Label, 4),
+		[]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	res := TurboIso{}.FindFirst(q, g, Options{})
+	if !res.Found() || res.Embeddings != 1 {
+		t.Fatalf("FindFirst: %+v", res)
+	}
+	all := TurboIso{}.Run(q, g, Options{})
+	if all.Embeddings <= 1 || res.Steps >= all.Steps {
+		t.Errorf("FindFirst did not stop early: first %d steps vs all %d steps (%d embeddings)",
+			res.Steps, all.Steps, all.Embeddings)
+	}
+}

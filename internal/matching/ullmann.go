@@ -1,0 +1,120 @@
+package matching
+
+import "subgraphquery/internal/graph"
+
+// Ullmann is the classic 1976 subgraph isomorphism algorithm [32], included
+// as the historical direct-enumeration baseline. It seeds per-vertex
+// candidate sets from label and degree, applies Ullmann's refinement
+// procedure (every candidate must have a candidate neighbor for each query
+// neighbor) and then backtracks in query vertex id order.
+type Ullmann struct{}
+
+// Run enumerates subgraph isomorphisms from q to g under opts.
+func (Ullmann) Run(q, g *graph.Graph, opts Options) Result {
+	if q.NumVertices() == 0 {
+		return Result{Embeddings: 1}
+	}
+	if q.NumVertices() > g.NumVertices() || q.NumEdges() > g.NumEdges() {
+		return Result{}
+	}
+	cand := NewCandidates(q.NumVertices(), g.NumVertices())
+	for u := 0; u < q.NumVertices(); u++ {
+		uu := graph.VertexID(u)
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := graph.VertexID(v)
+			if g.Label(vv) == q.Label(uu) && g.Degree(vv) >= q.Degree(uu) {
+				cand.Add(uu, vv)
+			}
+		}
+	}
+	refineUllmann(q, g, cand)
+	if cand.AnyEmpty() {
+		return Result{}
+	}
+
+	order := connectedIDOrder(q)
+	res, err := Enumerate(q, g, cand, order, opts)
+	if err != nil {
+		// The query is connected by contract; an invalid order is a bug.
+		panic(err)
+	}
+	return res
+}
+
+// FindFirst stops at the first embedding.
+func (a Ullmann) FindFirst(q, g *graph.Graph, opts Options) Result {
+	opts.Limit = 1
+	return a.Run(q, g, opts)
+}
+
+// refineUllmann iterates Ullmann's refinement to a fixpoint: v stays in
+// Φ(u) only if for every query neighbor u' of u, v has some neighbor in
+// Φ(u').
+func refineUllmann(q, g *graph.Graph, cand *Candidates) {
+	changed := true
+	for changed {
+		changed = false
+		for u := 0; u < q.NumVertices(); u++ {
+			uu := graph.VertexID(u)
+			before := cand.Count(uu)
+			cand.Retain(uu, func(v graph.VertexID) bool {
+				for _, up := range q.Neighbors(uu) {
+					ok := false
+					for _, w := range g.NeighborsWithLabel(v, q.Label(up)) {
+						if cand.Contains(up, w) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return false
+					}
+				}
+				return true
+			})
+			if cand.Count(uu) != before {
+				changed = true
+			}
+		}
+	}
+}
+
+// connectedIDOrder returns the query vertices in an order that starts at
+// vertex 0 and always extends by the smallest-id vertex adjacent to the
+// prefix, mirroring Ullmann's simple static ordering while keeping the
+// order connected for Enumerate.
+func connectedIDOrder(q *graph.Graph) []graph.VertexID {
+	n := q.NumVertices()
+	order := make([]graph.VertexID, 0, n)
+	in := make([]bool, n)
+	order = append(order, 0)
+	in[0] = true
+	for len(order) < n {
+		picked := -1
+		for u := 0; u < n; u++ {
+			if in[u] {
+				continue
+			}
+			for _, w := range q.Neighbors(graph.VertexID(u)) {
+				if in[w] {
+					picked = u
+					break
+				}
+			}
+			if picked != -1 {
+				break
+			}
+		}
+		if picked == -1 { // disconnected; take smallest free id
+			for u := 0; u < n; u++ {
+				if !in[u] {
+					picked = u
+					break
+				}
+			}
+		}
+		in[picked] = true
+		order = append(order, graph.VertexID(picked))
+	}
+	return order
+}

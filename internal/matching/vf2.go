@@ -1,0 +1,269 @@
+package matching
+
+import "subgraphquery/internal/graph"
+
+// VF2 is the direct-enumeration subgraph isomorphism algorithm of Cordella,
+// Foggia, Sansone and Vento [6]. It is the verification method of the IFV
+// algorithms studied in the paper (Grapes, GGSX and — with an improved
+// static matching order — CT-Index). No auxiliary structure is built ahead
+// of the recursion; candidate pairs are generated from the terminal sets of
+// the current partial mapping.
+type VF2 struct {
+	// Order, when non-nil, fixes the order in which query vertices are
+	// matched. CT-Index's "modified VF2" supplies a degree/selectivity-based
+	// static order here; plain VF2 leaves it nil and uses the classic
+	// terminal-set-driven selection.
+	Order []graph.VertexID
+}
+
+// Run enumerates subgraph isomorphisms from q to g under opts.
+func (a *VF2) Run(q, g *graph.Graph, opts Options) Result {
+	if q.NumVertices() == 0 {
+		return Result{Embeddings: 1}
+	}
+	if q.NumVertices() > g.NumVertices() || q.NumEdges() > g.NumEdges() {
+		return Result{}
+	}
+	s := &vf2state{
+		q: q, g: g,
+		opts:    &opts,
+		budget:  newBudget(&opts),
+		core1:   make([]int32, q.NumVertices()),
+		core2:   make([]int32, g.NumVertices()),
+		depth1:  make([]int32, q.NumVertices()),
+		depth2:  make([]int32, g.NumVertices()),
+		mapping: make([]graph.VertexID, q.NumVertices()),
+		order:   a.Order,
+	}
+	for i := range s.core1 {
+		s.core1[i] = -1
+	}
+	for i := range s.core2 {
+		s.core2[i] = -1
+	}
+	s.match(0)
+	return Result{Embeddings: s.found, Steps: s.budget.steps, Aborted: s.budget.aborted, Stopped: s.stopped}
+}
+
+// FindFirst reports whether q is subgraph-isomorphic to g, stopping at the
+// first embedding — the Verify(q, G) test of the IFV procedure
+// (Algorithm 1, line 8).
+func (a *VF2) FindFirst(q, g *graph.Graph, opts Options) Result {
+	opts.Limit = 1
+	return a.Run(q, g, opts)
+}
+
+type vf2state struct {
+	q, g   *graph.Graph
+	opts   *Options
+	budget budget
+
+	core1 []int32 // query -> data mapping, -1 if unmapped
+	core2 []int32 // data -> query mapping, -1 if unmapped
+	// depthN[v] > 0 marks v as a terminal vertex (adjacent to the mapped
+	// core) and records the depth at which it entered the terminal set, so
+	// backtracking can undo exactly its own additions.
+	depth1 []int32
+	depth2 []int32
+
+	mapping []graph.VertexID
+	order   []graph.VertexID
+	found   uint64
+	stop    bool
+	stopped bool // an OnEmbedding callback returned false
+}
+
+// nextQuery selects the query vertex to match at this depth: the fixed
+// order if provided, else the smallest-id unmapped terminal vertex (the
+// classic VF2 rule), else the smallest-id unmapped vertex.
+func (s *vf2state) nextQuery(depth int) graph.VertexID {
+	if s.order != nil {
+		return s.order[depth]
+	}
+	firstFree := -1
+	for u := range s.core1 {
+		if s.core1[u] != -1 {
+			continue
+		}
+		if s.depth1[u] > 0 {
+			return graph.VertexID(u)
+		}
+		if firstFree == -1 {
+			firstFree = u
+		}
+	}
+	return graph.VertexID(firstFree)
+}
+
+func (s *vf2state) match(depth int) {
+	if depth == s.q.NumVertices() {
+		s.found++
+		if s.opts.OnEmbedding != nil && !s.opts.OnEmbedding(s.mapping) {
+			s.stop = true
+			s.stopped = true
+		}
+		if s.opts.Limit != 0 && s.found >= s.opts.Limit {
+			s.stop = true
+		}
+		return
+	}
+	if s.budget.spend() {
+		s.stop = true
+		return
+	}
+	u := s.nextQuery(depth)
+	uTerminal := s.depth1[u] > 0
+
+	// Candidate data vertices: if u is terminal, only terminal data
+	// vertices can match; otherwise only non-terminal unmapped ones.
+	for v := 0; v < s.g.NumVertices(); v++ {
+		if s.core2[v] != -1 {
+			continue
+		}
+		vTerminal := s.depth2[v] > 0
+		if uTerminal != vTerminal {
+			continue
+		}
+		if s.feasible(u, graph.VertexID(v)) {
+			s.extend(depth, u, graph.VertexID(v))
+			if s.stop {
+				return
+			}
+		}
+	}
+}
+
+// feasible applies VF2's feasibility rules specialized for undirected
+// labeled subgraph isomorphism: label equality, consistency of mapped
+// neighbors, and the one- and two-lookahead cardinality cuts.
+func (s *vf2state) feasible(u, v graph.VertexID) bool {
+	if s.q.Label(u) != s.g.Label(v) || s.g.Degree(v) < s.q.Degree(u) {
+		return false
+	}
+	// Rule 1: every mapped neighbor of u must map to a neighbor of v.
+	termQ, newQ := 0, 0
+	for _, w := range s.q.Neighbors(u) {
+		switch {
+		case s.core1[w] != -1:
+			if !s.g.HasEdge(v, graph.VertexID(s.core1[w])) {
+				return false
+			}
+		case s.depth1[w] > 0:
+			termQ++
+		default:
+			newQ++
+		}
+	}
+	// Rule 2 (lookahead): v must have at least as many terminal and fresh
+	// neighbors as u does. Mapped neighbors of v need no converse check
+	// beyond rule 1 because subgraph (not induced) isomorphism allows extra
+	// data edges.
+	termG, newG := 0, 0
+	for _, w := range s.g.Neighbors(v) {
+		switch {
+		case s.core2[w] != -1:
+			// extra data edge; fine for non-induced matching
+		case s.depth2[w] > 0:
+			termG++
+		default:
+			newG++
+		}
+	}
+	return termG >= termQ && newG+termG >= newQ+termQ
+}
+
+func (s *vf2state) extend(depth int, u, v graph.VertexID) {
+	d := int32(depth + 1)
+	s.core1[u] = int32(v)
+	s.core2[v] = int32(u)
+	s.mapping[u] = v
+	// Grow terminal sets, remembering which entries we created.
+	for _, w := range s.q.Neighbors(u) {
+		if s.core1[w] == -1 && s.depth1[w] == 0 {
+			s.depth1[w] = d
+		}
+	}
+	for _, w := range s.g.Neighbors(v) {
+		if s.core2[w] == -1 && s.depth2[w] == 0 {
+			s.depth2[w] = d
+		}
+	}
+
+	s.match(depth + 1)
+
+	for _, w := range s.q.Neighbors(u) {
+		if s.depth1[w] == d {
+			s.depth1[w] = 0
+		}
+	}
+	for _, w := range s.g.Neighbors(v) {
+		if s.depth2[w] == d {
+			s.depth2[w] = 0
+		}
+	}
+	s.core1[u] = -1
+	s.core2[v] = -1
+}
+
+// CTIndexOrder returns the static matching order CT-Index's modified VF2
+// uses: query vertices sorted by decreasing degree, breaking ties toward
+// rarer labels in the data graph, rearranged so every vertex is adjacent to
+// an earlier one (connectivity repair by greedy selection).
+func CTIndexOrder(q, g *graph.Graph) []graph.VertexID {
+	n := q.NumVertices()
+	order := make([]graph.VertexID, 0, n)
+	inOrder := make([]bool, n)
+
+	score := func(u graph.VertexID) (int, int) {
+		return q.Degree(u), -g.LabelFrequency(q.Label(u))
+	}
+	better := func(a, b graph.VertexID) bool {
+		da, fa := score(a)
+		db, fb := score(b)
+		if da != db {
+			return da > db
+		}
+		if fa != fb {
+			return fa > fb
+		}
+		return a < b
+	}
+
+	for len(order) < n {
+		best := graph.VertexID(0)
+		haveBest := false
+		for u := 0; u < n; u++ {
+			uu := graph.VertexID(u)
+			if inOrder[u] {
+				continue
+			}
+			if len(order) > 0 {
+				adjacent := false
+				for _, w := range q.Neighbors(uu) {
+					if inOrder[w] {
+						adjacent = true
+						break
+					}
+				}
+				if !adjacent {
+					continue
+				}
+			}
+			if !haveBest || better(uu, best) {
+				best = uu
+				haveBest = true
+			}
+		}
+		if !haveBest { // disconnected query; pick any remaining (not expected)
+			for u := 0; u < n; u++ {
+				if !inOrder[u] {
+					best = graph.VertexID(u)
+					break
+				}
+			}
+		}
+		inOrder[best] = true
+		order = append(order, best)
+	}
+	return order
+}

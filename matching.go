@@ -1,0 +1,113 @@
+package subgraphquery
+
+import (
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/matching"
+)
+
+// Subgraph matching API (Definition II.3): find all subgraphs of a data
+// graph isomorphic to the query, not just test containment. This is the
+// machinery underneath every engine's verification step, exposed for
+// direct use.
+
+// MatchOptions bounds a matching enumeration.
+type MatchOptions = matching.Options
+
+// MatchResult reports an enumeration's outcome.
+type MatchResult = matching.Result
+
+// Matcher enumerates subgraph isomorphisms from a query to a data graph.
+type Matcher interface {
+	// Run finds embeddings under the given bounds.
+	Run(q, g *Graph, opts MatchOptions) MatchResult
+	// FindFirst stops at the first embedding (the subgraph isomorphism
+	// test).
+	FindFirst(q, g *Graph, opts MatchOptions) MatchResult
+}
+
+type matcherFunc struct {
+	run func(q, g *graph.Graph, opts matching.Options) matching.Result
+}
+
+func (m matcherFunc) Run(q, g *Graph, opts MatchOptions) MatchResult {
+	return m.run(q, g, opts)
+}
+
+func (m matcherFunc) FindFirst(q, g *Graph, opts MatchOptions) MatchResult {
+	opts.Limit = 1
+	return m.run(q, g, opts)
+}
+
+// NewVF2Matcher returns the VF2 direct-enumeration matcher [6].
+func NewVF2Matcher() Matcher {
+	return matcherFunc{func(q, g *graph.Graph, o matching.Options) matching.Result {
+		return (&matching.VF2{}).Run(q, g, o)
+	}}
+}
+
+// NewUllmannMatcher returns the Ullmann direct-enumeration matcher [32].
+func NewUllmannMatcher() Matcher {
+	return matcherFunc{func(q, g *graph.Graph, o matching.Options) matching.Result {
+		return matching.Ullmann{}.Run(q, g, o)
+	}}
+}
+
+// NewGraphQLMatcher returns the GraphQL preprocessing-enumeration matcher
+// [14].
+func NewGraphQLMatcher() Matcher {
+	return matcherFunc{func(q, g *graph.Graph, o matching.Options) matching.Result {
+		return matching.GraphQL{}.Run(q, g, o)
+	}}
+}
+
+// NewCFLMatcher returns the CFL preprocessing-enumeration matcher [1].
+func NewCFLMatcher() Matcher {
+	return matcherFunc{func(q, g *graph.Graph, o matching.Options) matching.Result {
+		return matching.CFL{}.Run(q, g, o)
+	}}
+}
+
+// NewTurboIsoMatcher returns the TurboIso preprocessing-enumeration
+// matcher [11]: candidate-region exploration per start vertex.
+func NewTurboIsoMatcher() Matcher {
+	return matcherFunc{func(q, g *graph.Graph, o matching.Options) matching.Result {
+		return matching.TurboIso{}.Run(q, g, o)
+	}}
+}
+
+// NewQuickSIMatcher returns the QuickSI direct-enumeration matcher [28]:
+// infrequent-first QI-sequence ordering.
+func NewQuickSIMatcher() Matcher {
+	return matcherFunc{func(q, g *graph.Graph, o matching.Options) matching.Result {
+		return matching.QuickSI{}.Run(q, g, o)
+	}}
+}
+
+// NewSPathMatcher returns the SPath direct-enumeration matcher [41]:
+// distance-level neighborhood signature filtering.
+func NewSPathMatcher() Matcher {
+	return matcherFunc{func(q, g *graph.Graph, o matching.Options) matching.Result {
+		return matching.SPath{}.Run(q, g, o)
+	}}
+}
+
+// NewCFQLMatcher returns the hybrid matcher: CFL's filtering, GraphQL's
+// ordering and enumeration.
+func NewCFQLMatcher() Matcher {
+	return matcherFunc{func(q, g *graph.Graph, o matching.Options) matching.Result {
+		return matching.CFQL{}.Run(q, g, o)
+	}}
+}
+
+// CountEmbeddings returns the number of subgraph isomorphisms from q to g
+// using the CFQL matcher with no bounds. For graphs where the count may be
+// astronomically large, use a Matcher with MatchOptions limits instead.
+func CountEmbeddings(q, g *Graph) uint64 {
+	return matching.CFQL{}.Run(q, g, matching.Options{}).Embeddings
+}
+
+// IsSubgraph reports whether q is subgraph-isomorphic to g
+// (Definition II.1).
+func IsSubgraph(q, g *Graph) bool {
+	return matching.CFQL{}.FindFirst(q, g, matching.Options{}).Found()
+}

@@ -1,0 +1,165 @@
+package subgraphquery_test
+
+import (
+	"bytes"
+	"testing"
+
+	sq "subgraphquery"
+)
+
+// paperExample builds the query and data graph of the paper's Figure 1.
+func paperExample(t *testing.T) (q, g *sq.Graph) {
+	t.Helper()
+	q, err := sq.FromEdges(
+		[]sq.Label{0, 1, 2, 1},
+		[]sq.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = sq.FromEdges(
+		[]sq.Label{0, 1, 2, 1, 0},
+		[]sq.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, g
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	q, g := paperExample(t)
+	if !sq.IsSubgraph(q, g) {
+		t.Fatal("Figure 1: q should be contained in G")
+	}
+	if got := sq.CountEmbeddings(q, g); got != 1 {
+		t.Fatalf("CountEmbeddings = %d, want 1", got)
+	}
+
+	db := sq.NewDatabase([]*sq.Graph{g, q})
+	for _, mk := range []func() sq.Engine{
+		sq.NewCFQLEngine, sq.NewCFLEngine, sq.NewGraphQLEngine,
+		sq.NewGrapesEngine, sq.NewGGSXEngine, sq.NewCTIndexEngine,
+		sq.NewVcGrapesEngine, sq.NewVcGGSXEngine, sq.NewScanEngine,
+		sq.NewTurboIsoEngine, sq.NewGraphGrepEngine, sq.NewGIndexEngine,
+		sq.NewTreePiEngine, sq.NewFGIndexEngine,
+		func() sq.Engine { return sq.NewParallelCFQLEngine(3) },
+		func() sq.Engine { return sq.NewCachedEngine(sq.NewCFQLEngine(), 8) },
+	} {
+		e := mk()
+		if err := e.Build(db, sq.BuildOptions{}); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		res := e.Query(q, sq.QueryOptions{})
+		if len(res.Answers) != 2 || !res.Contains(0) || !res.Contains(1) {
+			t.Errorf("%s: answers %v, want [0 1]", e.Name(), res.Answers)
+		}
+	}
+}
+
+func TestPublicMatchers(t *testing.T) {
+	q, g := paperExample(t)
+	for _, mk := range []func() sq.Matcher{
+		sq.NewVF2Matcher, sq.NewUllmannMatcher, sq.NewGraphQLMatcher,
+		sq.NewCFLMatcher, sq.NewCFQLMatcher, sq.NewTurboIsoMatcher,
+		sq.NewQuickSIMatcher, sq.NewSPathMatcher,
+	} {
+		m := mk()
+		if got := m.Run(q, g, sq.MatchOptions{}); got.Embeddings != 1 {
+			t.Errorf("matcher found %d embeddings, want 1", got.Embeddings)
+		}
+		if !m.FindFirst(q, g, sq.MatchOptions{}).Found() {
+			t.Error("FindFirst should find the embedding")
+		}
+	}
+}
+
+func TestPublicSerialization(t *testing.T) {
+	q, g := paperExample(t)
+	db := sq.NewDatabase([]*sq.Graph{q, g})
+	var buf bytes.Buffer
+	if err := sq.WriteDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sq.ReadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Graph(1).NumVertices() != 5 {
+		t.Errorf("round trip mangled the database")
+	}
+
+	buf.Reset()
+	if err := sq.WriteGraph(&buf, 0, q); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := sq.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.NumEdges() != q.NumEdges() {
+		t.Error("graph round trip mangled edges")
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: 12, NumVertices: 25, NumLabels: 4, Degree: 4, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 12 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	qs, err := sq.GenerateQuerySet(db, sq.QuerySetConfig{
+		Count: 6, Edges: 4, Method: sq.QueryBFS, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sq.ComputeQuerySetStats(qs)
+	if stats.DegreePerQuery <= 0 {
+		t.Error("query stats not computed")
+	}
+
+	real, err := sq.GenerateReal(sq.AIDS, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Len() == 0 {
+		t.Error("empty real dataset")
+	}
+
+	engine := sq.NewCFQLEngine()
+	if err := engine.Build(db, sq.BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, q := range qs {
+		found += len(engine.Query(q, sq.QueryOptions{}).Answers)
+	}
+	if found == 0 {
+		t.Error("generated queries should have answers in their source database")
+	}
+}
+
+func TestPublicBuilder(t *testing.T) {
+	b := sq.NewBuilder(3, 2)
+	v0 := b.AddVertex(1)
+	v1 := b.AddVertex(2)
+	v2 := b.AddVertex(1)
+	b.AddEdge(v0, v1)
+	b.AddEdge(v1, v2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 || !g.HasEdge(0, 1) {
+		t.Errorf("builder produced %v", g)
+	}
+	var stats sq.DatabaseStats = sq.NewDatabase([]*sq.Graph{g}).ComputeStats()
+	if stats.NumGraphs != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
