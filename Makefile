@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build check test bench-json clean
+
+build:
+	$(GO) build ./...
+
+# Fast pre-commit gate: vet + race tests on the hot packages.
+check:
+	sh scripts/check.sh
+
+# Full suite (slow: bench smoke tests build every index).
+test:
+	$(GO) test ./...
+
+# Small-scale bench run emitting BENCH_<dataset>.json into ./bench-out.
+bench-json:
+	mkdir -p bench-out
+	$(GO) run ./cmd/sqbench real -scale 0.005 -queries 3 \
+		-index-budget 30s -query-budget 2s -json-dir bench-out
+
+clean:
+	rm -rf bench-out

@@ -8,6 +8,12 @@
 //	        fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9 | real | synthetic | all
 //	        [-scale 0.02] [-queries 10] [-seed 1]
 //	        [-index-budget 60s] [-query-budget 5s] [-workers 6]
+//	        [-json-dir .]
+//
+// The real and synthetic studies also emit machine-readable
+// BENCH_<dataset>.json reports (per-engine, per-query-set metrics with
+// p50/p90/p99 query latency) into -json-dir; pass -json-dir "" to
+// disable.
 //
 // Scale 1 with large budgets approaches the paper's full configuration;
 // the defaults finish on a laptop in minutes.
@@ -36,6 +42,7 @@ func main() {
 	indexBudget := fs.Duration("index-budget", 60*time.Second, "per-index build budget (paper: 24h)")
 	queryBudget := fs.Duration("query-budget", 5*time.Second, "per-query budget (paper: 10m)")
 	workers := fs.Int("workers", 6, "workers for the Grapes engines")
+	jsonDir := fs.String("json-dir", ".", "directory for machine-readable BENCH_<dataset>.json output (empty disables)")
 	fs.Parse(os.Args[2:])
 
 	cfg := bench.Config{
@@ -48,7 +55,7 @@ func main() {
 		Out:         os.Stdout,
 	}
 
-	if err := run(cmd, cfg); err != nil {
+	if err := run(cmd, cfg, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "sqbench:", err)
 		os.Exit(1)
 	}
@@ -76,7 +83,10 @@ synthetic experiments (one shared run):
   all        everything`)
 }
 
-func run(cmd string, cfg bench.Config) error {
+// run executes one subcommand. jsonDir, when non-empty, receives
+// machine-readable BENCH_<dataset>.json reports for the real and
+// synthetic studies.
+func run(cmd string, cfg bench.Config, jsonDir string) error {
 	needReal := map[string]bool{
 		"tableV": true, "tableVI": true, "tableVII": true,
 		"fig2": true, "fig3": true, "fig4": true, "fig5": true,
@@ -103,6 +113,13 @@ func run(cmd string, cfg bench.Config) error {
 		usage()
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+	// Create the report directory before the (long) study runs, so a bad
+	// -json-dir fails in milliseconds, not after minutes of benchmarking.
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return fmt.Errorf("creating -json-dir: %w", err)
+		}
+	}
 
 	if needReal[cmd] {
 		fmt.Fprintf(os.Stderr, "running real-dataset study (scale %.3f, %d queries/set)...\n",
@@ -110,6 +127,13 @@ func run(cmd string, cfg bench.Config) error {
 		ev, err := bench.RunReal(cfg)
 		if err != nil {
 			return err
+		}
+		if jsonDir != "" {
+			paths, err := bench.WriteRealJSON(jsonDir, ev)
+			if err != nil {
+				return fmt.Errorf("writing bench JSON: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %v\n", paths)
 		}
 		switch cmd {
 		case "shapes":
@@ -164,6 +188,13 @@ func run(cmd string, cfg bench.Config) error {
 		ev, err := bench.RunSynthetic(cfg)
 		if err != nil {
 			return err
+		}
+		if jsonDir != "" {
+			path, err := bench.WriteSyntheticJSON(jsonDir, ev)
+			if err != nil {
+				return fmt.Errorf("writing bench JSON: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		switch cmd {
 		case "shapes":

@@ -10,7 +10,7 @@ import (
 
 func TestRunRejectsUnknownSubcommand(t *testing.T) {
 	cfg := bench.Config{Out: io.Discard}
-	if err := run("bogus", cfg); err == nil {
+	if err := run("bogus", cfg, ""); err == nil {
 		t.Error("unknown subcommand should fail")
 	}
 }
@@ -30,7 +30,7 @@ func TestRunSingleTableSmoke(t *testing.T) {
 		Workers:     2,
 		Out:         io.Discard,
 	}
-	if err := run("tableVI", cfg); err != nil {
+	if err := run("tableVI", cfg, ""); err != nil {
 		t.Fatalf("tableVI: %v", err)
 	}
 }

@@ -6,20 +6,37 @@
 //
 // Endpoints:
 //
-//	POST /query   body: one graph in the text format -> JSON answer
-//	POST /graphs  body: one graph in the text format -> JSON {"id": n}
-//	GET  /stats   JSON database statistics
+//	POST /query    body: one graph in the text format -> JSON answer;
+//	               append ?trace=1 to inline the per-query phase/verify trace
+//	POST /graphs   body: one graph in the text format -> JSON {"id": n}
+//	GET  /stats    JSON database statistics (cached; invalidated on append)
+//	GET  /metrics  JSON telemetry registry: query counts, p50/p90/p99
+//	               latency histograms, timeouts, cache hits, in-flight gauge
+//	GET  /healthz  liveness probe
+//
+// With -debug-addr, a second listener serves net/http/pprof profiles
+// (/debug/pprof/) for CPU and heap investigation, kept off the public
+// address on purpose.
+//
+// The server drains gracefully: SIGINT/SIGTERM stops accepting new
+// connections and waits for in-flight queries before exiting.
 //
 // Usage:
 //
 //	sqserver -db db.graph [-addr :8080] [-engine CFQL] [-cache 64]
+//	         [-budget 10m] [-debug-addr :6060] [-log-json]
 package main
 
 import (
+	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	sq "subgraphquery"
 	"subgraphquery/internal/bench"
@@ -31,29 +48,95 @@ func main() {
 	engineName := flag.String("engine", "CFQL", "query engine")
 	cache := flag.Int("cache", 64, "result cache entries (0 disables)")
 	budget := flag.Duration("budget", 0, "per-query budget (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "pprof debug listen address (empty disables)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	f, err := os.Open(*dbPath)
 	if err != nil {
-		log.Fatalf("sqserver: %v", err)
+		logger.Error("opening database", "err", err)
+		os.Exit(1)
 	}
 	db, err := sq.ReadDatabase(f)
 	f.Close()
 	if err != nil {
-		log.Fatalf("sqserver: %v", err)
+		logger.Error("reading database", "err", err)
+		os.Exit(1)
 	}
 
 	engine, err := bench.NewEngine(*engineName)
 	if err != nil {
-		log.Fatalf("sqserver: %v", err)
+		logger.Error("creating engine", "err", err)
+		os.Exit(1)
 	}
-	srv, err := newServer(db, engine, *cache, *budget)
+	srv, err := newServer(db, engine, *cache, *budget, logger)
 	if err != nil {
-		log.Fatalf("sqserver: %v", err)
+		logger.Error("building engine", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("sqserver: %d graphs loaded, engine %s, listening on %s",
-		db.Len(), srv.engine.Name(), *addr)
-	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
-		log.Fatal(err)
+
+	// The write timeout must outlast the slowest allowed query; with no
+	// budget the query itself is unbounded, so the timeout is disabled.
+	var writeTimeout time.Duration
+	if *budget > 0 {
+		writeTimeout = *budget + 30*time.Second
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadTimeout:       time.Minute,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, logger)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Info("listening",
+		"addr", *addr, "graphs", db.Len(), "engine", srv.engine.Name(),
+		"cache", *cache, "budget", budget.String())
+
+	select {
+	case err := <-errc:
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down, draining in-flight queries")
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			logger.Error("graceful shutdown timed out, closing", "err", err)
+			hs.Close()
+		}
+		logger.Info("bye")
+	}
+}
+
+// serveDebug exposes net/http/pprof on its own mux and address, so
+// profiling never rides on the public listener.
+func serveDebug(addr string, logger *slog.Logger) {
+	m := http.NewServeMux()
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("debug server listening", "addr", addr)
+	if err := http.ListenAndServe(addr, m); err != nil {
+		logger.Error("debug server failed", "err", err)
 	}
 }

@@ -3,12 +3,15 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	sq "subgraphquery"
 	"subgraphquery/internal/core"
+	"subgraphquery/internal/obs"
 )
 
 // server holds the database and engine behind the HTTP handlers. A RWMutex
@@ -19,16 +22,62 @@ type server struct {
 	db     *sq.Database
 	engine sq.Engine
 	budget time.Duration
+	log    *slog.Logger
+	start  time.Time
+
+	// Telemetry. The registry backs GET /metrics; the named instruments
+	// are held directly so the hot path never takes the registry lock.
+	reg       *obs.Registry
+	queries   *obs.Counter
+	rejected  *obs.Counter
+	timeouts  *obs.Counter
+	appends   *obs.Counter
+	cacheHit  *obs.Counter
+	cacheMiss *obs.Counter
+	inflight  *obs.Gauge
+	latency   *obs.Histogram // wall-clock per query
+	filterLat *obs.Histogram // engine filtering phase
+	verifyLat *obs.Histogram // engine verification phase
+	siLat     *obs.Histogram // per-SI-test (one sample per candidate graph)
+
+	// statsCache memoizes the /stats response; ComputeStats walks every
+	// graph, so recomputing per request is wasteful on a static database.
+	// Appends invalidate it.
+	statsMu    sync.Mutex
+	statsCache map[string]any
 }
 
-func newServer(db *sq.Database, engine sq.Engine, cacheEntries int, budget time.Duration) (*server, error) {
+func newServer(db *sq.Database, engine sq.Engine, cacheEntries int, budget time.Duration, logger *slog.Logger) (*server, error) {
 	if cacheEntries > 0 {
 		engine = sq.NewCachedEngine(engine, cacheEntries)
 	}
 	if err := engine.Build(db, sq.BuildOptions{}); err != nil {
 		return nil, err
 	}
-	return &server{db: db, engine: engine, budget: budget}, nil
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &server{
+		db:     db,
+		engine: engine,
+		budget: budget,
+		log:    logger,
+		start:  time.Now(),
+		reg:    obs.NewRegistry(),
+	}
+	en := engine.Name()
+	s.queries = s.reg.Counter("queries_total/" + en)
+	s.rejected = s.reg.Counter("queries_rejected_total")
+	s.timeouts = s.reg.Counter("query_timeouts_total/" + en)
+	s.appends = s.reg.Counter("graph_appends_total")
+	s.cacheHit = s.reg.Counter("cache_hits_total")
+	s.cacheMiss = s.reg.Counter("cache_misses_total")
+	s.inflight = s.reg.Gauge("queries_inflight")
+	s.latency = s.reg.Histogram("query_latency/" + en)
+	s.filterLat = s.reg.Histogram("filter_latency/" + en)
+	s.verifyLat = s.reg.Histogram("verify_latency/" + en)
+	s.siLat = s.reg.Histogram("si_test_latency/" + en)
+	return s, nil
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -36,17 +85,82 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("/query", s.handleQuery)
 	m.HandleFunc("/graphs", s.handleAppend)
 	m.HandleFunc("/stats", s.handleStats)
+	m.HandleFunc("/metrics", s.handleMetrics)
+	m.HandleFunc("/healthz", s.handleHealthz)
 	return m
+}
+
+// handler wraps the mux with request logging.
+func (s *server) handler() http.Handler {
+	mux := s.mux()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur_ms", time.Since(t0).Milliseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// statusRecorder captures the response status and size for the log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// registryObserver streams engine telemetry into the server's registry:
+// phase spans feed the per-phase histograms, every SI test feeds the
+// per-SI-test histogram, cache probes feed the hit/miss counters.
+type registryObserver struct{ s *server }
+
+func (o registryObserver) ObservePhase(name string, d time.Duration) {
+	switch name {
+	case obs.PhaseFilter:
+		o.s.filterLat.Record(d)
+	case obs.PhaseVerify:
+		o.s.verifyLat.Record(d)
+	}
+}
+
+func (o registryObserver) ObserveVerify(_ int, _ uint64, d time.Duration, _ bool) {
+	o.s.siLat.Record(d)
+}
+
+func (o registryObserver) ObserveCache(hit bool) {
+	if hit {
+		o.s.cacheHit.Inc()
+	} else {
+		o.s.cacheMiss.Inc()
+	}
 }
 
 // queryResponse is the JSON body returned by POST /query.
 type queryResponse struct {
-	Answers    []int  `json:"answers"`
-	Candidates int    `json:"candidates"`
-	FilterUS   int64  `json:"filter_us"`
-	VerifyUS   int64  `json:"verify_us"`
-	TimedOut   bool   `json:"timed_out,omitempty"`
-	Engine     string `json:"engine"`
+	Answers    []int              `json:"answers"`
+	Candidates int                `json:"candidates"`
+	FilterUS   int64              `json:"filter_us"`
+	VerifyUS   int64              `json:"verify_us"`
+	TimedOut   bool               `json:"timed_out,omitempty"`
+	Engine     string             `json:"engine"`
+	Trace      *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -56,10 +170,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := sq.ReadGraph(r.Body)
 	if err != nil {
+		s.rejected.Inc()
 		http.Error(w, fmt.Sprintf("parsing query: %v", err), http.StatusBadRequest)
 		return
 	}
 	if !q.IsConnected() {
+		s.rejected.Inc()
 		http.Error(w, "query graph must be connected", http.StatusBadRequest)
 		return
 	}
@@ -67,18 +183,42 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.budget > 0 {
 		opts.Deadline = time.Now().Add(s.budget)
 	}
+
+	var trace *sq.Trace
+	var observer sq.Observer = registryObserver{s}
+	if r.URL.Query().Get("trace") == "1" {
+		trace = sq.NewTrace()
+		observer = obs.Tee(observer, trace)
+	}
+	opts.Observer = observer
+
+	s.inflight.Add(1)
+	t0 := time.Now()
 	s.mu.RLock()
 	res := s.engine.Query(q, opts)
 	s.mu.RUnlock()
+	elapsed := time.Since(t0)
+	s.inflight.Add(-1)
 
-	writeJSON(w, queryResponse{
+	s.queries.Inc()
+	s.latency.Record(elapsed)
+	if res.TimedOut {
+		s.timeouts.Inc()
+	}
+
+	resp := queryResponse{
 		Answers:    append([]int{}, res.Answers...),
 		Candidates: res.Candidates,
 		FilterUS:   res.FilterTime.Microseconds(),
 		VerifyUS:   res.VerifyTime.Microseconds(),
 		TimedOut:   res.TimedOut,
 		Engine:     s.engine.Name(),
-	})
+	}
+	if trace != nil {
+		snap := trace.Snapshot()
+		resp.Trace = &snap
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
@@ -103,25 +243,65 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	s.appends.Inc()
+	s.invalidateStats()
 	writeJSON(w, map[string]int{"id": id})
 }
 
+func (s *server) invalidateStats() {
+	s.statsMu.Lock()
+	s.statsCache = nil
+	s.statsMu.Unlock()
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	stats := s.db.ComputeStats()
-	mem := s.db.MemoryFootprint()
-	idx := s.engine.IndexMemory()
-	s.mu.RUnlock()
+	s.statsMu.Lock()
+	cached := s.statsCache
+	s.statsMu.Unlock()
+	if cached == nil {
+		s.mu.RLock()
+		stats := s.db.ComputeStats()
+		mem := s.db.MemoryFootprint()
+		idx := s.engine.IndexMemory()
+		s.mu.RUnlock()
+		cached = map[string]any{
+			"graphs":             stats.NumGraphs,
+			"labels":             stats.NumLabels,
+			"vertices_per_graph": stats.VerticesPerGraph,
+			"edges_per_graph":    stats.EdgesPerGraph,
+			"degree_per_graph":   stats.DegreePerGraph,
+			"dataset_bytes":      mem,
+			"index_bytes":        idx,
+			"engine":             s.engine.Name(),
+		}
+		s.statsMu.Lock()
+		s.statsCache = cached
+		s.statsMu.Unlock()
+	}
+	writeJSON(w, cached)
+}
+
+// handleMetrics dumps the telemetry registry: per-engine query counts,
+// latency histograms with p50/p90/p99, timeout and cache counters, and
+// the in-flight gauge.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.reg.Snapshot()
 	writeJSON(w, map[string]any{
-		"graphs":             stats.NumGraphs,
-		"labels":             stats.NumLabels,
-		"vertices_per_graph": stats.VerticesPerGraph,
-		"edges_per_graph":    stats.EdgesPerGraph,
-		"degree_per_graph":   stats.DegreePerGraph,
-		"dataset_bytes":      mem,
-		"index_bytes":        idx,
-		"engine":             s.engine.Name(),
+		"engine":     s.engine.Name(),
+		"uptime_s":   int64(time.Since(s.start).Seconds()),
+		"counters":   snap.Counters,
+		"gauges":     snap.Gauges,
+		"histograms": snap.Histograms,
 	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -19,7 +19,7 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(db, sq.NewCFQLEngine(), 16, 0)
+	srv, err := newServer(db, sq.NewCFQLEngine(), 16, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,19 +36,27 @@ func graphText(t *testing.T, g *sq.Graph) string {
 	return buf.String()
 }
 
-func TestQueryEndpoint(t *testing.T) {
-	srv := testServer(t)
-	ts := httptest.NewServer(srv.mux())
-	defer ts.Close()
-
-	// Query drawn from graph 0: must return at least graph 0.
+// testQuery returns a query drawn from the test database (so it has
+// answers).
+func testQuery(t *testing.T, srv *server) *sq.Graph {
+	t.Helper()
 	qs, err := sq.GenerateQuerySet(srv.db, sq.QuerySetConfig{
 		Count: 1, Edges: 3, Method: sq.QueryRandomWalk, Seed: 9,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(graphText(t, qs[0])))
+	return qs[0]
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Query drawn from graph 0: must return at least graph 0.
+	q := testQuery(t, srv)
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(graphText(t, q)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +74,14 @@ func TestQueryEndpoint(t *testing.T) {
 	if out.Engine != "CFQL+cache" {
 		t.Errorf("engine = %q", out.Engine)
 	}
+	if out.Trace != nil {
+		t.Error("trace returned without ?trace=1")
+	}
 }
 
 func TestQueryRejectsBadInput(t *testing.T) {
 	srv := testServer(t)
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
 	for name, body := range map[string]string{
@@ -94,11 +105,14 @@ func TestQueryRejectsBadInput(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /query: status %d, want 405", resp.StatusCode)
 	}
+	if got := srv.rejected.Value(); got != 2 {
+		t.Errorf("queries_rejected_total = %d, want 2", got)
+	}
 }
 
 func TestAppendEndpoint(t *testing.T) {
 	srv := testServer(t)
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
 	g, err := sq.FromEdges([]sq.Label{0, 1, 2}, []sq.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
@@ -141,12 +155,9 @@ func TestAppendEndpoint(t *testing.T) {
 	}
 }
 
-func TestStatsEndpoint(t *testing.T) {
-	srv := testServer(t)
-	ts := httptest.NewServer(srv.mux())
-	defer ts.Close()
-
-	resp, err := http.Get(ts.URL + "/stats")
+func getStats(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,10 +166,185 @@ func TestStatsEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
+	return out
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	out := getStats(t, ts.URL)
 	if out["graphs"].(float64) != 15 {
 		t.Errorf("graphs = %v, want 15", out["graphs"])
 	}
 	if out["engine"] != "CFQL+cache" {
 		t.Errorf("engine = %v", out["engine"])
+	}
+}
+
+// TestStatsCacheInvalidation: /stats is cached between requests, and an
+// append invalidates the cache so the new graph count is visible.
+func TestStatsCacheInvalidation(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	if n := getStats(t, ts.URL)["graphs"].(float64); n != 15 {
+		t.Fatalf("graphs = %v, want 15", n)
+	}
+	if srv.statsCache == nil {
+		t.Error("stats cache not populated after GET /stats")
+	}
+
+	g, err := sq.FromEdges([]sq.Label{0, 1}, []sq.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/graphs", "text/plain", strings.NewReader(graphText(t, g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if n := getStats(t, ts.URL)["graphs"].(float64); n != 16 {
+		t.Errorf("graphs after append = %v, want 16", n)
+	}
+}
+
+// metricsResponse mirrors the /metrics JSON shape.
+type metricsResponse struct {
+	Engine   string           `json:"engine"`
+	UptimeS  int64            `json:"uptime_s"`
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	Histograms map[string]struct {
+		Count  uint64 `json:"count"`
+		MeanUS int64  `json:"mean_us"`
+		P50US  int64  `json:"p50_us"`
+		P90US  int64  `json:"p90_us"`
+		P99US  int64  `json:"p99_us"`
+	} `json:"histograms"`
+}
+
+// TestMetricsEndpoint: after a handful of queries, /metrics reports
+// per-engine query counts, cache outcomes and latency quantiles.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	q := graphText(t, testQuery(t, srv))
+	const n = 5
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var m metricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+
+	if m.Engine != "CFQL+cache" {
+		t.Errorf("engine = %q", m.Engine)
+	}
+	if got := m.Counters["queries_total/CFQL+cache"]; got != n {
+		t.Errorf("queries_total = %d, want %d", got, n)
+	}
+	// Identical repeated queries: first misses, the rest hit the cache.
+	if hits := m.Counters["cache_hits_total"]; hits < 1 {
+		t.Errorf("cache_hits_total = %d, want >= 1", hits)
+	}
+	if misses := m.Counters["cache_misses_total"]; misses < 1 {
+		t.Errorf("cache_misses_total = %d, want >= 1", misses)
+	}
+	if g, ok := m.Gauges["queries_inflight"]; !ok || g != 0 {
+		t.Errorf("queries_inflight = %d (present %v), want 0", g, ok)
+	}
+	h, ok := m.Histograms["query_latency/CFQL+cache"]
+	if !ok {
+		t.Fatal("query_latency histogram missing")
+	}
+	if h.Count != n {
+		t.Errorf("latency count = %d, want %d", h.Count, n)
+	}
+	if h.P50US <= 0 || h.P90US < h.P50US || h.P99US < h.P90US {
+		t.Errorf("quantiles not ordered: p50=%d p90=%d p99=%d", h.P50US, h.P90US, h.P99US)
+	}
+}
+
+// TestQueryTrace: ?trace=1 inlines the per-query trace and its phase
+// spans account for the reported filter/verify times.
+func TestQueryTrace(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	q := testQuery(t, srv)
+	resp, err := http.Post(ts.URL+"/query?trace=1", "text/plain", strings.NewReader(graphText(t, q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil {
+		t.Fatal("no trace in response")
+	}
+
+	var filterUS, verifyUS int64
+	for _, sp := range out.Trace.Phases {
+		switch sp.Name {
+		case "filter":
+			filterUS += sp.DurationUS
+		case "verify":
+			verifyUS += sp.DurationUS
+		}
+	}
+	// The spans are the engine's own FilterTime/VerifyTime measurements,
+	// so the sums agree up to microsecond truncation per span.
+	if diff := filterUS + verifyUS - (out.FilterUS + out.VerifyUS); diff < -4 || diff > 4 {
+		t.Errorf("span sum %dus != filter_us+verify_us %dus",
+			filterUS+verifyUS, out.FilterUS+out.VerifyUS)
+	}
+	if out.Candidates > 0 && len(out.Trace.Verifications) == 0 {
+		t.Error("no verification events despite candidates")
+	}
+	for _, ev := range out.Trace.Verifications {
+		if ev.Graph < 0 || ev.Graph >= srv.db.Len() {
+			t.Errorf("verification event graph %d out of range", ev.Graph)
+		}
+	}
+	if out.Trace.CacheMisses+out.Trace.CacheHits != 1 {
+		t.Errorf("cache events = %d hits + %d misses, want exactly 1 probe",
+			out.Trace.CacheHits, out.Trace.CacheMisses)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
 	}
 }

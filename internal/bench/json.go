@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"subgraphquery/internal/gen"
+)
+
+// BenchSchema versions the machine-readable bench output. Bump on
+// breaking shape changes so trajectory tooling can dispatch.
+const BenchSchema = "subgraphquery/bench/v1"
+
+// SetMetricsJSON is the serialized form of SetMetrics: durations in
+// microseconds, memory in bytes — the per-query-set record of a
+// BENCH_<dataset>.json file.
+type SetMetricsJSON struct {
+	Queries    int     `json:"queries"`
+	TimedOut   int     `json:"timed_out"`
+	FilterUS   int64   `json:"filter_us"`
+	VerifyUS   int64   `json:"verify_us"`
+	QueryUS    int64   `json:"query_us"`
+	Candidates float64 `json:"candidates"`
+	Answers    float64 `json:"answers"`
+	Precision  float64 `json:"precision"`
+	PerSIUS    int64   `json:"per_si_test_us"`
+	AuxBytes   int64   `json:"aux_memory_bytes"`
+	P50US      int64   `json:"query_p50_us"`
+	P90US      int64   `json:"query_p90_us"`
+	P99US      int64   `json:"query_p99_us"`
+}
+
+// JSON converts the metrics to their serialized form.
+func (m SetMetrics) JSON() SetMetricsJSON {
+	return SetMetricsJSON{
+		Queries:    m.Queries,
+		TimedOut:   m.TimedOut,
+		FilterUS:   m.FilterTime.Microseconds(),
+		VerifyUS:   m.VerifyTime.Microseconds(),
+		QueryUS:    m.QueryTime().Microseconds(),
+		Candidates: m.Candidates,
+		Answers:    m.Answers,
+		Precision:  m.Precision,
+		PerSIUS:    m.PerSITest.Microseconds(),
+		AuxBytes:   m.AuxMemory,
+		P50US:      m.QueryP50.Microseconds(),
+		P90US:      m.QueryP90.Microseconds(),
+		P99US:      m.QueryP99.Microseconds(),
+	}
+}
+
+// reportConfig records the run parameters a report was produced under, so
+// trajectory comparisons only pair like with like.
+type reportConfig struct {
+	Scale         float64 `json:"scale"`
+	QueryCount    int     `json:"query_count"`
+	Seed          int64   `json:"seed"`
+	IndexBudgetUS int64   `json:"index_budget_us"`
+	QueryBudgetUS int64   `json:"query_budget_us"`
+	Workers       int     `json:"workers"`
+}
+
+func configJSON(cfg Config) reportConfig {
+	cfg = cfg.normalized()
+	return reportConfig{
+		Scale:         cfg.Scale,
+		QueryCount:    cfg.QueryCount,
+		Seed:          cfg.Seed,
+		IndexBudgetUS: cfg.IndexBudget.Microseconds(),
+		QueryBudgetUS: cfg.QueryBudget.Microseconds(),
+		Workers:       cfg.Workers,
+	}
+}
+
+// BenchReport is the machine-readable form of one real dataset's
+// evaluation: per-engine indexing and memory cost plus per-query-set
+// metrics — the quantities of §IV-A, serialized so the performance
+// trajectory is diffable across PRs.
+type BenchReport struct {
+	Schema  string       `json:"schema"`
+	Dataset string       `json:"dataset"`
+	Config  reportConfig `json:"config"`
+
+	DatasetBytes int64 `json:"dataset_bytes"`
+	// IndexTimeUS and IndexBytes cover engines whose index built within
+	// budget; an engine present in OOT built out of budget instead.
+	IndexTimeUS map[string]int64 `json:"index_time_us,omitempty"`
+	IndexBytes  map[string]int64 `json:"index_bytes,omitempty"`
+	OOT         []string         `json:"oot,omitempty"`
+
+	// QuerySets maps query set name (e.g. "Q8S") to engine name to
+	// metrics.
+	QuerySets map[string]map[string]SetMetricsJSON `json:"query_sets"`
+}
+
+// RealReport extracts one dataset's report from a real-study evaluation.
+func (ev *RealEvaluation) RealReport(ds gen.RealDataset) BenchReport {
+	r := BenchReport{
+		Schema:       BenchSchema,
+		Dataset:      string(ds),
+		Config:       configJSON(ev.Config),
+		DatasetBytes: ev.DatasetMemory[ds],
+		IndexTimeUS:  map[string]int64{},
+		IndexBytes:   map[string]int64{},
+		QuerySets:    map[string]map[string]SetMetricsJSON{},
+	}
+	for en, cell := range ev.IndexTime[ds] {
+		if cell.OOT {
+			r.OOT = append(r.OOT, en)
+			continue
+		}
+		r.IndexTimeUS[en] = cell.Time.Microseconds()
+	}
+	for en, b := range ev.IndexMemory[ds] {
+		r.IndexBytes[en] = b
+	}
+	for setName, byEngine := range ev.Metrics[ds] {
+		out := map[string]SetMetricsJSON{}
+		for en, m := range byEngine {
+			out[en] = m.JSON()
+		}
+		r.QuerySets[setName] = out
+	}
+	return r
+}
+
+// SyntheticSweepCell is one cell of a synthetic sweep in serialized form.
+type SyntheticSweepCell struct {
+	Point   int  `json:"point"`
+	Skipped bool `json:"skipped,omitempty"` // cell too large: reported OOM
+
+	DatasetBytes int64                     `json:"dataset_bytes,omitempty"`
+	IndexTimeUS  map[string]int64          `json:"index_time_us,omitempty"`
+	IndexBytes   map[string]int64          `json:"index_bytes,omitempty"`
+	OOT          []string                  `json:"oot,omitempty"`
+	Engines      map[string]SetMetricsJSON `json:"engines,omitempty"`
+}
+
+// SyntheticReport is the machine-readable form of the synthetic
+// scalability study: one sweep per axis.
+type SyntheticReport struct {
+	Schema  string                          `json:"schema"`
+	Dataset string                          `json:"dataset"`
+	Config  reportConfig                    `json:"config"`
+	Sweeps  map[string][]SyntheticSweepCell `json:"sweeps"`
+}
+
+// Report serializes the synthetic evaluation.
+func (ev *SyntheticEvaluation) Report() SyntheticReport {
+	r := SyntheticReport{
+		Schema:  BenchSchema,
+		Dataset: "synthetic",
+		Config:  configJSON(ev.Config),
+		Sweeps:  map[string][]SyntheticSweepCell{},
+	}
+	for _, axis := range SweepAxes() {
+		points := SweepPoints(axis, ev.Config)
+		cells := ev.Cells[axis]
+		for i, cell := range cells {
+			out := SyntheticSweepCell{Skipped: cell.Skipped}
+			if i < len(points) {
+				out.Point = points[i]
+			}
+			if !cell.Skipped {
+				out.DatasetBytes = cell.DatasetMemory
+				out.IndexTimeUS = map[string]int64{}
+				out.IndexBytes = map[string]int64{}
+				for en, ic := range cell.IndexTime {
+					if ic.OOT {
+						out.OOT = append(out.OOT, en)
+						continue
+					}
+					out.IndexTimeUS[en] = ic.Time.Microseconds()
+				}
+				for en, b := range cell.IndexMemory {
+					out.IndexBytes[en] = b
+				}
+				out.Engines = map[string]SetMetricsJSON{}
+				for en, m := range cell.Metrics {
+					out.Engines[en] = m.JSON()
+				}
+			}
+			r.Sweeps[string(axis)] = append(r.Sweeps[string(axis)], out)
+		}
+	}
+	return r
+}
+
+// writeReport writes one report as indented JSON.
+func writeReport(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteRealJSON writes BENCH_<dataset>.json for every dataset of a real
+// study into dir, returning the written paths.
+func WriteRealJSON(dir string, ev *RealEvaluation) ([]string, error) {
+	var paths []string
+	for _, ds := range ev.Datasets {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", ds))
+		if err := writeReport(path, ev.RealReport(ds)); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// WriteSyntheticJSON writes BENCH_synthetic.json into dir, returning the
+// written path.
+func WriteSyntheticJSON(dir string, ev *SyntheticEvaluation) (string, error) {
+	path := filepath.Join(dir, "BENCH_synthetic.json")
+	if err := writeReport(path, ev.Report()); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"subgraphquery/internal/core"
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // SetMetrics aggregates one engine's behaviour over one query set — the
@@ -31,6 +32,14 @@ type SetMetrics struct {
 
 	// AuxMemory is the maximum per-query auxiliary (candidate set) memory.
 	AuxMemory int64
+
+	// QueryP50/P90/P99 are per-query total query time percentiles,
+	// estimated from a log-spaced histogram (internal/obs). Means hide
+	// stragglers; these expose the tail that dominates engine comparisons
+	// under timeouts.
+	QueryP50 time.Duration
+	QueryP90 time.Duration
+	QueryP99 time.Duration
 }
 
 // RunQuerySet evaluates the engine on every query and aggregates metrics.
@@ -43,6 +52,7 @@ func RunQuerySet(e core.Engine, queries []*graph.Graph, cfg Config) SetMetrics {
 	var perSISum time.Duration
 	perSICount := 0
 	var filterSum, verifySum time.Duration
+	hist := obs.NewHistogram()
 
 	for _, q := range queries {
 		res := e.Query(q, core.QueryOptions{
@@ -52,12 +62,23 @@ func RunQuerySet(e core.Engine, queries []*graph.Graph, cfg Config) SetMetrics {
 		m.Queries++
 		if res.TimedOut {
 			m.TimedOut++
-			// Record the budget as the verification time, mirroring the
-			// paper's "record it as 10 minutes" rule.
+			// Record a timed-out query at the budget value, the paper's
+			// "record it as 10 minutes" rule. Filtering alone can overshoot
+			// the budget (the deadline is only checked between graphs), so
+			// cap it first; the verification remainder is then never
+			// negative, and is clamped anyway as a guard against engines
+			// reporting pathological phase times.
+			if res.FilterTime > cfg.QueryBudget {
+				res.FilterTime = cfg.QueryBudget
+			}
 			if res.QueryTime() < cfg.QueryBudget {
 				res.VerifyTime = cfg.QueryBudget - res.FilterTime
 			}
+			if res.VerifyTime < 0 {
+				res.VerifyTime = 0
+			}
 		}
+		hist.Record(res.QueryTime())
 		filterSum += res.FilterTime
 		verifySum += res.VerifyTime
 		m.Candidates += float64(res.Candidates)
@@ -84,6 +105,9 @@ func RunQuerySet(e core.Engine, queries []*graph.Graph, cfg Config) SetMetrics {
 	if perSICount > 0 {
 		m.PerSITest = perSISum / time.Duration(perSICount)
 	}
+	m.QueryP50 = hist.Quantile(0.50)
+	m.QueryP90 = hist.Quantile(0.90)
+	m.QueryP99 = hist.Quantile(0.99)
 	return m
 }
 

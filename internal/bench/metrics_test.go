@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"subgraphquery/internal/core"
+	"subgraphquery/internal/gen"
+	"subgraphquery/internal/graph"
+)
+
+// stubEngine returns a canned Result regardless of the query, letting
+// tests inject pathological phase timings RunQuerySet must survive.
+type stubEngine struct {
+	res core.Result
+}
+
+func (s *stubEngine) Name() string                                       { return "stub" }
+func (s *stubEngine) Build(*graph.Database, core.BuildOptions) error     { return nil }
+func (s *stubEngine) IndexMemory() int64                                 { return 0 }
+func (s *stubEngine) Query(*graph.Graph, core.QueryOptions) *core.Result { r := s.res; return &r }
+
+func stubQueries(t *testing.T, n int) []*graph.Graph {
+	t.Helper()
+	qs := make([]*graph.Graph, n)
+	for i := range qs {
+		g, err := graph.FromEdges([]graph.Label{0, 1}, []graph.Edge{{U: 0, V: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = g
+	}
+	return qs
+}
+
+// TestTimedOutClampNeverNegative: a timed-out query whose filtering alone
+// overshot the budget (deadlines are only checked between graphs) must be
+// recorded at the budget value with a zero — never negative — verification
+// time. Regression test for the timed-out accounting computing
+// VerifyTime = budget - FilterTime without capping FilterTime first.
+func TestTimedOutClampNeverNegative(t *testing.T) {
+	cfg := tinyConfig()
+	e := &stubEngine{res: core.Result{
+		FilterTime: 2 * cfg.QueryBudget, // filter alone blew the budget
+		VerifyTime: 0,
+		TimedOut:   true,
+	}}
+	m := RunQuerySet(e, stubQueries(t, 3), cfg)
+	if m.TimedOut != 3 {
+		t.Fatalf("TimedOut = %d, want 3", m.TimedOut)
+	}
+	if m.VerifyTime < 0 {
+		t.Errorf("VerifyTime %v negative", m.VerifyTime)
+	}
+	if m.FilterTime != cfg.QueryBudget {
+		t.Errorf("FilterTime = %v, want capped at budget %v", m.FilterTime, cfg.QueryBudget)
+	}
+	if m.VerifyTime != 0 {
+		t.Errorf("VerifyTime = %v, want 0", m.VerifyTime)
+	}
+	// The paper's rule: a timed-out query counts exactly the budget.
+	if m.QueryTime() != cfg.QueryBudget {
+		t.Errorf("QueryTime = %v, want budget %v", m.QueryTime(), cfg.QueryBudget)
+	}
+}
+
+// TestTimedOutRecordedAtBudget: the usual timeout shape — some filtering,
+// truncated verification — is topped up to exactly the budget.
+func TestTimedOutRecordedAtBudget(t *testing.T) {
+	cfg := tinyConfig()
+	e := &stubEngine{res: core.Result{
+		FilterTime: cfg.QueryBudget / 10,
+		VerifyTime: cfg.QueryBudget / 10,
+		TimedOut:   true,
+	}}
+	m := RunQuerySet(e, stubQueries(t, 2), cfg)
+	if m.QueryTime() != cfg.QueryBudget {
+		t.Errorf("QueryTime = %v, want budget %v", m.QueryTime(), cfg.QueryBudget)
+	}
+	if m.FilterTime != cfg.QueryBudget/10 {
+		t.Errorf("FilterTime = %v, want %v untouched", m.FilterTime, cfg.QueryBudget/10)
+	}
+}
+
+// TestQueryPercentiles: the per-query latency percentiles are populated
+// and ordered.
+func TestQueryPercentiles(t *testing.T) {
+	cfg := tinyConfig()
+	e := &stubEngine{res: core.Result{
+		FilterTime: 2 * time.Millisecond,
+		VerifyTime: 3 * time.Millisecond,
+	}}
+	m := RunQuerySet(e, stubQueries(t, 10), cfg)
+	if m.QueryP50 <= 0 {
+		t.Errorf("QueryP50 = %v, want > 0", m.QueryP50)
+	}
+	if m.QueryP50 > m.QueryP90 || m.QueryP90 > m.QueryP99 {
+		t.Errorf("percentiles not ordered: %v %v %v", m.QueryP50, m.QueryP90, m.QueryP99)
+	}
+	// All queries took 5ms; the log-spaced estimate must land in the
+	// containing bucket (4ms, 8ms].
+	if m.QueryP99 < 4*time.Millisecond || m.QueryP99 > 8*time.Millisecond {
+		t.Errorf("QueryP99 = %v, want within (4ms, 8ms]", m.QueryP99)
+	}
+}
+
+func TestSetMetricsJSON(t *testing.T) {
+	m := SetMetrics{
+		Queries:    7,
+		TimedOut:   1,
+		FilterTime: 2 * time.Millisecond,
+		VerifyTime: 3 * time.Millisecond,
+		Candidates: 4.5,
+		Answers:    2.5,
+		Precision:  0.55,
+		PerSITest:  600 * time.Microsecond,
+		AuxMemory:  1 << 20,
+		QueryP50:   4 * time.Millisecond,
+		QueryP90:   6 * time.Millisecond,
+		QueryP99:   8 * time.Millisecond,
+	}
+	j := m.JSON()
+	if j.Queries != 7 || j.TimedOut != 1 {
+		t.Errorf("counts: %+v", j)
+	}
+	if j.FilterUS != 2000 || j.VerifyUS != 3000 || j.QueryUS != 5000 {
+		t.Errorf("times: %+v", j)
+	}
+	if j.P50US != 4000 || j.P90US != 6000 || j.P99US != 8000 {
+		t.Errorf("percentiles: %+v", j)
+	}
+	if j.PerSIUS != 600 || j.AuxBytes != 1<<20 {
+		t.Errorf("per-SI/aux: %+v", j)
+	}
+}
+
+// TestWriteRealJSON: a hand-built evaluation round-trips through
+// BENCH_<dataset>.json with the schema marker and per-set metrics intact.
+func TestWriteRealJSON(t *testing.T) {
+	ev := &RealEvaluation{
+		Config:   tinyConfig(),
+		Datasets: []gen.RealDataset{gen.AIDS},
+		IndexTime: map[gen.RealDataset]map[string]IndexCell{
+			gen.AIDS: {
+				"CFQL":   {Time: 5 * time.Millisecond},
+				"Grapes": {OOT: true},
+			},
+		},
+		IndexMemory:   map[gen.RealDataset]map[string]int64{gen.AIDS: {"CFQL": 4096}},
+		DatasetMemory: map[gen.RealDataset]int64{gen.AIDS: 1 << 16},
+		Metrics: map[gen.RealDataset]map[string]map[string]SetMetrics{
+			gen.AIDS: {
+				"Q8S": {"CFQL": {Queries: 3, FilterTime: time.Millisecond, Precision: 0.9}},
+			},
+		},
+	}
+
+	dir := t.TempDir()
+	paths, err := WriteRealJSON(dir, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "BENCH_AIDS.json" {
+		t.Fatalf("paths = %v", paths)
+	}
+
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != BenchSchema {
+		t.Errorf("schema = %q", back.Schema)
+	}
+	if back.Dataset != "AIDS" {
+		t.Errorf("dataset = %q", back.Dataset)
+	}
+	if back.IndexTimeUS["CFQL"] != 5000 {
+		t.Errorf("index time = %v", back.IndexTimeUS)
+	}
+	if len(back.OOT) != 1 || back.OOT[0] != "Grapes" {
+		t.Errorf("OOT = %v", back.OOT)
+	}
+	got := back.QuerySets["Q8S"]["CFQL"]
+	if got.Queries != 3 || got.FilterUS != 1000 || got.Precision != 0.9 {
+		t.Errorf("metrics = %+v", got)
+	}
+}

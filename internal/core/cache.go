@@ -6,6 +6,7 @@ import (
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/matching"
+	"subgraphquery/internal/obs"
 )
 
 // Cached wraps an engine with a subgraph-query result cache in the spirit
@@ -102,11 +103,17 @@ func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
 		e.mu.Lock()
 		e.Misses++
 		e.mu.Unlock()
+		if o := opts.Observer; o != nil {
+			o.ObserveCache(false)
+		}
 		res = e.inner.Query(q, opts)
 	} else {
 		e.mu.Lock()
 		e.Hits++
 		e.mu.Unlock()
+		if o := opts.Observer; o != nil {
+			o.ObserveCache(true)
+		}
 		res = e.verifyPool(q, pool, confirmed, opts)
 	}
 	if !res.TimedOut {
@@ -119,9 +126,12 @@ func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
 // skipping those already confirmed by a supergraph hit.
 func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, opts QueryOptions) *Result {
 	res := &Result{Candidates: len(pool)}
+	o := opts.Observer
 	t0 := time.Now()
 	for _, gid := range pool {
 		if confirmed[gid] {
+			// Supergraph hit: answered without a subgraph isomorphism
+			// test, so no verification event is emitted.
 			res.Answers = append(res.Answers, gid)
 			continue
 		}
@@ -129,10 +139,17 @@ func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, 
 			res.TimedOut = true
 			break
 		}
+		var tv time.Time
+		if o != nil {
+			tv = time.Now()
+		}
 		r := (matching.CFQL{}).FindFirst(q, e.db.Graph(gid), matching.Options{
 			Deadline:   opts.Deadline,
 			StepBudget: opts.StepBudgetPerGraph,
 		})
+		if o != nil {
+			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
+		}
 		res.VerifySteps += r.Steps
 		if r.Aborted {
 			res.TimedOut = true
@@ -142,6 +159,9 @@ func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, 
 		}
 	}
 	res.VerifyTime = time.Since(t0)
+	if o != nil {
+		o.ObservePhase(obs.PhaseVerify, res.VerifyTime)
+	}
 	return res
 }
 

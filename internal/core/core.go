@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // Engine answers subgraph queries over one graph database.
@@ -62,6 +63,14 @@ type QueryOptions struct {
 	// Workers parallelizes per-graph verification where supported
 	// (the Grapes configurations). 0 selects 1.
 	Workers int
+	// Observer, when non-nil, receives streaming telemetry as the query
+	// executes: phase spans (obs.PhaseFilter, obs.PhaseVerify — their
+	// totals match the returned Result's FilterTime and VerifyTime), one
+	// event per candidate-graph verification, and result-cache outcomes.
+	// Implementations must be safe for concurrent use: parallel engines
+	// emit from worker goroutines. nil disables instrumentation at
+	// near-zero cost (one branch per emission site).
+	Observer obs.Observer
 }
 
 // Result reports a query's answers and the metrics of §IV-A.

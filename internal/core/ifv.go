@@ -8,6 +8,7 @@ import (
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/index"
 	"subgraphquery/internal/matching"
+	"subgraphquery/internal/obs"
 )
 
 // ifv is the indexing-filtering-verification engine of Algorithm 1: a graph
@@ -109,6 +110,7 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 		return res
 	}
 	res := &Result{}
+	o := opts.Observer
 
 	t0 := time.Now()
 	var cand []int
@@ -120,6 +122,9 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 			res.FilterTime = time.Since(t0)
 			res.Candidates = len(ids)
 			res.Answers = ids
+			if o != nil {
+				o.ObservePhase(obs.PhaseFilter, res.FilterTime)
+			}
 			return res
 		}
 		cand = ids
@@ -128,6 +133,9 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 	}
 	res.FilterTime = time.Since(t0)
 	res.Candidates = len(cand)
+	if o != nil {
+		o.ObservePhase(obs.PhaseFilter, res.FilterTime)
+	}
 
 	verify := func(gid int) (matching.Result, bool) {
 		g := e.db.Graph(gid)
@@ -153,7 +161,14 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 				res.TimedOut = true
 				break
 			}
+			var tv time.Time
+			if o != nil {
+				tv = time.Now()
+			}
 			r, found := verify(gid)
+			if o != nil {
+				o.ObserveVerify(gid, r.Steps, time.Since(tv), found)
+			}
 			res.VerifySteps += r.Steps
 			if r.Aborted {
 				res.TimedOut = true
@@ -171,7 +186,14 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 			go func() {
 				defer wg.Done()
 				for gid := range jobs {
+					var tv time.Time
+					if o != nil {
+						tv = time.Now()
+					}
 					r, found := verify(gid)
+					if o != nil {
+						o.ObserveVerify(gid, r.Steps, time.Since(tv), found)
+					}
 					mu.Lock()
 					res.VerifySteps += r.Steps
 					if r.Aborted {
@@ -196,5 +218,8 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 		sort.Ints(res.Answers)
 	}
 	res.VerifyTime = time.Since(t1)
+	if o != nil {
+		o.ObservePhase(obs.PhaseVerify, res.VerifyTime)
+	}
 	return res
 }

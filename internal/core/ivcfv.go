@@ -8,6 +8,7 @@ import (
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/index"
 	"subgraphquery/internal/matching"
+	"subgraphquery/internal/obs"
 )
 
 // ivcFV is the integrated engine of §III-C: two levels of filtering — the
@@ -77,10 +78,16 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		return res
 	}
 	res := &Result{}
+	o := opts.Observer
 
 	t0 := time.Now()
 	indexCand := e.idx.Filter(q)
 	res.FilterTime = time.Since(t0)
+	if o != nil {
+		// Sub-span of the filter phase: the index probe alone, so traces
+		// can attribute filtering cost between the two levels.
+		o.ObservePhase(obs.PhaseIndexFilter, res.FilterTime)
+	}
 
 	type job struct {
 		gid  int
@@ -134,7 +141,14 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 				res.TimedOut = true
 				break
 			}
+			var tv time.Time
+			if o != nil {
+				tv = time.Now()
+			}
 			r := verify(j)
+			if o != nil {
+				o.ObserveVerify(j.gid, r.Steps, time.Since(tv), r.Found())
+			}
 			res.VerifySteps += r.Steps
 			if r.Aborted {
 				res.TimedOut = true
@@ -152,7 +166,14 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			go func() {
 				defer wg.Done()
 				for j := range jobs {
+					var tv time.Time
+					if o != nil {
+						tv = time.Now()
+					}
 					r := verify(j)
+					if o != nil {
+						o.ObserveVerify(j.gid, r.Steps, time.Since(tv), r.Found())
+					}
 					mu.Lock()
 					res.VerifySteps += r.Steps
 					if r.Aborted {
@@ -177,5 +198,9 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		sort.Ints(res.Answers)
 	}
 	res.VerifyTime = time.Since(t2)
+	if o != nil {
+		o.ObservePhase(obs.PhaseFilter, res.FilterTime)
+		o.ObservePhase(obs.PhaseVerify, res.VerifyTime)
+	}
 	return res
 }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
+)
+
+// countingObserver accumulates emitted telemetry for assertions. It is
+// mutex-guarded because parallel engines emit from worker goroutines.
+type countingObserver struct {
+	mu          sync.Mutex
+	phase       map[string]time.Duration
+	events      int
+	found       int
+	eventGraphs map[int]bool
+	hits, miss  int
+}
+
+func newCountingObserver() *countingObserver {
+	return &countingObserver{phase: map[string]time.Duration{}, eventGraphs: map[int]bool{}}
+}
+
+func (c *countingObserver) ObservePhase(name string, d time.Duration) {
+	c.mu.Lock()
+	c.phase[name] += d
+	c.mu.Unlock()
+}
+
+func (c *countingObserver) ObserveVerify(graphID int, steps uint64, d time.Duration, found bool) {
+	c.mu.Lock()
+	c.events++
+	if found {
+		c.found++
+	}
+	c.eventGraphs[graphID] = true
+	c.mu.Unlock()
+}
+
+func (c *countingObserver) ObserveCache(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	c.mu.Unlock()
+}
+
+// TestObserverEmissions runs every engine with an observer attached and
+// checks the streamed telemetry against the Result it accompanies: phase
+// totals equal the Result's own FilterTime/VerifyTime, and answers are a
+// subset of the graphs whose verification events reported found.
+func TestObserverEmissions(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	db := randomDB(r, 30, 8, 3)
+	queries := make([]*graph.Graph, 0, 4)
+	for i := 0; i < 4; i++ {
+		queries = append(queries, walkQuery(r, db.Graph(r.Intn(db.Len())), 3))
+	}
+
+	for name, e := range allEngines() {
+		if err := e.Build(db, BuildOptions{}); err != nil {
+			t.Fatalf("%s: Build: %v", name, err)
+		}
+		for qi, q := range queries {
+			o := newCountingObserver()
+			res := e.Query(q, QueryOptions{Observer: o, Workers: 3})
+			if res.TimedOut {
+				continue
+			}
+			o.mu.Lock()
+			filter, verify := o.phase[obs.PhaseFilter], o.phase[obs.PhaseVerify]
+			events, found := o.events, o.found
+			o.mu.Unlock()
+
+			// Phase spans carry the engine's own measurements, so they
+			// must match the Result exactly — not approximately.
+			if filter != res.FilterTime {
+				t.Errorf("%s q%d: filter span %v != FilterTime %v", name, qi, filter, res.FilterTime)
+			}
+			if verify != res.VerifyTime {
+				t.Errorf("%s q%d: verify span %v != VerifyTime %v", name, qi, verify, res.VerifyTime)
+			}
+			// One verification event per SI test. Most engines test each
+			// candidate exactly once; the cached engine may skip candidates
+			// confirmed by a cached supergraph, and FG-Index answers exact
+			// queries straight from the index with no verification at all.
+			if events > res.Candidates {
+				t.Errorf("%s q%d: %d verify events > %d candidates", name, qi, events, res.Candidates)
+			}
+			skipsVerification := name == "CFQL+cache" || name == "FG-Index"
+			if !skipsVerification && events != res.Candidates {
+				t.Errorf("%s q%d: %d verify events, want %d candidates", name, qi, events, res.Candidates)
+			}
+			if found > len(res.Answers) {
+				t.Errorf("%s q%d: %d found events > %d answers", name, qi, found, len(res.Answers))
+			}
+			for _, id := range res.Answers {
+				o.mu.Lock()
+				seen := o.eventGraphs[id]
+				o.mu.Unlock()
+				if events == res.Candidates && !seen {
+					t.Errorf("%s q%d: answer %d has no verification event", name, qi, id)
+				}
+			}
+		}
+	}
+}
+
+// TestObserverCacheEvents: the cached engine reports a miss on first
+// sight of a query and a hit on the repeat.
+func TestObserverCacheEvents(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	db := randomDB(r, 20, 8, 3)
+	e := NewCached(NewCFQL(), 8)
+	if err := e.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	q := walkQuery(r, db.Graph(0), 3)
+
+	o1 := newCountingObserver()
+	first := e.Query(q, QueryOptions{Observer: o1})
+	if o1.miss != 1 || o1.hits != 0 {
+		t.Errorf("first query: %d misses %d hits, want 1 miss", o1.miss, o1.hits)
+	}
+
+	o2 := newCountingObserver()
+	second := e.Query(q, QueryOptions{Observer: o2})
+	if o2.hits != 1 || o2.miss != 0 {
+		t.Errorf("second query: %d hits %d misses, want 1 hit", o2.hits, o2.miss)
+	}
+	if len(first.Answers) != len(second.Answers) {
+		t.Errorf("cached answers differ: %d vs %d", len(first.Answers), len(second.Answers))
+	}
+}
+
+// benchQuery prepares a built engine and query for the observer
+// benchmarks.
+func benchQuery(b *testing.B) (Engine, *graph.Graph) {
+	b.Helper()
+	r := rand.New(rand.NewSource(41))
+	db := randomDB(r, 50, 10, 3)
+	e := NewCFQL()
+	if err := e.Build(db, BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	return e, walkQuery(r, db.Graph(2), 4)
+}
+
+// BenchmarkQueryNoObserver is the baseline for the disabled-path overhead
+// claim: compare against BenchmarkQueryWithObserver.
+func BenchmarkQueryNoObserver(b *testing.B) {
+	e, q := benchQuery(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Query(q, QueryOptions{})
+	}
+}
+
+func BenchmarkQueryWithObserver(b *testing.B) {
+	e, q := benchQuery(b)
+	o := newCountingObserver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Query(q, QueryOptions{Observer: o})
+	}
+}
+
+// TestObserverNilIsNoop: a nil Observer field must not change results.
+func TestObserverNilIsNoop(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	db := randomDB(r, 20, 8, 3)
+	e := NewCFQL()
+	if err := e.Build(db, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	q := walkQuery(r, db.Graph(1), 3)
+	with := e.Query(q, QueryOptions{Observer: newCountingObserver()})
+	without := e.Query(q, QueryOptions{})
+	if len(with.Answers) != len(without.Answers) || with.Candidates != without.Candidates {
+		t.Errorf("observer changed results: %d/%d answers, %d/%d candidates",
+			len(with.Answers), len(without.Answers), with.Candidates, without.Candidates)
+	}
+}

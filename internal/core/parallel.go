@@ -7,6 +7,7 @@ import (
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/matching"
+	"subgraphquery/internal/obs"
 )
 
 // parallelVcFV is an extension beyond the paper: the vcFV framework's
@@ -57,6 +58,7 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		workers = e.workers
 	}
 	res := &Result{}
+	o := opts.Observer
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -86,6 +88,9 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 					panic(err)
 				}
 				verifyTime = time.Since(t1)
+				if o != nil {
+					o.ObserveVerify(gid, r.Steps, verifyTime, r.Found())
+				}
 			}
 
 			mu.Lock()
@@ -122,5 +127,11 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	close(jobs)
 	wg.Wait()
 	sort.Ints(res.Answers)
+	if o != nil {
+		// Aggregated CPU work across workers, like the Result fields (see
+		// the engine comment on metric semantics).
+		o.ObservePhase(obs.PhaseFilter, res.FilterTime)
+		o.ObservePhase(obs.PhaseVerify, res.VerifyTime)
+	}
 	return res
 }

@@ -5,6 +5,7 @@ import (
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/matching"
+	"subgraphquery/internal/obs"
 )
 
 // scan is the naive baseline of §III-B's opening: run a subgraph
@@ -36,6 +37,7 @@ func (e *scan) Query(q *graph.Graph, opts QueryOptions) *Result {
 		return res
 	}
 	res := &Result{Candidates: e.db.Len()}
+	o := opts.Observer
 	vf2 := &matching.VF2{}
 	t0 := time.Now()
 	for gid := 0; gid < e.db.Len(); gid++ {
@@ -43,10 +45,17 @@ func (e *scan) Query(q *graph.Graph, opts QueryOptions) *Result {
 			res.TimedOut = true
 			break
 		}
+		var tv time.Time
+		if o != nil {
+			tv = time.Now()
+		}
 		r := vf2.FindFirst(q, e.db.Graph(gid), matching.Options{
 			Deadline:   opts.Deadline,
 			StepBudget: opts.StepBudgetPerGraph,
 		})
+		if o != nil {
+			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
+		}
 		res.VerifySteps += r.Steps
 		if r.Aborted {
 			res.TimedOut = true
@@ -56,5 +65,8 @@ func (e *scan) Query(q *graph.Graph, opts QueryOptions) *Result {
 		}
 	}
 	res.VerifyTime = time.Since(t0)
+	if o != nil {
+		o.ObservePhase(obs.PhaseVerify, res.VerifyTime)
+	}
 	return res
 }

@@ -5,6 +5,7 @@ import (
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/matching"
+	"subgraphquery/internal/obs"
 )
 
 // turboIso is an extension engine: the TurboIso matcher [11] applied to
@@ -39,6 +40,7 @@ func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) *Result {
 		return res
 	}
 	res := &Result{}
+	o := opts.Observer
 	var m matching.TurboIso
 	t0 := time.Now()
 	for gid := 0; gid < e.db.Len(); gid++ {
@@ -47,10 +49,17 @@ func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) *Result {
 			break
 		}
 		res.Candidates++
+		var tv time.Time
+		if o != nil {
+			tv = time.Now()
+		}
 		r := m.FindFirst(q, e.db.Graph(gid), matching.Options{
 			Deadline:   opts.Deadline,
 			StepBudget: opts.StepBudgetPerGraph,
 		})
+		if o != nil {
+			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
+		}
 		res.VerifySteps += r.Steps
 		if r.Aborted {
 			res.TimedOut = true
@@ -60,5 +69,8 @@ func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) *Result {
 		}
 	}
 	res.VerifyTime = time.Since(t0)
+	if o != nil {
+		o.ObservePhase(obs.PhaseVerify, res.VerifyTime)
+	}
 	return res
 }

@@ -5,6 +5,7 @@ import (
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/matching"
+	"subgraphquery/internal/obs"
 )
 
 // vcFV is the vertex connectivity based filtering-verification engine of
@@ -75,6 +76,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		return res
 	}
 	res := &Result{}
+	o := opts.Observer
 	for gid := 0; gid < e.db.Len(); gid++ {
 		if expired(opts.Deadline) {
 			res.TimedOut = true
@@ -101,11 +103,15 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			Deadline:   opts.Deadline,
 			StepBudget: opts.StepBudgetPerGraph,
 		})
-		res.VerifyTime += time.Since(t1)
+		dv := time.Since(t1)
+		res.VerifyTime += dv
 		if err != nil {
 			// Orders from the built-in strategies are always valid for
 			// connected queries; surface misuse loudly.
 			panic(err)
+		}
+		if o != nil {
+			o.ObserveVerify(gid, r.Steps, dv, r.Found())
 		}
 		res.VerifySteps += r.Steps
 		if r.Aborted {
@@ -114,6 +120,10 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)
 		}
+	}
+	if o != nil {
+		o.ObservePhase(obs.PhaseFilter, res.FilterTime)
+		o.ObservePhase(obs.PhaseVerify, res.VerifyTime)
 	}
 	return res
 }

@@ -1,0 +1,247 @@
+// Package obs is the observability substrate of the query system: atomic
+// counters and gauges, lock-free log-spaced latency histograms, a process
+// registry that snapshots to JSON, and a per-query Trace that records
+// phase spans and per-candidate verification events.
+//
+// The package is standard-library only and designed for hot paths: every
+// mutation is a sync/atomic operation (no locks on the recording side of
+// counters, gauges and histograms), and the Observer no-op path — a nil
+// *Trace, or a nil Observer field in core.QueryOptions — costs a single
+// predictable branch and allocates nothing.
+//
+// The paper this system reproduces is a measurement study: §IV-A defines
+// per-phase metrics (filtering time, verification time, |C(q)|, per-SI-test
+// cost) that every engine must report. The engine Result carries post-hoc
+// totals; this package makes the same quantities *streamable* — counted,
+// bucketed into distributions, and traceable per query — which is what
+// exposes the straggler queries that per-set means hide.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (e.g. in-flight queries).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of counters, gauges and histograms.
+// Lookups are read-locked and intended for setup paths; hot paths should
+// hold the returned pointer and mutate it directly (all mutations are
+// atomic and safe for concurrent use).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time, JSON-marshalable view of a Registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument. Values are read without stopping
+// writers, so concurrent snapshots are consistent per instrument, not
+// across instruments — the usual scrape semantics.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Names returns the sorted instrument names of each kind (for stable
+// rendering in tests and CLIs).
+func (r *Registry) Names() (counters, gauges, histograms []string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name := range r.counters {
+		counters = append(counters, name)
+	}
+	for name := range r.gauges {
+		gauges = append(gauges, name)
+	}
+	for name := range r.hists {
+		histograms = append(histograms, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+	return counters, gauges, histograms
+}
+
+// Observer receives streaming telemetry from a query as it executes.
+// Engines emit three kinds of events:
+//
+//   - ObservePhase at the end of each processing phase, with the phase's
+//     total duration (PhaseFilter and PhaseVerify always sum to the
+//     Result's QueryTime; sub-phases like PhaseIndexFilter are
+//     informational refinements and must not be double-counted);
+//   - ObserveVerify once per candidate data graph tested, with the graph
+//     id, search steps, duration and outcome — the paper's per-SI-test
+//     cost (eq. 3), one event per sample;
+//   - ObserveCache once per result-cache probe (hit or miss).
+//
+// Implementations must be safe for concurrent use: parallel engines emit
+// ObserveVerify from worker goroutines.
+type Observer interface {
+	ObservePhase(name string, d time.Duration)
+	ObserveVerify(graphID int, steps uint64, d time.Duration, found bool)
+	ObserveCache(hit bool)
+}
+
+// Phase names emitted by the engines.
+const (
+	// PhaseFilter is the filtering step (§IV-A filtering time). For IvcFV
+	// engines it covers both filtering levels, per the paper's metric.
+	PhaseFilter = "filter"
+	// PhaseVerify is the verification step (§IV-A verification time).
+	PhaseVerify = "verify"
+	// PhaseIndexFilter is the index-probe portion of an IvcFV engine's
+	// filtering, a sub-span of PhaseFilter.
+	PhaseIndexFilter = "filter.index"
+)
+
+// Tee fans events out to every non-nil observer. A single observer is
+// returned unwrapped; Tee(nil values only) returns nil.
+func Tee(observers ...Observer) Observer {
+	var kept multiObserver
+	for _, o := range observers {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) ObservePhase(name string, d time.Duration) {
+	for _, o := range m {
+		o.ObservePhase(name, d)
+	}
+}
+
+func (m multiObserver) ObserveVerify(graphID int, steps uint64, d time.Duration, found bool) {
+	for _, o := range m {
+		o.ObserveVerify(graphID, steps, d, found)
+	}
+}
+
+func (m multiObserver) ObserveCache(hit bool) {
+	for _, o := range m {
+		o.ObserveCache(hit)
+	}
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries: bucket i spans (2^(i-1) µs, 2^i µs];
+// boundary values land in the lower bucket, one past lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + time.Nanosecond, 0}, // sub-µs remainder truncates away
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + time.Microsecond, 2}, // 3µs -> (2µs, 4µs]
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{8 * time.Microsecond, 3},
+		{1024 * time.Microsecond, 10},
+		{1025 * time.Microsecond, 11},
+		{time.Hour, NumHistogramBuckets - 1}, // overflow clamps to last
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Bounds are strictly increasing powers of two.
+	for i := 1; i < NumHistogramBuckets; i++ {
+		if BucketBound(i) != 2*BucketBound(i-1) {
+			t.Errorf("BucketBound(%d) = %v, want 2*%v", i, BucketBound(i), BucketBound(i-1))
+		}
+	}
+	if BucketBound(0) != time.Microsecond {
+		t.Errorf("BucketBound(0) = %v, want 1µs", BucketBound(0))
+	}
+}
+
+func TestHistogramRecordAndQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 90 fast observations and 10 slow ones: p50 stays in the fast
+	// bucket, p99 lands in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Record(3 * time.Microsecond) // bucket (2µs, 4µs]
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(900 * time.Microsecond) // bucket (512µs, 1024µs]
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	wantSum := 90*3*time.Microsecond + 10*900*time.Microsecond
+	if h.Sum() != wantSum {
+		t.Errorf("Sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if p50 := h.Quantile(0.50); p50 < 2*time.Microsecond || p50 > 4*time.Microsecond {
+		t.Errorf("p50 = %v, want within (2µs, 4µs]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 512*time.Microsecond || p99 > 1024*time.Microsecond {
+		t.Errorf("p99 = %v, want within (512µs, 1024µs]", p99)
+	}
+	if h.Quantile(0) > h.Quantile(0.5) || h.Quantile(0.5) > h.Quantile(1) {
+		t.Error("quantiles not monotone in p")
+	}
+	// Negative durations count as zero, not panic or underflow.
+	h.Record(-time.Second)
+	if h.Count() != 101 {
+		t.Error("negative duration not recorded as zero")
+	}
+}
+
+// TestConcurrentInstruments exercises counters, gauges and histograms
+// from many goroutines; run under -race this validates the lock-free
+// recording paths.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("inflight")
+			h := r.Histogram("lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Record(time.Duration(i) * time.Microsecond)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestTraceNopZeroAlloc: the disabled path — a nil *Trace, also when held
+// behind the Observer interface — performs no allocations.
+func TestTraceNopZeroAlloc(t *testing.T) {
+	var tr *Trace
+	var o Observer = tr
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.ObservePhase(PhaseFilter, time.Millisecond)
+		tr.ObserveVerify(3, 17, time.Millisecond, true)
+		tr.ObserveCache(true)
+		o.ObservePhase(PhaseVerify, time.Millisecond)
+		o.ObserveVerify(4, 9, time.Millisecond, false)
+		o.ObserveCache(false)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-trace path allocates %.1f per run, want 0", allocs)
+	}
+	if snap := tr.Snapshot(); len(snap.Phases) != 0 || len(snap.Verifications) != 0 {
+		t.Error("nil trace snapshot not empty")
+	}
+}
+
+func TestTraceRecords(t *testing.T) {
+	tr := NewTrace()
+	tr.ObserveCache(false)
+	tr.ObservePhase(PhaseFilter, 5*time.Millisecond)
+	tr.ObserveVerify(2, 100, 3*time.Millisecond, true)
+	tr.ObserveVerify(7, 40, time.Millisecond, false)
+	tr.ObservePhase(PhaseVerify, 4*time.Millisecond)
+
+	s := tr.Snapshot()
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(s.Phases))
+	}
+	if s.PhaseTotal(PhaseFilter) != 5*time.Millisecond {
+		t.Errorf("filter total = %v", s.PhaseTotal(PhaseFilter))
+	}
+	if s.PhaseTotal(PhaseVerify) != 4*time.Millisecond {
+		t.Errorf("verify total = %v", s.PhaseTotal(PhaseVerify))
+	}
+	if len(s.Verifications) != 2 {
+		t.Fatalf("verifications = %d, want 2", len(s.Verifications))
+	}
+	ev := s.Verifications[0]
+	if ev.Graph != 2 || ev.Steps != 100 || ev.DurationUS != 3000 || !ev.Found {
+		t.Errorf("event = %+v", ev)
+	}
+	if s.CacheMisses != 1 || s.CacheHits != 0 {
+		t.Errorf("cache events = %d/%d", s.CacheHits, s.CacheMisses)
+	}
+}
+
+func TestTraceEventCap(t *testing.T) {
+	tr := NewTraceN(4)
+	for i := 0; i < 10; i++ {
+		tr.ObserveVerify(i, 1, time.Microsecond, false)
+	}
+	s := tr.Snapshot()
+	if len(s.Verifications) != 4 {
+		t.Errorf("kept %d events, want 4", len(s.Verifications))
+	}
+	if s.VerificationsDropped != 6 {
+		t.Errorf("dropped = %d, want 6", s.VerificationsDropped)
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(42)
+	r.Gauge("inflight").Set(3)
+	h := r.Histogram("latency")
+	h.Record(10 * time.Microsecond)
+	h.Record(20 * time.Microsecond)
+
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["queries_total"] != 42 {
+		t.Errorf("counter = %d", back.Counters["queries_total"])
+	}
+	if back.Gauges["inflight"] != 3 {
+		t.Errorf("gauge = %d", back.Gauges["inflight"])
+	}
+	hs := back.Histograms["latency"]
+	if hs.Count != 2 || len(hs.Buckets) == 0 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+
+	counters, gauges, hists := r.Names()
+	if len(counters) != 1 || len(gauges) != 1 || len(hists) != 1 {
+		t.Errorf("Names() = %v %v %v", counters, gauges, hists)
+	}
+}
+
+// recordingObserver counts events for Tee tests.
+type recordingObserver struct {
+	mu                     sync.Mutex
+	phases, verifies, hits int
+}
+
+func (r *recordingObserver) ObservePhase(string, time.Duration) {
+	r.mu.Lock()
+	r.phases++
+	r.mu.Unlock()
+}
+
+func (r *recordingObserver) ObserveVerify(int, uint64, time.Duration, bool) {
+	r.mu.Lock()
+	r.verifies++
+	r.mu.Unlock()
+}
+
+func (r *recordingObserver) ObserveCache(bool) {
+	r.mu.Lock()
+	r.hits++
+	r.mu.Unlock()
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil {
+		t.Error("Tee() should be nil")
+	}
+	if Tee(nil, nil) != nil {
+		t.Error("Tee(nil, nil) should be nil")
+	}
+	a := &recordingObserver{}
+	if got := Tee(nil, a); got != Observer(a) {
+		t.Error("single observer should be returned unwrapped")
+	}
+	b := &recordingObserver{}
+	o := Tee(a, b)
+	o.ObservePhase(PhaseFilter, time.Millisecond)
+	o.ObserveVerify(1, 1, time.Millisecond, true)
+	o.ObserveCache(true)
+	for i, r := range []*recordingObserver{a, b} {
+		if r.phases != 1 || r.verifies != 1 || r.hits != 1 {
+			t.Errorf("observer %d: %d/%d/%d", i, r.phases, r.verifies, r.hits)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMaxTraceEvents bounds the per-candidate verification events one
+// Trace retains; further events are counted but dropped, so a query over a
+// huge candidate set cannot balloon its own trace.
+const DefaultMaxTraceEvents = 1024
+
+// Trace records one query's telemetry: phase spans, per-candidate
+// verification events and cache outcomes. It implements Observer.
+//
+// All methods are safe on a nil *Trace — they become no-ops that allocate
+// nothing — so callers can unconditionally thread a possibly-nil trace
+// through QueryOptions. Non-nil traces are safe for concurrent use.
+type Trace struct {
+	mu          sync.Mutex
+	spans       []PhaseSpan
+	events      []VerifyEvent
+	dropped     int
+	cacheHits   int
+	cacheMisses int
+	maxEvents   int
+}
+
+// NewTrace returns an empty trace retaining at most DefaultMaxTraceEvents
+// verification events.
+func NewTrace() *Trace { return &Trace{maxEvents: DefaultMaxTraceEvents} }
+
+// NewTraceN returns an empty trace retaining at most n verification
+// events (n <= 0 selects DefaultMaxTraceEvents).
+func NewTraceN(n int) *Trace {
+	if n <= 0 {
+		n = DefaultMaxTraceEvents
+	}
+	return &Trace{maxEvents: n}
+}
+
+// PhaseSpan is one completed processing phase.
+type PhaseSpan struct {
+	Name       string `json:"name"`
+	DurationUS int64  `json:"duration_us"`
+}
+
+// VerifyEvent is one subgraph isomorphism test against a candidate data
+// graph — the unit the paper's per-SI-test metric (eq. 3) averages over.
+type VerifyEvent struct {
+	Graph      int    `json:"graph"`
+	Steps      uint64 `json:"steps"`
+	DurationUS int64  `json:"duration_us"`
+	Found      bool   `json:"found"`
+}
+
+// ObservePhase implements Observer.
+func (t *Trace) ObservePhase(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, PhaseSpan{Name: name, DurationUS: d.Microseconds()})
+	t.mu.Unlock()
+}
+
+// ObserveVerify implements Observer.
+func (t *Trace) ObserveVerify(graphID int, steps uint64, d time.Duration, found bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) < t.maxEvents {
+		t.events = append(t.events, VerifyEvent{
+			Graph: graphID, Steps: steps, DurationUS: d.Microseconds(), Found: found,
+		})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// ObserveCache implements Observer.
+func (t *Trace) ObserveCache(hit bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if hit {
+		t.cacheHits++
+	} else {
+		t.cacheMisses++
+	}
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is the JSON-marshalable view of a Trace, inlined into the
+// /query response under ?trace=1.
+type TraceSnapshot struct {
+	// Phases lists completed phase spans in emission order. The "filter"
+	// and "verify" spans sum to the query time; dotted names (e.g.
+	// "filter.index") are sub-spans of their prefix and already included
+	// in it.
+	Phases []PhaseSpan `json:"phases"`
+	// Verifications lists one event per candidate graph tested, capped at
+	// the trace's event limit.
+	Verifications []VerifyEvent `json:"verifications,omitempty"`
+	// VerificationsDropped counts events beyond the cap.
+	VerificationsDropped int `json:"verifications_dropped,omitempty"`
+	CacheHits            int `json:"cache_hits,omitempty"`
+	CacheMisses          int `json:"cache_misses,omitempty"`
+}
+
+// Snapshot copies the trace's current contents.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TraceSnapshot{
+		Phases:               append([]PhaseSpan(nil), t.spans...),
+		Verifications:        append([]VerifyEvent(nil), t.events...),
+		VerificationsDropped: t.dropped,
+		CacheHits:            t.cacheHits,
+		CacheMisses:          t.cacheMisses,
+	}
+}
+
+// PhaseTotal sums the durations of spans with exactly the given name.
+func (s TraceSnapshot) PhaseTotal(name string) time.Duration {
+	var total int64
+	for _, sp := range s.Phases {
+		if sp.Name == name {
+			total += sp.DurationUS
+		}
+	}
+	return time.Duration(total) * time.Microsecond
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# check.sh — fast pre-commit gate: vet everything, then race-test the
+# packages this tree churns most (the observability layer, the engines
+# and the HTTP server). The full suite is `go test ./...` (slow: the
+# bench smoke tests build every index).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race -short internal/obs internal/core cmd/sqserver"
+go test -race -short ./internal/obs ./internal/core ./cmd/sqserver
+
+echo "ok"

@@ -37,6 +37,7 @@ import (
 
 	"subgraphquery/internal/core"
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // Re-exported graph substrate types.
@@ -68,6 +69,22 @@ type (
 	// Result reports a query's answers and per-phase metrics.
 	Result = core.Result
 )
+
+// Re-exported observability types (see internal/obs): set
+// QueryOptions.Observer to stream phase spans, per-candidate verification
+// events and cache outcomes while a query runs.
+type (
+	// Observer receives streaming query telemetry.
+	Observer = obs.Observer
+	// Trace records one query's telemetry; it implements Observer and a
+	// nil *Trace is a free no-op.
+	Trace = obs.Trace
+	// TraceSnapshot is the JSON-marshalable view of a Trace.
+	TraceSnapshot = obs.TraceSnapshot
+)
+
+// NewTrace returns an empty per-query trace.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // NewBuilder returns a graph builder with capacity hints.
 func NewBuilder(vertices, edges int) *Builder { return graph.NewBuilder(vertices, edges) }
