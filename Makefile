@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check test bench-json clean
+.PHONY: build check test bench bench-real bench-synthetic bench-json clean
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,21 @@ check:
 test:
 	$(GO) test ./...
 
-# Small-scale bench run emitting BENCH_<dataset>.json into ./bench-out.
+# Default bench run: small-scale real + synthetic studies, landing the
+# machine-readable reports (BENCH_<dataset>.json, BENCH_synthetic.json,
+# schema subgraphquery/bench/v1) at the repo root so the perf trajectory
+# is tracked in-tree.
+bench: bench-real bench-synthetic
+
+bench-real:
+	$(GO) run ./cmd/sqbench real -scale 0.005 -queries 3 \
+		-index-budget 30s -query-budget 2s -json-dir .
+
+bench-synthetic:
+	$(GO) run ./cmd/sqbench synthetic -scale 0.005 -queries 3 \
+		-index-budget 30s -query-budget 2s -json-dir .
+
+# Back-compat alias for the old out-of-tree report location.
 bench-json:
 	mkdir -p bench-out
 	$(GO) run ./cmd/sqbench real -scale 0.005 -queries 3 \

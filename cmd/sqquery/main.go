@@ -4,6 +4,8 @@
 // Usage:
 //
 //	sqquery -db db.graph -queries q8s.graph -engine CFQL [-budget 10m] [-v]
+//	sqquery -db db.graph -queries q8s.graph -explain   # per-query EXPLAIN
+//	sqquery -db db.graph -queries q8s.graph -trace     # phase spans + slow SI tests
 //
 // Engines: CT-Index, Grapes, GGSX (IFV); CFL, GraphQL, CFQL (vcFV);
 // vcGrapes, vcGGSX (IvcFV); Scan-VF2 (no filtering).
@@ -12,69 +14,110 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	sq "subgraphquery"
 	"subgraphquery/internal/bench"
 	"subgraphquery/internal/core"
+	"subgraphquery/internal/obs"
 )
 
 func main() {
-	dbPath := flag.String("db", "db.graph", "database file")
-	queryPath := flag.String("queries", "", "query workload file (required)")
-	engineName := flag.String("engine", "CFQL", "engine name")
-	budget := flag.Duration("budget", 10*time.Minute, "per-query time budget")
-	indexBudget := flag.Duration("index-budget", 24*time.Hour, "index construction budget")
-	workers := flag.Int("workers", 6, "verification workers for the Grapes engines")
-	verbose := flag.Bool("v", false, "print per-query results")
+	opts := runOptions{}
+	flag.StringVar(&opts.DBPath, "db", "db.graph", "database file")
+	flag.StringVar(&opts.QueryPath, "queries", "", "query workload file (required)")
+	flag.StringVar(&opts.Engine, "engine", "CFQL", "engine name")
+	flag.DurationVar(&opts.Budget, "budget", 10*time.Minute, "per-query time budget")
+	flag.DurationVar(&opts.IndexBudget, "index-budget", 24*time.Hour, "index construction budget")
+	flag.IntVar(&opts.Workers, "workers", 6, "verification workers for the Grapes engines")
+	flag.BoolVar(&opts.Verbose, "v", false, "print per-query results")
+	flag.BoolVar(&opts.Explain, "explain", false,
+		"print a per-query EXPLAIN report: filter-stage candidate counts, index probe stats, matching order")
+	flag.BoolVar(&opts.Trace, "trace", false,
+		"print per-query phase spans and the slowest subgraph isomorphism tests")
 	flag.Parse()
 
-	if err := run(*dbPath, *queryPath, *engineName, *budget, *indexBudget, *workers, *verbose); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sqquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, queryPath, engineName string, budget, indexBudget time.Duration, workers int, verbose bool) error {
-	if queryPath == "" {
+// runOptions carries every knob of one sqquery invocation; the flag set in
+// main populates it, tests construct it directly.
+type runOptions struct {
+	DBPath      string
+	QueryPath   string
+	Engine      string
+	Budget      time.Duration
+	IndexBudget time.Duration
+	Workers     int
+	Verbose     bool
+	Explain     bool
+	Trace       bool
+
+	// Out receives the report; nil selects os.Stdout.
+	Out io.Writer
+}
+
+func run(opts runOptions) error {
+	out := opts.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	if opts.QueryPath == "" {
 		return fmt.Errorf("-queries is required")
 	}
-	db, err := readDB(dbPath)
+	db, err := readDB(opts.DBPath)
 	if err != nil {
 		return fmt.Errorf("reading database: %w", err)
 	}
-	queryDB, err := readDB(queryPath)
+	queryDB, err := readDB(opts.QueryPath)
 	if err != nil {
 		return fmt.Errorf("reading queries: %w", err)
 	}
 
-	engine, err := bench.NewEngine(engineName)
+	engine, err := bench.NewEngine(opts.Engine)
 	if err != nil {
 		return err
 	}
 	t0 := time.Now()
 	err = engine.Build(db, core.BuildOptions{
-		Deadline: time.Now().Add(indexBudget),
-		Workers:  workers,
+		Deadline: time.Now().Add(opts.IndexBudget),
+		Workers:  opts.Workers,
 	})
 	if err != nil {
 		return fmt.Errorf("index construction: %w", err)
 	}
 	buildTime := time.Since(t0)
-	if bench.IsIndexed(engineName) {
-		fmt.Printf("index built in %v (%.2f MB)\n", buildTime.Round(time.Millisecond),
+	if bench.IsIndexed(opts.Engine) {
+		fmt.Fprintf(out, "index built in %v (%.2f MB)\n", buildTime.Round(time.Millisecond),
 			float64(engine.IndexMemory())/(1<<20))
 	}
 
+	perQuery := opts.Verbose || opts.Explain || opts.Trace
 	var filter, verify time.Duration
 	var cands, answers, timeouts int
 	for i := 0; i < queryDB.Len(); i++ {
 		q := queryDB.Graph(i)
-		res := engine.Query(q, core.QueryOptions{
-			Deadline: time.Now().Add(budget),
-			Workers:  workers,
-		})
+		qopts := core.QueryOptions{
+			Deadline: time.Now().Add(opts.Budget),
+			Workers:  opts.Workers,
+		}
+		var ex *obs.Explain
+		if opts.Explain {
+			ex = obs.NewExplain()
+			qopts.Explain = ex
+		}
+		var trace *obs.Trace
+		if opts.Trace {
+			trace = obs.NewTrace()
+			qopts.Observer = trace
+		}
+		res := engine.Query(q, qopts)
 		filter += res.FilterTime
 		verify += res.VerifyTime
 		cands += res.Candidates
@@ -82,27 +125,72 @@ func run(dbPath, queryPath, engineName string, budget, indexBudget time.Duration
 		if res.TimedOut {
 			timeouts++
 		}
-		if verbose {
+		if perQuery {
 			status := ""
 			if res.TimedOut {
 				status = " TIMEOUT"
 			}
-			fmt.Printf("query %3d: |C|=%d |A|=%d filter=%v verify=%v%s\n",
+			fmt.Fprintf(out, "query %3d: |C|=%d |A|=%d filter=%v verify=%v%s\n",
 				i, res.Candidates, len(res.Answers),
 				res.FilterTime.Round(time.Microsecond), res.VerifyTime.Round(time.Microsecond), status)
 		}
+		if ex != nil {
+			ex.Snapshot().WriteText(out)
+		}
+		if trace != nil {
+			writeTraceText(out, trace.Snapshot())
+		}
 	}
 	n := queryDB.Len()
-	fmt.Printf("\nengine %s on %d queries over %d data graphs:\n", engineName, n, db.Len())
-	fmt.Printf("  avg filter time   %v\n", (filter / time.Duration(n)).Round(time.Microsecond))
-	fmt.Printf("  avg verify time   %v\n", (verify / time.Duration(n)).Round(time.Microsecond))
-	fmt.Printf("  avg candidates    %.1f\n", float64(cands)/float64(n))
-	fmt.Printf("  avg answers       %.1f\n", float64(answers)/float64(n))
+	fmt.Fprintf(out, "\nengine %s on %d queries over %d data graphs:\n", opts.Engine, n, db.Len())
+	fmt.Fprintf(out, "  avg filter time   %v\n", (filter / time.Duration(n)).Round(time.Microsecond))
+	fmt.Fprintf(out, "  avg verify time   %v\n", (verify / time.Duration(n)).Round(time.Microsecond))
+	fmt.Fprintf(out, "  avg candidates    %.1f\n", float64(cands)/float64(n))
+	fmt.Fprintf(out, "  avg answers       %.1f\n", float64(answers)/float64(n))
 	if cands > 0 {
-		fmt.Printf("  filtering precision %.3f\n", float64(answers)/float64(cands))
+		fmt.Fprintf(out, "  filtering precision %.3f\n", float64(answers)/float64(cands))
 	}
-	fmt.Printf("  timeouts          %d\n", timeouts)
+	fmt.Fprintf(out, "  timeouts          %d\n", timeouts)
 	return nil
+}
+
+// maxTraceSlowest bounds the slowest-SI-test listing of -trace.
+const maxTraceSlowest = 5
+
+// writeTraceText renders a trace snapshot: phase spans in emission order,
+// then the slowest subgraph isomorphism tests — the stragglers the paper's
+// per-set means hide.
+func writeTraceText(w io.Writer, s obs.TraceSnapshot) {
+	fmt.Fprintf(w, "TRACE")
+	for _, sp := range s.Phases {
+		fmt.Fprintf(w, " %s=%v", sp.Name, (time.Duration(sp.DurationUS) * time.Microsecond).Round(time.Microsecond))
+	}
+	if s.CacheHits+s.CacheMisses > 0 {
+		fmt.Fprintf(w, " cache=%dh/%dm", s.CacheHits, s.CacheMisses)
+	}
+	fmt.Fprintln(w)
+	if len(s.Verifications) == 0 {
+		return
+	}
+	events := append([]obs.VerifyEvent(nil), s.Verifications...)
+	sort.Slice(events, func(i, j int) bool { return events[i].DurationUS > events[j].DurationUS })
+	if len(events) > maxTraceSlowest {
+		events = events[:maxTraceSlowest]
+	}
+	fmt.Fprintf(w, "  slowest SI tests (%d of %d", len(events), s.VerificationsTotal)
+	if s.Truncated {
+		fmt.Fprintf(w, ", trace truncated: %d dropped", s.VerificationsDropped)
+	}
+	fmt.Fprintf(w, "):")
+	for _, ev := range events {
+		outcome := "miss"
+		if ev.Found {
+			outcome = "hit"
+		}
+		fmt.Fprintf(w, " g%d=%v/%dsteps/%s", ev.Graph,
+			(time.Duration(ev.DurationUS) * time.Microsecond).Round(time.Microsecond), ev.Steps, outcome)
+	}
+	fmt.Fprintln(w)
 }
 
 func readDB(path string) (*sq.Database, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -21,10 +22,13 @@ func writeTestDB(t *testing.T, path string, db *sq.Database) {
 	}
 }
 
-func TestRunEndToEnd(t *testing.T) {
+// testWorkload writes a small synthetic database and query set and returns
+// their paths.
+func testWorkload(t *testing.T) (dbPath, qPath string) {
+	t.Helper()
 	dir := t.TempDir()
-	dbPath := filepath.Join(dir, "db.graph")
-	qPath := filepath.Join(dir, "q.graph")
+	dbPath = filepath.Join(dir, "db.graph")
+	qPath = filepath.Join(dir, "q.graph")
 
 	db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
 		NumGraphs: 10, NumVertices: 20, NumLabels: 3, Degree: 4, Seed: 4,
@@ -40,11 +44,89 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	writeTestDB(t, qPath, sq.NewDatabase(qs))
+	return dbPath, qPath
+}
 
+func TestRunEndToEnd(t *testing.T) {
+	dbPath, qPath := testWorkload(t)
 	for _, engine := range []string{"CFQL", "Grapes", "Scan-VF2"} {
-		if err := run(dbPath, qPath, engine, time.Minute, time.Minute, 2, true); err != nil {
+		opts := runOptions{
+			DBPath: dbPath, QueryPath: qPath, Engine: engine,
+			Budget: time.Minute, IndexBudget: time.Minute, Workers: 2,
+			Verbose: true, Out: &strings.Builder{},
+		}
+		if err := run(opts); err != nil {
 			t.Errorf("run with %s: %v", engine, err)
 		}
+	}
+}
+
+// TestRunExplain is the acceptance gate for `sqquery -explain`: the output
+// must include the per-stage candidate counts of a CFQL query.
+func TestRunExplain(t *testing.T) {
+	dbPath, qPath := testWorkload(t)
+	var out strings.Builder
+	err := run(runOptions{
+		DBPath: dbPath, QueryPath: qPath, Engine: "CFQL",
+		Budget: time.Minute, IndexBudget: time.Minute, Workers: 1,
+		Explain: true, Out: &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"EXPLAIN engine=CFQL",
+		"cfl.ldf", "cfl.topdown", "cfl.bottomup",
+		"filter stages",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-explain output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunExplainIndexed: an IFV engine's -explain output reports its index
+// probe.
+func TestRunExplainIndexed(t *testing.T) {
+	dbPath, qPath := testWorkload(t)
+	var out strings.Builder
+	err := run(runOptions{
+		DBPath: dbPath, QueryPath: qPath, Engine: "Grapes",
+		Budget: time.Minute, IndexBudget: time.Minute, Workers: 2,
+		Explain: true, Out: &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"EXPLAIN engine=Grapes", "index probes:", "Grapes", "survivors="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-explain output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunTrace: -trace prints phase spans and the slowest SI tests.
+func TestRunTrace(t *testing.T) {
+	dbPath, qPath := testWorkload(t)
+	var out strings.Builder
+	err := run(runOptions{
+		DBPath: dbPath, QueryPath: qPath, Engine: "CFQL",
+		Budget: time.Minute, IndexBudget: time.Minute, Workers: 1,
+		Trace: true, Out: &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "TRACE") || !strings.Contains(got, "filter=") {
+		t.Errorf("-trace output missing phase spans:\n%s", got)
+	}
+	// The workload's queries come from the database, so at least one query
+	// has candidates and therefore SI tests to report.
+	if !strings.Contains(got, "slowest SI tests") {
+		t.Errorf("-trace output missing slowest SI tests:\n%s", got)
 	}
 }
 
@@ -56,13 +138,22 @@ func TestRunErrors(t *testing.T) {
 	})
 	writeTestDB(t, dbPath, db)
 
-	if err := run(dbPath, "", "CFQL", time.Minute, time.Minute, 1, false); err == nil {
+	base := runOptions{
+		Budget: time.Minute, IndexBudget: time.Minute, Workers: 1, Out: &strings.Builder{},
+	}
+	noQueries := base
+	noQueries.DBPath, noQueries.Engine = dbPath, "CFQL"
+	if err := run(noQueries); err == nil {
 		t.Error("missing -queries should fail")
 	}
-	if err := run("/nonexistent", dbPath, "CFQL", time.Minute, time.Minute, 1, false); err == nil {
+	noDB := base
+	noDB.DBPath, noDB.QueryPath, noDB.Engine = "/nonexistent", dbPath, "CFQL"
+	if err := run(noDB); err == nil {
 		t.Error("missing database should fail")
 	}
-	if err := run(dbPath, dbPath, "NoSuchEngine", time.Minute, time.Minute, 1, false); err == nil {
+	badEngine := base
+	badEngine.DBPath, badEngine.QueryPath, badEngine.Engine = dbPath, dbPath, "NoSuchEngine"
+	if err := run(badEngine); err == nil {
 		t.Error("unknown engine should fail")
 	}
 }

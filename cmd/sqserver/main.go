@@ -7,11 +7,16 @@
 // Endpoints:
 //
 //	POST /query    body: one graph in the text format -> JSON answer;
-//	               append ?trace=1 to inline the per-query phase/verify trace
+//	               append ?trace=1 to inline the per-query phase/verify trace,
+//	               ?explain=1 to inline the EXPLAIN report (filter-stage
+//	               candidate counts, index probe stats, matching order)
 //	POST /graphs   body: one graph in the text format -> JSON {"id": n}
 //	GET  /stats    JSON database statistics (cached; invalidated on append)
 //	GET  /metrics  JSON telemetry registry: query counts, p50/p90/p99
-//	               latency histograms, timeouts, cache hits, in-flight gauge
+//	               latency histograms, timeouts, cache hits, in-flight gauge;
+//	               ?format=prom switches to the Prometheus text exposition
+//	GET  /debug/slowlog  JSON ring of recent slow queries (latency over
+//	               -slowlog-threshold), each with its full Trace and Explain
 //	GET  /healthz  liveness probe
 //
 // With -debug-addr, a second listener serves net/http/pprof profiles
@@ -24,7 +29,8 @@
 // Usage:
 //
 //	sqserver -db db.graph [-addr :8080] [-engine CFQL] [-cache 64]
-//	         [-budget 10m] [-debug-addr :6060] [-log-json]
+//	         [-budget 10m] [-slowlog-threshold 100ms] [-slowlog-size 64]
+//	         [-debug-addr :6060] [-log-json]
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 
 	sq "subgraphquery"
 	"subgraphquery/internal/bench"
+	"subgraphquery/internal/obs"
 )
 
 func main() {
@@ -48,6 +55,9 @@ func main() {
 	engineName := flag.String("engine", "CFQL", "query engine")
 	cache := flag.Int("cache", 64, "result cache entries (0 disables)")
 	budget := flag.Duration("budget", 0, "per-query budget (0 = none)")
+	slowThreshold := flag.Duration("slowlog-threshold", 100*time.Millisecond,
+		"slow-query log latency threshold (0 retains every query, negative disables the log)")
+	slowSize := flag.Int("slowlog-size", obs.DefaultSlowLogSize, "slow-query log ring capacity")
 	debugAddr := flag.String("debug-addr", "", "pprof debug listen address (empty disables)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -75,7 +85,12 @@ func main() {
 		logger.Error("creating engine", "err", err)
 		os.Exit(1)
 	}
-	srv, err := newServer(db, engine, *cache, *budget, logger)
+	srv, err := newServer(db, engine, serverConfig{
+		cacheEntries:  *cache,
+		budget:        *budget,
+		slowThreshold: *slowThreshold,
+		slowSize:      *slowSize,
+	}, logger)
 	if err != nil {
 		logger.Error("building engine", "err", err)
 		os.Exit(1)

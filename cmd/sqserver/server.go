@@ -40,6 +40,11 @@ type server struct {
 	verifyLat *obs.Histogram // engine verification phase
 	siLat     *obs.Histogram // per-SI-test (one sample per candidate graph)
 
+	// slow is the always-on slow-query ring behind GET /debug/slowlog:
+	// every query is traced and explained, and the record is retained iff
+	// the query's wall-clock latency meets the configured threshold.
+	slow *obs.SlowLog
+
 	// statsCache memoizes the /stats response; ComputeStats walks every
 	// graph, so recomputing per request is wasteful on a static database.
 	// Appends invalidate it.
@@ -47,9 +52,23 @@ type server struct {
 	statsCache map[string]any
 }
 
-func newServer(db *sq.Database, engine sq.Engine, cacheEntries int, budget time.Duration, logger *slog.Logger) (*server, error) {
-	if cacheEntries > 0 {
-		engine = sq.NewCachedEngine(engine, cacheEntries)
+// serverConfig carries the tunables of newServer beyond the database and
+// engine.
+type serverConfig struct {
+	// cacheEntries sizes the result cache; 0 disables it.
+	cacheEntries int
+	// budget bounds each query; 0 means unbounded.
+	budget time.Duration
+	// slowThreshold is the slow-query retention latency; 0 retains every
+	// query (useful in tests), negative disables the slow log entirely.
+	slowThreshold time.Duration
+	// slowSize is the slow-log ring capacity; 0 selects the default.
+	slowSize int
+}
+
+func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog.Logger) (*server, error) {
+	if cfg.cacheEntries > 0 {
+		engine = sq.NewCachedEngine(engine, cfg.cacheEntries)
 	}
 	if err := engine.Build(db, sq.BuildOptions{}); err != nil {
 		return nil, err
@@ -60,10 +79,13 @@ func newServer(db *sq.Database, engine sq.Engine, cacheEntries int, budget time.
 	s := &server{
 		db:     db,
 		engine: engine,
-		budget: budget,
+		budget: cfg.budget,
 		log:    logger,
 		start:  time.Now(),
 		reg:    obs.NewRegistry(),
+	}
+	if cfg.slowThreshold >= 0 {
+		s.slow = obs.NewSlowLog(cfg.slowSize, cfg.slowThreshold)
 	}
 	en := engine.Name()
 	s.queries = s.reg.Counter("queries_total/" + en)
@@ -86,6 +108,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("/graphs", s.handleAppend)
 	m.HandleFunc("/stats", s.handleStats)
 	m.HandleFunc("/metrics", s.handleMetrics)
+	m.HandleFunc("/debug/slowlog", s.handleSlowLog)
 	m.HandleFunc("/healthz", s.handleHealthz)
 	return m
 }
@@ -154,13 +177,14 @@ func (o registryObserver) ObserveCache(hit bool) {
 
 // queryResponse is the JSON body returned by POST /query.
 type queryResponse struct {
-	Answers    []int              `json:"answers"`
-	Candidates int                `json:"candidates"`
-	FilterUS   int64              `json:"filter_us"`
-	VerifyUS   int64              `json:"verify_us"`
-	TimedOut   bool               `json:"timed_out,omitempty"`
-	Engine     string             `json:"engine"`
-	Trace      *obs.TraceSnapshot `json:"trace,omitempty"`
+	Answers    []int                `json:"answers"`
+	Candidates int                  `json:"candidates"`
+	FilterUS   int64                `json:"filter_us"`
+	VerifyUS   int64                `json:"verify_us"`
+	TimedOut   bool                 `json:"timed_out,omitempty"`
+	Engine     string               `json:"engine"`
+	Trace      *obs.TraceSnapshot   `json:"trace,omitempty"`
+	Explain    *obs.ExplainSnapshot `json:"explain,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -184,13 +208,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts.Deadline = time.Now().Add(s.budget)
 	}
 
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	wantExplain := r.URL.Query().Get("explain") == "1"
+
+	// The slow log needs the full Trace+Explain of any query that turns out
+	// slow, which is only known after the fact — so when the slow log is
+	// enabled, every query collects both, and the threshold gates retention.
 	var trace *sq.Trace
+	var explain *sq.Explain
 	var observer sq.Observer = registryObserver{s}
-	if r.URL.Query().Get("trace") == "1" {
+	if wantTrace || s.slow != nil {
 		trace = sq.NewTrace()
 		observer = obs.Tee(observer, trace)
 	}
+	if wantExplain || s.slow != nil {
+		explain = sq.NewExplain()
+	}
 	opts.Observer = observer
+	opts.Explain = explain
 
 	s.inflight.Add(1)
 	t0 := time.Now()
@@ -214,11 +249,50 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		TimedOut:   res.TimedOut,
 		Engine:     s.engine.Name(),
 	}
+	var traceSnap *obs.TraceSnapshot
+	var explainSnap *obs.ExplainSnapshot
 	if trace != nil {
 		snap := trace.Snapshot()
-		resp.Trace = &snap
+		traceSnap = &snap
+	}
+	if explain != nil {
+		snap := explain.Snapshot()
+		explainSnap = &snap
+	}
+	if wantTrace {
+		resp.Trace = traceSnap
+	}
+	if wantExplain {
+		resp.Explain = explainSnap
+	}
+	if s.slow != nil {
+		s.slow.Offer(obs.SlowQuery{
+			Time:       t0,
+			DurationUS: elapsed.Microseconds(),
+			Engine:     s.engine.Name(),
+			Query:      fmt.Sprintf("%dv/%de", q.NumVertices(), q.NumEdges()),
+			Answers:    len(res.Answers),
+			Candidates: res.Candidates,
+			TimedOut:   res.TimedOut,
+			Trace:      traceSnap,
+			Explain:    explainSnap,
+		})
 	}
 	writeJSON(w, resp)
+}
+
+// handleSlowLog dumps the slow-query ring, newest first, with each retained
+// query's Trace and Explain.
+func (s *server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.slow == nil {
+		http.Error(w, "slow-query log disabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.slow.Snapshot())
 }
 
 func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
@@ -283,13 +357,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics dumps the telemetry registry: per-engine query counts,
 // latency histograms with p50/p90/p99, timeout and cache counters, and
-// the in-flight gauge.
+// the in-flight gauge. ?format=prom switches to the Prometheus text
+// exposition (histograms in seconds with cumulative buckets).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
 	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, snap, "subgraphquery")
+		return
+	}
 	writeJSON(w, map[string]any{
 		"engine":     s.engine.Name(),
 		"uptime_s":   int64(time.Since(s.start).Seconds()),

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -19,7 +20,10 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(db, sq.NewCFQLEngine(), 16, 0, nil)
+	// slowThreshold 0 retains every query in the slow log, which the
+	// slow-log tests rely on; cacheEntries 16 wraps the engine in the
+	// result cache.
+	srv, err := newServer(db, sq.NewCFQLEngine(), serverConfig{cacheEntries: 16}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,6 +336,181 @@ func TestQueryTrace(t *testing.T) {
 	if out.Trace.CacheMisses+out.Trace.CacheHits != 1 {
 		t.Errorf("cache events = %d hits + %d misses, want exactly 1 probe",
 			out.Trace.CacheHits, out.Trace.CacheMisses)
+	}
+}
+
+// TestQueryExplain: ?explain=1 inlines the EXPLAIN report with the CFL
+// filter stages and the engine name.
+func TestQueryExplain(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	q := testQuery(t, srv)
+	resp, err := http.Post(ts.URL+"/query?explain=1", "text/plain", strings.NewReader(graphText(t, q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Explain == nil {
+		t.Fatal("no explain in response")
+	}
+	if out.Explain.Engine != "CFQL+cache" {
+		t.Errorf("explain engine = %q", out.Explain.Engine)
+	}
+	stages := map[string]bool{}
+	for _, st := range out.Explain.Stages {
+		stages[st.Name] = true
+	}
+	for _, want := range []string{"cfl.ldf", "cfl.topdown", "cfl.bottomup"} {
+		if !stages[want] {
+			t.Errorf("stage %q missing (have %v)", want, stages)
+		}
+	}
+
+	// Without ?explain=1 the response stays lean.
+	resp2, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(graphText(t, q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 queryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if out2.Explain != nil {
+		t.Error("explain returned without ?explain=1")
+	}
+}
+
+// TestSlowLogEndpoint: with a zero threshold every query is retained, and
+// each record carries its full Trace and Explain.
+func TestSlowLogEndpoint(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	q := graphText(t, testQuery(t, srv))
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		ThresholdUS int64 `json:"threshold_us"`
+		Capacity    int   `json:"capacity"`
+		Seen        int64 `json:"seen"`
+		Kept        int64 `json:"kept"`
+		Queries     []struct {
+			DurationUS int64                `json:"duration_us"`
+			Engine     string               `json:"engine"`
+			Query      string               `json:"query"`
+			Trace      *sq.TraceSnapshot    `json:"trace"`
+			Explain    *sq.ExplainSnapshot  `json:"explain"`
+		} `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seen != 3 || out.Kept != 3 || len(out.Queries) != 3 {
+		t.Fatalf("seen=%d kept=%d len=%d, want 3/3/3", out.Seen, out.Kept, len(out.Queries))
+	}
+	for i, rec := range out.Queries {
+		if rec.Engine != "CFQL+cache" {
+			t.Errorf("queries[%d].engine = %q", i, rec.Engine)
+		}
+		if rec.Query == "" {
+			t.Errorf("queries[%d] missing query shape", i)
+		}
+		if rec.Trace == nil || len(rec.Trace.Phases) == 0 {
+			t.Errorf("queries[%d] missing trace", i)
+		}
+		if rec.Explain == nil || rec.Explain.Engine == "" {
+			t.Errorf("queries[%d] missing explain", i)
+		}
+	}
+}
+
+// TestSlowLogDisabled: a negative threshold disables the log and the
+// endpoint reports 404.
+func TestSlowLogDisabled(t *testing.T) {
+	db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: 5, NumVertices: 12, NumLabels: 3, Degree: 3, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(db, sq.NewCFQLEngine(), serverConfig{slowThreshold: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsProm: ?format=prom returns the text exposition with the
+// right content type and per-engine samples.
+func TestMetricsProm(t *testing.T) {
+	srv := testServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	q := graphText(t, testQuery(t, srv))
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q, want the 0.0.4 exposition format", ct)
+	}
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := body.String()
+	for _, want := range []string{
+		"# TYPE subgraphquery_queries_total counter",
+		`subgraphquery_queries_total{engine="CFQL+cache"} 1`,
+		"# TYPE subgraphquery_query_latency_seconds histogram",
+		`le="+Inf"`,
+		"subgraphquery_query_latency_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom exposition missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -114,8 +114,22 @@ func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
 		if o := opts.Observer; o != nil {
 			o.ObserveCache(true)
 		}
+		if ex := opts.Explain; ex != nil {
+			// The cached answer pool acted as the index here; report it as
+			// a probe so EXPLAIN shows where the candidates came from.
+			e.mu.Lock()
+			entries := len(e.entries)
+			e.mu.Unlock()
+			ex.ObserveIndexProbe(obs.IndexProbe{
+				Index:     "result-cache",
+				Features:  entries,
+				Survivors: len(pool),
+			})
+		}
 		res = e.verifyPool(q, pool, confirmed, opts)
 	}
+	// After delegating: the outermost engine name wins in the report.
+	opts.Explain.SetEngine(e.Name())
 	if !res.TimedOut {
 		e.store(q, res.Answers)
 	}

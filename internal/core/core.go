@@ -71,6 +71,15 @@ type QueryOptions struct {
 	// emit from worker goroutines. nil disables instrumentation at
 	// near-zero cost (one branch per emission site).
 	Observer obs.Observer
+	// Explain, when non-nil, collects a structured EXPLAIN report for the
+	// query: per-query-vertex candidate counts after each filter stage
+	// (CFL's LDF/top-down/bottom-up, GraphQL's profile/refine), index probe
+	// statistics (trie nodes visited, intersection sizes, fingerprint
+	// survivors), and the chosen matching order with per-vertex
+	// selectivity. Explain is mutex-guarded and safe for concurrent
+	// recording from parallel workers. nil disables collection at zero
+	// allocation cost on the hot path.
+	Explain *obs.Explain
 }
 
 // Result reports a query's answers and the metrics of §IV-A.

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/index"
+	"subgraphquery/internal/matching"
+	"subgraphquery/internal/obs"
+)
+
+// observeOrder records a matching order with per-vertex selectivity into
+// the Explain report (no-op with a nil Explain; allocates nothing then).
+func observeOrder(ex *obs.Explain, order []graph.VertexID, cand *matching.Candidates) {
+	if ex == nil {
+		return
+	}
+	steps := make([]obs.OrderStep, len(order))
+	for i, u := range order {
+		steps[i] = obs.OrderStep{Vertex: int(u), Candidates: cand.Count(u)}
+	}
+	ex.ObserveOrder(steps)
+}
+
+// filterIndex probes an engine's index, routing through FilterExplain when
+// the index can report per-probe statistics and an Explain is attached.
+// With ex == nil this is exactly idx.Filter(q).
+func filterIndex(idx index.Index, q *graph.Graph, ex *obs.Explain) []int {
+	if ex != nil {
+		if ei, ok := idx.(index.Explainable); ok {
+			return ei.FilterExplain(q, ex)
+		}
+	}
+	return idx.Filter(q)
+}

@@ -111,6 +111,8 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 	}
 	res := &Result{}
 	o := opts.Observer
+	ex := opts.Explain
+	ex.SetEngine(e.name)
 
 	t0 := time.Now()
 	var cand []int
@@ -129,7 +131,7 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 		}
 		cand = ids
 	} else {
-		cand = e.idx.Filter(q)
+		cand = filterIndex(e.idx, q, ex)
 	}
 	res.FilterTime = time.Since(t0)
 	res.Candidates = len(cand)

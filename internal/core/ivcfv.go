@@ -79,9 +79,11 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	}
 	res := &Result{}
 	o := opts.Observer
+	ex := opts.Explain
+	ex.SetEngine(e.name)
 
 	t0 := time.Now()
-	indexCand := e.idx.Filter(q)
+	indexCand := filterIndex(e.idx, q, ex)
 	res.FilterTime = time.Since(t0)
 	if o != nil {
 		// Sub-span of the filter phase: the index probe alone, so traces
@@ -103,7 +105,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		}
 		g := e.db.Graph(gid)
 		t1 := time.Now()
-		cand := matching.CFLFilter(q, g)
+		cand := matching.CFLFilterExplain(q, g, ex)
 		pass := q.NumVertices() > 0 && !cand.AnyEmpty()
 		res.FilterTime += time.Since(t1)
 		if !pass {
@@ -119,6 +121,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	verify := func(j job) matching.Result {
 		g := e.db.Graph(j.gid)
 		order := matching.GraphQLOrder(q, j.cand)
+		observeOrder(ex, order, j.cand)
 		r, err := matching.Enumerate(q, g, j.cand, order, matching.Options{
 			Limit:      1,
 			Deadline:   opts.Deadline,

@@ -59,6 +59,8 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	}
 	res := &Result{}
 	o := opts.Observer
+	ex := opts.Explain
+	ex.SetEngine(e.name)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -69,7 +71,7 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			g := e.db.Graph(gid)
 
 			t0 := time.Now()
-			cand := matching.CFLFilter(q, g)
+			cand := matching.CFLFilterExplain(q, g, ex)
 			pass := q.NumVertices() > 0 && !cand.AnyEmpty()
 			filterTime := time.Since(t0)
 
@@ -78,6 +80,7 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			if pass {
 				t1 := time.Now()
 				order := matching.GraphQLOrder(q, cand)
+				observeOrder(ex, order, cand)
 				var err error
 				r, err = matching.Enumerate(q, g, cand, order, matching.Options{
 					Limit:      1,

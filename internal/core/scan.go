@@ -38,6 +38,7 @@ func (e *scan) Query(q *graph.Graph, opts QueryOptions) *Result {
 	}
 	res := &Result{Candidates: e.db.Len()}
 	o := opts.Observer
+	opts.Explain.SetEngine("Scan-VF2")
 	vf2 := &matching.VF2{}
 	t0 := time.Now()
 	for gid := 0; gid < e.db.Len(); gid++ {

@@ -41,6 +41,7 @@ func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) *Result {
 	}
 	res := &Result{}
 	o := opts.Observer
+	opts.Explain.SetEngine("TurboIso")
 	var m matching.TurboIso
 	t0 := time.Now()
 	for gid := 0; gid < e.db.Len(); gid++ {

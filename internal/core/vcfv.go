@@ -14,8 +14,11 @@ import (
 // vertex sets; graphs with no empty set form C(q) and are verified by the
 // enumeration phase stopped at the first subgraph isomorphism.
 type vcFV struct {
-	name   string
-	filter func(q, g *graph.Graph) *matching.Candidates
+	name string
+	// filter receives the (possibly nil) Explain so the matching layer can
+	// record per-stage candidate counts; with a nil Explain it must behave
+	// exactly like the plain filter.
+	filter func(q, g *graph.Graph, ex *obs.Explain) *matching.Candidates
 	order  func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID
 
 	db *graph.Database
@@ -26,7 +29,7 @@ type vcFV struct {
 func NewCFL() Engine {
 	return &vcFV{
 		name:   "CFL",
-		filter: matching.CFLFilter,
+		filter: matching.CFLFilterExplain,
 		order:  matching.CFLOrder,
 	}
 }
@@ -37,8 +40,8 @@ func NewCFL() Engine {
 func NewGraphQL() Engine {
 	return &vcFV{
 		name: "GraphQL",
-		filter: func(q, g *graph.Graph) *matching.Candidates {
-			return matching.GraphQLFilter(q, g, 0)
+		filter: func(q, g *graph.Graph, ex *obs.Explain) *matching.Candidates {
+			return matching.GraphQLFilterExplain(q, g, 0, ex)
 		},
 		order: func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID {
 			return matching.GraphQLOrder(q, cand)
@@ -51,7 +54,7 @@ func NewGraphQL() Engine {
 func NewCFQL() Engine {
 	return &vcFV{
 		name:   "CFQL",
-		filter: matching.CFLFilter,
+		filter: matching.CFLFilterExplain,
 		order: func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID {
 			return matching.GraphQLOrder(q, cand)
 		},
@@ -77,6 +80,8 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	}
 	res := &Result{}
 	o := opts.Observer
+	ex := opts.Explain
+	ex.SetEngine(e.name)
 	for gid := 0; gid < e.db.Len(); gid++ {
 		if expired(opts.Deadline) {
 			res.TimedOut = true
@@ -85,7 +90,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		g := e.db.Graph(gid)
 
 		t0 := time.Now()
-		cand := e.filter(q, g)
+		cand := e.filter(q, g, ex)
 		pass := q.NumVertices() > 0 && !cand.AnyEmpty()
 		res.FilterTime += time.Since(t0)
 		if !pass {
@@ -98,6 +103,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 
 		t1 := time.Now()
 		order := e.order(q, g, cand)
+		observeOrder(ex, order, cand)
 		r, err := matching.Enumerate(q, g, cand, order, matching.Options{
 			Limit:      1,
 			Deadline:   opts.Deadline,

@@ -2,12 +2,14 @@ package index
 
 import (
 	"hash/fnv"
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // CTIndex is the fingerprint index of Klein, Kriege and Mutzel [20]:
@@ -296,13 +298,32 @@ func cycleCode(g *graph.Graph, cycle []graph.VertexID) string {
 
 // Filter implements Index: fingerprint subset test against every graph.
 func (ix *CTIndex) Filter(q *graph.Graph) []int {
+	return ix.FilterExplain(q, nil)
+}
+
+// FilterExplain implements Explainable: Filter plus a per-probe report of
+// the query fingerprint density (features enumerated, bits set) and the
+// bitmask-subset survivors.
+func (ix *CTIndex) FilterExplain(q *graph.Graph, ex *obs.Explain) []int {
+	var t0 time.Time
+	if ex != nil {
+		t0 = time.Now()
+	}
+	probe := obs.IndexProbe{Index: "CT-Index"}
 	if ix.fingerprints == nil {
+		finishProbe(ex, &probe, t0)
 		return nil
 	}
 	var budget int64
 	fq, err := ix.fingerprint(q, &budget, BuildOptions{})
 	if err != nil {
+		finishProbe(ex, &probe, t0)
 		return nil
+	}
+	// budget counted every tree and cycle feature the query enumerated.
+	probe.Features = int(budget)
+	for _, w := range fq {
+		probe.FingerprintBits += bits.OnesCount64(w)
 	}
 	var out []int
 	for gid, fg := range ix.fingerprints {
@@ -317,6 +338,8 @@ func (ix *CTIndex) Filter(q *graph.Graph) []int {
 			out = append(out, gid)
 		}
 	}
+	probe.Survivors = len(out)
+	finishProbe(ex, &probe, t0)
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // GGSX (GraphGrepSX, Bonnici et al. [2]) indexes the same exhaustively
@@ -98,25 +99,45 @@ func (ix *GGSX) insert(labels []graph.Label, gid int32) {
 // Filter implements Index: C(q) = graphs containing every path feature of q
 // at least once.
 func (ix *GGSX) Filter(q *graph.Graph) []int {
+	return ix.FilterExplain(q, nil)
+}
+
+// FilterExplain implements Explainable: Filter plus a per-probe report of
+// suffix-tree nodes visited and the presence-set intersection trajectory.
+func (ix *GGSX) FilterExplain(q *graph.Graph, ex *obs.Explain) []int {
+	var t0 time.Time
+	if ex != nil {
+		t0 = time.Now()
+	}
+	probe := obs.IndexProbe{Index: "GGSX"}
 	if ix.root == nil {
+		finishProbe(ex, &probe, t0)
 		return nil
 	}
 	features := countPaths(q, ix.maxLen())
+	probe.Features = len(features)
 	cand := allGraphIDs(ix.numGraphs)
 	for key := range features {
-		node := ix.lookup(key)
+		node := ix.lookup(key, &probe.NodesVisited)
 		if node == nil {
+			finishProbe(ex, &probe, t0)
 			return nil
 		}
 		cand = intersectSorted(cand, node.graphIDs)
+		if ex != nil {
+			probe.IntersectionSizes = append(probe.IntersectionSizes, len(cand))
+		}
 		if len(cand) == 0 {
+			finishProbe(ex, &probe, t0)
 			return nil
 		}
 	}
+	probe.Survivors = len(cand)
+	finishProbe(ex, &probe, t0)
 	return toInts(cand)
 }
 
-func (ix *GGSX) lookup(key string) *ggsxNode {
+func (ix *GGSX) lookup(key string, visited *int64) *ggsxNode {
 	node := ix.root
 	for i := 0; i < len(key); i += 4 {
 		if node.children == nil {
@@ -124,6 +145,7 @@ func (ix *GGSX) lookup(key string) *ggsxNode {
 		}
 		l := graph.Label(uint32(key[i]) | uint32(key[i+1])<<8 | uint32(key[i+2])<<16 | uint32(key[i+3])<<24)
 		node = node.children[l]
+		*visited++
 		if node == nil {
 			return nil
 		}

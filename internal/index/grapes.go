@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // Grapes is the path-trie index of Giugno et al. [10]: every labeled simple
@@ -205,8 +206,9 @@ func (ix *Grapes) insert(key string, gid, count int32) {
 	ix.entries++
 }
 
-// lookup returns the trie node of the given feature, or nil.
-func (ix *Grapes) lookup(key string) *grapesNode {
+// lookup returns the trie node of the given feature, or nil, counting the
+// child hops the walk performed into *visited.
+func (ix *Grapes) lookup(key string, visited *int64) *grapesNode {
 	node := ix.root
 	for i := 0; i < len(key); i += 4 {
 		if node.children == nil {
@@ -214,6 +216,7 @@ func (ix *Grapes) lookup(key string) *grapesNode {
 		}
 		l := graph.Label(uint32(key[i]) | uint32(key[i+1])<<8 | uint32(key[i+2])<<16 | uint32(key[i+3])<<24)
 		node = node.children[l]
+		*visited++
 		if node == nil {
 			return nil
 		}
@@ -224,22 +227,52 @@ func (ix *Grapes) lookup(key string) *grapesNode {
 // Filter implements Index: C(q) = graphs containing at least count_q(f)
 // occurrences of every path feature f of q.
 func (ix *Grapes) Filter(q *graph.Graph) []int {
+	return ix.FilterExplain(q, nil)
+}
+
+// FilterExplain implements Explainable: Filter plus a per-probe report of
+// trie nodes visited and the occurrence-list intersection trajectory.
+func (ix *Grapes) FilterExplain(q *graph.Graph, ex *obs.Explain) []int {
+	var t0 time.Time
+	if ex != nil {
+		t0 = time.Now()
+	}
+	probe := obs.IndexProbe{Index: "Grapes", Survivors: 0}
 	if ix.root == nil {
+		finishProbe(ex, &probe, t0)
 		return nil
 	}
 	features := countPaths(q, ix.maxLen())
+	probe.Features = len(features)
 	cand := allGraphIDs(ix.numGraphs)
 	for key, need := range features {
-		node := ix.lookup(key)
+		node := ix.lookup(key, &probe.NodesVisited)
 		if node == nil {
+			finishProbe(ex, &probe, t0)
 			return nil
 		}
 		cand = retainWithCount(cand, node.graphIDs, node.counts, need)
+		if ex != nil {
+			probe.IntersectionSizes = append(probe.IntersectionSizes, len(cand))
+		}
 		if len(cand) == 0 {
+			finishProbe(ex, &probe, t0)
 			return nil
 		}
 	}
+	probe.Survivors = len(cand)
+	finishProbe(ex, &probe, t0)
 	return toInts(cand)
+}
+
+// finishProbe stamps the probe's duration and records it (no-op with a
+// nil Explain).
+func finishProbe(ex *obs.Explain, p *obs.IndexProbe, t0 time.Time) {
+	if ex == nil {
+		return
+	}
+	p.DurationUS = time.Since(t0).Microseconds()
+	ex.ObserveIndexProbe(*p)
 }
 
 // MemoryFootprint implements Index: nodes plus per-node posting lists.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // Index is a graph database index: built once over D, it maps a query graph
@@ -68,6 +69,14 @@ var ErrBudget = errors.New("index: construction budget exhausted")
 // set. exact=false degrades to ordinary candidate filtering.
 type ExactFilter interface {
 	FilterExact(q *graph.Graph) (ids []int, exact bool)
+}
+
+// Explainable is implemented by indexes that can report per-probe
+// statistics — trie nodes visited, occurrence-list intersection sizes,
+// fingerprint survivors — into an obs.Explain while filtering. Filter(q)
+// must be equivalent to FilterExplain(q, nil).
+type Explainable interface {
+	FilterExplain(q *graph.Graph, ex *obs.Explain) []int
 }
 
 // DefaultMaxPathLength is the paper's configured maximum path feature

@@ -23,8 +23,9 @@ func TestQuickTrieCountsMatchDirect(t *testing.T) {
 		}
 		for gid := 0; gid < db.Len(); gid++ {
 			want := countPaths(db.Graph(gid), ix.maxLen())
+			var visited int64
 			for key, c := range want {
-				node := ix.lookup(key)
+				node := ix.lookup(key, &visited)
 				if node == nil {
 					return false
 				}
@@ -62,9 +63,10 @@ func TestQuickSuffixClosure(t *testing.T) {
 		}
 		for gid := 0; gid < db.Len(); gid++ {
 			ok := true
+			var visited int64
 			enumeratePaths(db.Graph(gid), ix.maxLen(), func(labels []graph.Label) bool {
 				for s := 0; s < len(labels); s++ {
-					node := ix.lookup(pathKey(labels[s:]))
+					node := ix.lookup(pathKey(labels[s:]), &visited)
 					if node == nil {
 						ok = false
 						return false

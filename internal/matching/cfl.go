@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // CFL (Bi, Chang, Lin, Qin, Zhang [1]) — the state-of-the-art
@@ -21,22 +22,66 @@ import (
 // CFLFilter computes candidate sets for q against g. It returns early (with
 // some sets possibly empty) as soon as any candidate set becomes empty.
 func CFLFilter(q, g *graph.Graph) *Candidates {
-	return cflFilter(q, g, true)
+	return cflFilter(q, g, true, nil)
+}
+
+// CFLFilterExplain is CFLFilter with stage introspection: when ex is
+// non-nil, per-query-vertex candidate counts are recorded after the
+// label/degree qualification, the top-down generation (with backward
+// pruning) and the bottom-up refinement. A nil ex costs a few predictable
+// branches and allocates nothing.
+func CFLFilterExplain(q, g *graph.Graph, ex *obs.Explain) *Candidates {
+	return cflFilter(q, g, true, ex)
 }
 
 // CFLFilterTopDownOnly is the ablation variant that skips the bottom-up
 // refinement pass, isolating its contribution to filtering precision
 // (DESIGN.md ablation index).
 func CFLFilterTopDownOnly(q, g *graph.Graph) *Candidates {
-	return cflFilter(q, g, false)
+	return cflFilter(q, g, false, nil)
 }
 
-func cflFilter(q, g *graph.Graph, bottomUp bool) *Candidates {
+// emitStageCounts records the current per-vertex candidate counts of one
+// filter stage (no-op with a nil Explain; a plain function rather than a
+// closure so the nil path stays allocation-free).
+func emitStageCounts(ex *obs.Explain, stage string, cand *Candidates) {
+	if ex == nil {
+		return
+	}
+	counts := make([]int, len(cand.Sets))
+	for u, s := range cand.Sets {
+		counts[u] = len(s)
+	}
+	ex.ObserveStage(stage, counts)
+}
+
+// emitLDFCounts records CFL's label-and-degree qualification stage: the
+// raw candidate pool size per query vertex before any connectivity
+// pruning (explain-only; duplicates cflRoot's scan, off the nil path).
+func emitLDFCounts(ex *obs.Explain, q, g *graph.Graph) {
+	if ex == nil {
+		return
+	}
+	counts := make([]int, q.NumVertices())
+	for u := range counts {
+		uu := graph.VertexID(u)
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := graph.VertexID(v)
+			if g.Label(vv) == q.Label(uu) && g.Degree(vv) >= q.Degree(uu) {
+				counts[u]++
+			}
+		}
+	}
+	ex.ObserveStage(obs.StageCFLLDF, counts)
+}
+
+func cflFilter(q, g *graph.Graph, bottomUp bool, ex *obs.Explain) *Candidates {
 	nq := q.NumVertices()
 	cand := NewCandidates(nq, g.NumVertices())
 	if nq == 0 {
 		return cand
 	}
+	emitLDFCounts(ex, q, g)
 
 	root := cflRoot(q, g)
 	tree := graph.NewBFSTree(q, root)
@@ -107,10 +152,12 @@ func cflFilter(q, g *graph.Graph, bottomUp bool) *Candidates {
 			}
 		}
 		if cand.Count(u) == 0 {
+			emitStageCounts(ex, obs.StageCFLTopDown, cand)
 			return cand
 		}
 		processed[u] = true
 	}
+	emitStageCounts(ex, obs.StageCFLTopDown, cand)
 
 	if !bottomUp {
 		return cand
@@ -150,9 +197,11 @@ func cflFilter(q, g *graph.Graph, bottomUp bool) *Candidates {
 			return true
 		})
 		if cand.Count(u) == 0 {
+			emitStageCounts(ex, obs.StageCFLBottomUp, cand)
 			return cand
 		}
 	}
+	emitStageCounts(ex, obs.StageCFLBottomUp, cand)
 	return cand
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // GraphQL's preprocessing and enumeration phases (He & Singh [14]), split
@@ -36,6 +37,16 @@ const DefaultRefinementRounds = 3
 // Space complexity O(|V(q)|·|V(G)|); time O(|V(q)|·|V(G)|·Θ(d_q, d_G)) with
 // Θ the bipartite matching cost.
 func GraphQLFilter(q, g *graph.Graph, rounds int) *Candidates {
+	return GraphQLFilterExplain(q, g, rounds, nil)
+}
+
+// GraphQLFilterExplain is GraphQLFilter with stage introspection: when ex
+// is non-nil it records per-vertex candidate counts after the
+// neighborhood-profile generation and after the pseudo-isomorphism
+// refinement, the number of refinement rounds executed, and how many
+// candidate vertices the semi-perfect bipartite matching test rejected. A
+// nil ex costs a few predictable branches and allocates nothing.
+func GraphQLFilterExplain(q, g *graph.Graph, rounds int, ex *obs.Explain) *Candidates {
 	if rounds == 0 {
 		rounds = DefaultRefinementRounds
 	}
@@ -60,15 +71,20 @@ func GraphQLFilter(q, g *graph.Graph, rounds int) *Candidates {
 			}
 		}
 		if cand.Count(uu) == 0 {
+			emitStageCounts(ex, obs.StageGraphQLProfile, cand)
 			return cand
 		}
 	}
+	emitStageCounts(ex, obs.StageGraphQLProfile, cand)
 
 	// Step 2: pseudo subgraph isomorphism pruning via semi-perfect
 	// bipartite matching, iterated for a bounded number of rounds.
 	var m bipartiteMatcher
+	var executed int
+	var rejected int64
 	adj := make([][]int32, 0, q.MaxDegree())
 	for r := 0; r < rounds; r++ {
+		executed = r + 1
 		changed := false
 		for u := 0; u < nq; u++ {
 			uu := graph.VertexID(u)
@@ -77,6 +93,7 @@ func GraphQLFilter(q, g *graph.Graph, rounds int) *Candidates {
 			cand.Retain(uu, func(v graph.VertexID) bool {
 				gn := g.Neighbors(v)
 				if len(gn) < len(qn) {
+					rejected++
 					return false
 				}
 				// Build the bigraph B between N(u) and N(v): edge when the
@@ -90,14 +107,20 @@ func GraphQLFilter(q, g *graph.Graph, rounds int) *Candidates {
 						}
 					}
 					if len(row) == 0 {
+						rejected++
 						return false
 					}
 					adj = append(adj, row)
 				}
 				m.reset(len(qn), len(gn))
-				return m.semiPerfect(adj)
+				ok := m.semiPerfect(adj)
+				if !ok {
+					rejected++
+				}
+				return ok
 			})
 			if cand.Count(uu) == 0 {
+				emitRefineStats(ex, cand, executed, rejected)
 				return cand
 			}
 			if cand.Count(uu) != before {
@@ -108,7 +131,19 @@ func GraphQLFilter(q, g *graph.Graph, rounds int) *Candidates {
 			break
 		}
 	}
+	emitRefineStats(ex, cand, executed, rejected)
 	return cand
+}
+
+// emitRefineStats records GraphQL's refinement outcome for one data graph
+// (no-op with a nil Explain).
+func emitRefineStats(ex *obs.Explain, cand *Candidates, rounds int, rejected int64) {
+	if ex == nil {
+		return
+	}
+	emitStageCounts(ex, obs.StageGraphQLRefine, cand)
+	ex.ObserveRefineRounds(rounds)
+	ex.ObserveRejections(rejected)
 }
 
 // profileSubsumed reports whether data vertex v has, for every neighbor

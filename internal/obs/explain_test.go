@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExplainNilIsSafe(t *testing.T) {
+	var ex *Explain
+	ex.ObserveStage(StageCFLLDF, []int{1, 2})
+	ex.ObserveRefineRounds(3)
+	ex.ObserveRejections(7)
+	ex.ObserveIndexProbe(IndexProbe{Index: "Grapes"})
+	ex.ObserveOrder([]OrderStep{{Vertex: 0, Candidates: 1}})
+	ex.SetEngine("CFQL")
+	s := ex.Snapshot()
+	if s.Engine != "" || len(s.Stages) != 0 || len(s.IndexProbes) != 0 {
+		t.Fatalf("nil Explain snapshot not empty: %+v", s)
+	}
+}
+
+// TestExplainNilAllocFree pins the acceptance criterion that the disabled
+// hot path allocates nothing: every recording method on a nil *Explain must
+// run without a single allocation.
+func TestExplainNilAllocFree(t *testing.T) {
+	var ex *Explain
+	counts := []int{3, 1, 4}
+	probe := IndexProbe{Index: "Grapes", Features: 5}
+	steps := []OrderStep{{Vertex: 0, Candidates: 2}}
+	allocs := testing.AllocsPerRun(200, func() {
+		ex.ObserveStage(StageCFLTopDown, counts)
+		ex.ObserveRefineRounds(2)
+		ex.ObserveRejections(9)
+		ex.ObserveIndexProbe(probe)
+		ex.ObserveOrder(steps)
+		ex.SetEngine("CFL")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Explain allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestExplainStageAggregation(t *testing.T) {
+	ex := NewExplain()
+	ex.ObserveStage(StageCFLLDF, []int{4, 6})
+	ex.ObserveStage(StageCFLLDF, []int{2, 0}) // pruned: a zero count
+	ex.ObserveStage(StageCFLTopDown, []int{3, 5})
+
+	s := ex.Snapshot()
+	if len(s.Stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(s.Stages))
+	}
+	ldf := s.Stages[0]
+	if ldf.Name != StageCFLLDF {
+		t.Fatalf("stage order: first stage is %q, want %q", ldf.Name, StageCFLLDF)
+	}
+	if ldf.Graphs != 2 || ldf.Pruned != 1 {
+		t.Fatalf("ldf graphs=%d pruned=%d, want 2 and 1", ldf.Graphs, ldf.Pruned)
+	}
+	if ldf.SumPerVertex[0] != 6 || ldf.SumPerVertex[1] != 6 {
+		t.Fatalf("ldf sums = %v, want [6 6]", ldf.SumPerVertex)
+	}
+	mean := ldf.MeanPerVertex()
+	if mean[0] != 3 || mean[1] != 3 {
+		t.Fatalf("ldf means = %v, want [3 3]", mean)
+	}
+}
+
+func TestExplainRefineAndRejections(t *testing.T) {
+	ex := NewExplain()
+	ex.ObserveRefineRounds(2)
+	ex.ObserveRefineRounds(5)
+	ex.ObserveRejections(10)
+	ex.ObserveRejections(0) // no-op
+	ex.ObserveRejections(3)
+
+	s := ex.Snapshot()
+	if s.RefineRounds == nil {
+		t.Fatal("RefineRounds missing")
+	}
+	if s.RefineRounds.Graphs != 2 || s.RefineRounds.Total != 7 || s.RefineRounds.Max != 5 {
+		t.Fatalf("refine = %+v, want graphs=2 total=7 max=5", s.RefineRounds)
+	}
+	if s.SemiPerfectRejections != 13 {
+		t.Fatalf("rejections = %d, want 13", s.SemiPerfectRejections)
+	}
+}
+
+func TestExplainProbeBounds(t *testing.T) {
+	ex := NewExplain()
+	long := make([]int, maxIntersectionSizes+10)
+	for i := 0; i < maxExplainProbes+4; i++ {
+		ex.ObserveIndexProbe(IndexProbe{Index: "Grapes", IntersectionSizes: long})
+	}
+	s := ex.Snapshot()
+	if len(s.IndexProbes) != maxExplainProbes {
+		t.Fatalf("kept %d probes, want %d", len(s.IndexProbes), maxExplainProbes)
+	}
+	if s.IndexProbesDropped != 4 {
+		t.Fatalf("dropped = %d, want 4", s.IndexProbesDropped)
+	}
+	if n := len(s.IndexProbes[0].IntersectionSizes); n != maxIntersectionSizes {
+		t.Fatalf("intersection sizes capped at %d, want %d", n, maxIntersectionSizes)
+	}
+}
+
+func TestExplainOrderFirstKeptVariationFlagged(t *testing.T) {
+	ex := NewExplain()
+	ex.ObserveOrder([]OrderStep{{Vertex: 1, Candidates: 2}, {Vertex: 0, Candidates: 9}})
+	ex.ObserveOrder([]OrderStep{{Vertex: 1, Candidates: 4}, {Vertex: 0, Candidates: 3}}) // same order
+	s := ex.Snapshot()
+	if s.OrdersSeen != 2 || s.OrderVaried {
+		t.Fatalf("seen=%d varied=%v, want 2 and false", s.OrdersSeen, s.OrderVaried)
+	}
+	if s.Order[0].Vertex != 1 || s.Order[0].Candidates != 2 {
+		t.Fatalf("first order not retained verbatim: %+v", s.Order)
+	}
+
+	ex.ObserveOrder([]OrderStep{{Vertex: 0, Candidates: 1}, {Vertex: 1, Candidates: 1}})
+	s = ex.Snapshot()
+	if !s.OrderVaried {
+		t.Fatal("differing order not flagged")
+	}
+}
+
+func TestExplainConcurrentRecording(t *testing.T) {
+	ex := NewExplain()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ex.ObserveStage(StageCFLTopDown, []int{1, 2, 3})
+				ex.ObserveRefineRounds(1)
+				ex.ObserveRejections(1)
+				ex.ObserveOrder([]OrderStep{{Vertex: 0, Candidates: 1}})
+			}
+		}()
+	}
+	wg.Wait()
+	s := ex.Snapshot()
+	if s.Stages[0].Graphs != 800 {
+		t.Fatalf("graphs = %d, want 800", s.Stages[0].Graphs)
+	}
+	if s.SemiPerfectRejections != 800 || s.OrdersSeen != 800 {
+		t.Fatalf("rejections=%d orders=%d, want 800 each", s.SemiPerfectRejections, s.OrdersSeen)
+	}
+}
+
+func TestExplainWriteText(t *testing.T) {
+	ex := NewExplain()
+	ex.SetEngine("CFQL")
+	ex.ObserveStage(StageCFLLDF, []int{8, 12})
+	ex.ObserveStage(StageCFLTopDown, []int{4, 6})
+	ex.ObserveStage(StageCFLBottomUp, []int{3, 5})
+	ex.ObserveIndexProbe(IndexProbe{Index: "Grapes", Features: 7, NodesVisited: 21, IntersectionSizes: []int{9, 4, 2}, Survivors: 2, DurationUS: 120})
+	ex.ObserveOrder([]OrderStep{{Vertex: 1, Candidates: 3}, {Vertex: 0, Candidates: 5}})
+
+	var b strings.Builder
+	ex.Snapshot().WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"EXPLAIN engine=CFQL",
+		StageCFLLDF, StageCFLTopDown, StageCFLBottomUp,
+		"Grapes", "nodes=21", "survivors=2",
+		"intersections [9 4 2]",
+		"u1(3)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}

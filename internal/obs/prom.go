@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4), so the telemetry scrapes into
+// standard dashboards.
+//
+// Registry names follow the "<metric>/<engine>" convention; the part
+// after the first slash becomes an `engine` label. Counters keep their
+// name (already *_total), gauges keep theirs, and histograms — which
+// record durations — are exported as `<name>_seconds` with cumulative
+// buckets, converting the registry's microsecond bucket bounds to the
+// Prometheus base unit.
+func WritePrometheus(w io.Writer, s Snapshot, namespace string) {
+	writePromFamilies(w, namespace, "counter", counterFamilies(s.Counters))
+	writePromFamilies(w, namespace, "gauge", gaugeFamilies(s.Gauges))
+	writePromHistograms(w, namespace, s.Histograms)
+}
+
+// promSample is one exported time series: an optional engine label and a
+// rendered value.
+type promSample struct {
+	engine string
+	value  string
+}
+
+// splitMetricName splits the registry's "<metric>/<engine>" convention and
+// sanitizes the metric part to the Prometheus name charset.
+func splitMetricName(name string) (metric, engine string) {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		metric, engine = name[:i], name[i+1:]
+	} else {
+		metric = name
+	}
+	return sanitizeMetricName(metric), engine
+}
+
+// sanitizeMetricName maps any character outside [a-zA-Z0-9_:] to '_' and
+// prefixes a digit-leading name with '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// labelPair renders `{engine="..."}`, optionally with an extra le pair for
+// histogram buckets; empty when both parts are absent.
+func labelPair(engine, le string) string {
+	var parts []string
+	if engine != "" {
+		parts = append(parts, `engine="`+escapeLabelValue(engine)+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func counterFamilies(counters map[string]int64) map[string][]promSample {
+	fams := map[string][]promSample{}
+	for name, v := range counters {
+		metric, engine := splitMetricName(name)
+		fams[metric] = append(fams[metric], promSample{engine, strconv.FormatInt(v, 10)})
+	}
+	return fams
+}
+
+func gaugeFamilies(gauges map[string]int64) map[string][]promSample {
+	fams := map[string][]promSample{}
+	for name, v := range gauges {
+		metric, engine := splitMetricName(name)
+		fams[metric] = append(fams[metric], promSample{engine, strconv.FormatInt(v, 10)})
+	}
+	return fams
+}
+
+// writePromFamilies writes one # TYPE line per metric family followed by
+// its samples, all deterministically sorted.
+func writePromFamilies(w io.Writer, namespace, typ string, fams map[string][]promSample) {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := namespace + "_" + name
+		fmt.Fprintf(w, "# TYPE %s %s\n", full, typ)
+		samples := fams[name]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].engine < samples[j].engine })
+		for _, smp := range samples {
+			fmt.Fprintf(w, "%s%s %s\n", full, labelPair(smp.engine, ""), smp.value)
+		}
+	}
+}
+
+// formatSeconds renders a microsecond quantity in seconds with full
+// precision.
+func formatSeconds(us int64) string {
+	return strconv.FormatFloat(float64(us)/1e6, 'g', -1, 64)
+}
+
+// writePromHistograms exports each histogram as cumulative buckets plus
+// _sum and _count, per the Prometheus histogram convention.
+func writePromHistograms(w io.Writer, namespace string, hists map[string]HistogramSnapshot) {
+	type instance struct {
+		engine string
+		snap   HistogramSnapshot
+	}
+	fams := map[string][]instance{}
+	for name, snap := range hists {
+		metric, engine := splitMetricName(name)
+		fams[metric] = append(fams[metric], instance{engine, snap})
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := namespace + "_" + name + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", full)
+		instances := fams[name]
+		sort.Slice(instances, func(i, j int) bool { return instances[i].engine < instances[j].engine })
+		for _, in := range instances {
+			var cum uint64
+			for _, b := range in.snap.Buckets {
+				cum += b.Count
+				fmt.Fprintf(w, "%s_bucket%s %d\n", full,
+					labelPair(in.engine, formatSeconds(b.LeUS)), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", full, labelPair(in.engine, "+Inf"), in.snap.Count)
+			fmt.Fprintf(w, "%s_sum%s %s\n", full, labelPair(in.engine, ""), formatSeconds(in.snap.SumUS))
+			fmt.Fprintf(w, "%s_count%s %d\n", full, labelPair(in.engine, ""), in.snap.Count)
+		}
+	}
+}

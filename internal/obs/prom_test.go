@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSampleLine matches one exposition-format sample: metric name, an
+// optional label set, a space, and a value.
+var promSampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9][0-9eE.+-]*$`)
+
+func promFixture() Snapshot {
+	r := NewRegistry()
+	r.Counter("queries_total/CFQL").Add(41)
+	r.Counter("queries_total/vcGrapes").Add(3)
+	r.Counter("queries_rejected_total").Add(2)
+	r.Gauge("queries_inflight").Set(1)
+	h := r.Histogram("query_latency/CFQL")
+	for _, d := range []time.Duration{50 * time.Microsecond, 3 * time.Millisecond, 90 * time.Millisecond} {
+		h.Record(d)
+	}
+	return r.Snapshot()
+}
+
+// TestWritePrometheusFormatSanity is the acceptance gate: every line of the
+// exposition must be a comment or a well-formed sample, every family must
+// have exactly one # TYPE line, and histograms must have non-decreasing
+// cumulative buckets ending at +Inf == _count.
+func TestWritePrometheusFormatSanity(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, promFixture(), "subgraphquery")
+	out := b.String()
+	if out == "" {
+		t.Fatal("empty exposition")
+	}
+
+	types := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if _, dup := types[fields[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", fields[2])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		if !strings.HasPrefix(line, "subgraphquery_") {
+			t.Fatalf("sample missing namespace: %q", line)
+		}
+	}
+
+	for name, typ := range map[string]string{
+		"subgraphquery_queries_total":         "counter",
+		"subgraphquery_queries_inflight":      "gauge",
+		"subgraphquery_query_latency_seconds": "histogram",
+	} {
+		if got := types[name]; got != typ {
+			t.Fatalf("TYPE of %s = %q, want %q (all: %v)", name, got, typ, types)
+		}
+	}
+
+	if !strings.Contains(out, `subgraphquery_queries_total{engine="CFQL"} 41`) {
+		t.Fatalf("per-engine counter sample missing:\n%s", out)
+	}
+
+	// Histogram invariants: buckets cumulative, +Inf present, count matches.
+	bucketRe := regexp.MustCompile(`subgraphquery_query_latency_seconds_bucket\{engine="CFQL",le="([^"]+)"\} (\d+)`)
+	var last int64 = -1
+	var inf int64 = -1
+	for _, m := range bucketRe.FindAllStringSubmatch(out, -1) {
+		v, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value %q: %v", m[2], err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at le=%s: %d after %d", m[1], v, last)
+		}
+		last = v
+		if m[1] == "+Inf" {
+			inf = v
+		}
+	}
+	if inf != 3 {
+		t.Fatalf("+Inf bucket = %d, want 3 (the sample count)", inf)
+	}
+	if !strings.Contains(out, `subgraphquery_query_latency_seconds_count{engine="CFQL"} 3`) {
+		t.Fatalf("_count sample missing:\n%s", out)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"query_latency": "query_latency",
+		"si-test.rate":  "si_test_rate",
+		"9lives":        "_9lives",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitMetricName(t *testing.T) {
+	m, e := splitMetricName("queries_total/CFQL+cache")
+	if m != "queries_total" || e != "CFQL+cache" {
+		t.Fatalf("split = %q/%q", m, e)
+	}
+	m, e = splitMetricName("plain")
+	if m != "plain" || e != "" {
+		t.Fatalf("split = %q/%q", m, e)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	if got := escapeLabelValue("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escape = %q", got)
+	}
+}

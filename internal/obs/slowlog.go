@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one retained slow-query record: the query's headline
+// numbers plus the full Trace and Explain captured while it ran.
+type SlowQuery struct {
+	Time       time.Time `json:"time"`
+	DurationUS int64     `json:"duration_us"`
+	Engine     string    `json:"engine,omitempty"`
+	// Query is a short shape description ("8v/10e"), not the graph itself.
+	Query      string           `json:"query,omitempty"`
+	Answers    int              `json:"answers"`
+	Candidates int              `json:"candidates"`
+	TimedOut   bool             `json:"timed_out,omitempty"`
+	Trace      *TraceSnapshot   `json:"trace,omitempty"`
+	Explain    *ExplainSnapshot `json:"explain,omitempty"`
+}
+
+// SlowLog is a bounded ring buffer of the most recent queries whose
+// latency met a threshold. It is always-on and cheap: queries under the
+// threshold cost one lock round-trip, retained queries overwrite the
+// oldest slot, and memory is bounded by capacity × (trace cap + explain
+// size). All methods are safe on a nil *SlowLog and for concurrent use.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	buf       []SlowQuery
+	next      int // slot the next retained query overwrites
+	full      bool
+	seen      int64
+	kept      int64
+}
+
+// DefaultSlowLogSize is the ring capacity when none is given.
+const DefaultSlowLogSize = 64
+
+// NewSlowLog returns a ring of the given capacity (<= 0 selects
+// DefaultSlowLogSize) retaining queries at or over threshold; a zero or
+// negative threshold retains every query.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogSize
+	}
+	return &SlowLog{threshold: threshold, buf: make([]SlowQuery, capacity)}
+}
+
+// Threshold returns the retention threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Offer submits a completed query; it is retained iff its duration meets
+// the threshold. Reports whether the query was kept.
+func (l *SlowLog) Offer(q SlowQuery) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seen++
+	if time.Duration(q.DurationUS)*time.Microsecond < l.threshold {
+		return false
+	}
+	l.kept++
+	l.buf[l.next] = q
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	return true
+}
+
+// SlowLogSnapshot is the JSON body of /debug/slowlog.
+type SlowLogSnapshot struct {
+	ThresholdUS int64 `json:"threshold_us"`
+	Capacity    int   `json:"capacity"`
+	// Seen counts queries offered; Kept counts queries that met the
+	// threshold (including ones since evicted from the ring).
+	Seen int64 `json:"seen"`
+	Kept int64 `json:"kept"`
+	// Queries lists the retained slow queries, newest first.
+	Queries []SlowQuery `json:"queries"`
+}
+
+// Snapshot copies the retained queries, newest first.
+func (l *SlowLog) Snapshot() SlowLogSnapshot {
+	if l == nil {
+		return SlowLogSnapshot{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := SlowLogSnapshot{
+		ThresholdUS: l.threshold.Microseconds(),
+		Capacity:    len(l.buf),
+		Seen:        l.seen,
+		Kept:        l.kept,
+		Queries:     make([]SlowQuery, 0, len(l.buf)),
+	}
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	for i := 0; i < n; i++ {
+		// Walk backwards from the most recently written slot.
+		ix := (l.next - 1 - i + len(l.buf)) % len(l.buf)
+		s.Queries = append(s.Queries, l.buf[ix])
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSlowLogNilIsSafe(t *testing.T) {
+	var l *SlowLog
+	if l.Offer(SlowQuery{DurationUS: 1e6}) {
+		t.Fatal("nil SlowLog kept a query")
+	}
+	if l.Threshold() != 0 {
+		t.Fatal("nil SlowLog threshold non-zero")
+	}
+	if s := l.Snapshot(); s.Seen != 0 || len(s.Queries) != 0 {
+		t.Fatalf("nil SlowLog snapshot not empty: %+v", s)
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(4, 10*time.Millisecond)
+	if l.Offer(SlowQuery{DurationUS: 9_000}) {
+		t.Fatal("under-threshold query kept")
+	}
+	if !l.Offer(SlowQuery{DurationUS: 10_000}) {
+		t.Fatal("at-threshold query dropped")
+	}
+	s := l.Snapshot()
+	if s.Seen != 2 || s.Kept != 1 || len(s.Queries) != 1 {
+		t.Fatalf("seen=%d kept=%d len=%d, want 2/1/1", s.Seen, s.Kept, len(s.Queries))
+	}
+	if s.ThresholdUS != 10_000 || s.Capacity != 4 {
+		t.Fatalf("threshold_us=%d capacity=%d", s.ThresholdUS, s.Capacity)
+	}
+}
+
+func TestSlowLogRingEvictsOldest(t *testing.T) {
+	l := NewSlowLog(3, 0) // zero threshold retains everything
+	for i := 1; i <= 5; i++ {
+		l.Offer(SlowQuery{DurationUS: int64(i), Answers: i})
+	}
+	s := l.Snapshot()
+	if s.Seen != 5 || s.Kept != 5 {
+		t.Fatalf("seen=%d kept=%d, want 5/5", s.Seen, s.Kept)
+	}
+	if len(s.Queries) != 3 {
+		t.Fatalf("retained %d, want capacity 3", len(s.Queries))
+	}
+	// Newest first: 5, 4, 3.
+	for i, want := range []int{5, 4, 3} {
+		if s.Queries[i].Answers != want {
+			t.Fatalf("queries[%d].Answers = %d, want %d", i, s.Queries[i].Answers, want)
+		}
+	}
+}
+
+func TestSlowLogRetainsTraceAndExplain(t *testing.T) {
+	l := NewSlowLog(2, 0)
+	tr := NewTrace()
+	tr.ObservePhase(PhaseFilter, time.Millisecond)
+	ex := NewExplain()
+	ex.SetEngine("CFQL")
+	ts := tr.Snapshot()
+	es := ex.Snapshot()
+	l.Offer(SlowQuery{DurationUS: 42, Engine: "CFQL", Trace: &ts, Explain: &es})
+
+	s := l.Snapshot()
+	q := s.Queries[0]
+	if q.Trace == nil || len(q.Trace.Phases) == 0 {
+		t.Fatalf("trace not retained: %+v", q.Trace)
+	}
+	if q.Explain == nil || q.Explain.Engine != "CFQL" {
+		t.Fatalf("explain not retained: %+v", q.Explain)
+	}
+}

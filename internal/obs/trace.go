@@ -105,10 +105,16 @@ type TraceSnapshot struct {
 	// Verifications lists one event per candidate graph tested, capped at
 	// the trace's event limit.
 	Verifications []VerifyEvent `json:"verifications,omitempty"`
-	// VerificationsDropped counts events beyond the cap.
-	VerificationsDropped int `json:"verifications_dropped,omitempty"`
-	CacheHits            int `json:"cache_hits,omitempty"`
-	CacheMisses          int `json:"cache_misses,omitempty"`
+	// VerificationsTotal counts every verification observed, retained or
+	// not; when it exceeds len(Verifications) the trace is truncated.
+	VerificationsTotal int `json:"verifications_total"`
+	// VerificationsDropped counts events beyond the cap. Always present so
+	// a truncated trace cannot be misread as complete.
+	VerificationsDropped int `json:"verifications_dropped"`
+	// Truncated is the explicit flag for VerificationsDropped > 0.
+	Truncated   bool `json:"truncated,omitempty"`
+	CacheHits   int  `json:"cache_hits"`
+	CacheMisses int  `json:"cache_misses"`
 }
 
 // Snapshot copies the trace's current contents.
@@ -121,7 +127,9 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	return TraceSnapshot{
 		Phases:               append([]PhaseSpan(nil), t.spans...),
 		Verifications:        append([]VerifyEvent(nil), t.events...),
+		VerificationsTotal:   len(t.events) + t.dropped,
 		VerificationsDropped: t.dropped,
+		Truncated:            t.dropped > 0,
 		CacheHits:            t.cacheHits,
 		CacheMisses:          t.cacheMisses,
 	}

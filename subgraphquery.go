@@ -81,10 +81,19 @@ type (
 	Trace = obs.Trace
 	// TraceSnapshot is the JSON-marshalable view of a Trace.
 	TraceSnapshot = obs.TraceSnapshot
+	// Explain collects a structured EXPLAIN report from the filtering and
+	// index internals; set QueryOptions.Explain to enable. A nil *Explain
+	// is a free no-op.
+	Explain = obs.Explain
+	// ExplainSnapshot is the JSON-marshalable view of an Explain.
+	ExplainSnapshot = obs.ExplainSnapshot
 )
 
 // NewTrace returns an empty per-query trace.
 func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewExplain returns an empty per-query EXPLAIN report.
+func NewExplain() *Explain { return obs.NewExplain() }
 
 // NewBuilder returns a graph builder with capacity hints.
 func NewBuilder(vertices, edges int) *Builder { return graph.NewBuilder(vertices, edges) }
