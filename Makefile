@@ -1,17 +1,31 @@
 GO ?= go
 
-.PHONY: build check test bench bench-real bench-synthetic bench-json clean
+.PHONY: build check lint test test-sqdebug fuzz bench bench-real bench-synthetic bench-json clean
 
 build:
 	$(GO) build ./...
 
-# Fast pre-commit gate: vet + race tests on the hot packages.
+# Pre-commit gate: gofmt + vet + build + sqlint + race-short tests.
 check:
 	sh scripts/check.sh
+
+# Project-specific static analyzers (hotpath, locks, ctxbudget, errwrap).
+lint:
+	$(GO) run ./cmd/sqlint ./...
 
 # Full suite (slow: bench smoke tests build every index).
 test:
 	$(GO) test ./...
+
+# Short suite with the sqdebug runtime invariant assertions compiled in
+# (CSR shape, candidate-set mirrors, embedding validity, trie postings).
+test-sqdebug:
+	$(GO) test -tags sqdebug -short ./...
+
+# Ten-second fuzz smoke over the graph text-format reader, seeded from
+# internal/graph/testdata/fuzz.
+fuzz:
+	$(GO) test -fuzz=FuzzReadDatabase -fuzztime=10s -run '^$$' ./internal/graph
 
 # Default bench run: small-scale real + synthetic studies, landing the
 # machine-readable reports (BENCH_<dataset>.json, BENCH_synthetic.json,

@@ -187,10 +187,10 @@ func BenchmarkFig9_FilteringTimeSynthetic(b *testing.B) {
 func benchFilterPhase(b *testing.B, db *graph.Database, queries []*graph.Graph) {
 	filters := map[string]func(q, g *graph.Graph) bool{
 		"CFL": func(q, g *graph.Graph) bool {
-			return !matching.CFLFilter(q, g).AnyEmpty()
+			return !matching.CFLFilter(q, g, matching.FilterOptions{}).AnyEmpty()
 		},
 		"GraphQL": func(q, g *graph.Graph) bool {
-			return !matching.GraphQLFilter(q, g, 0).AnyEmpty()
+			return !matching.GraphQLFilter(q, g, matching.FilterOptions{}).AnyEmpty()
 		},
 	}
 	for name, filter := range filters {
@@ -319,8 +319,12 @@ func BenchmarkTableIX_MemoryCostSynthetic(b *testing.B) {
 func BenchmarkAblation_CFLBottomUp(b *testing.B) {
 	fixtures(b)
 	variants := map[string]func(q, g *graph.Graph) *matching.Candidates{
-		"Full":        matching.CFLFilter,
-		"TopDownOnly": matching.CFLFilterTopDownOnly,
+		"Full": func(q, g *graph.Graph) *matching.Candidates {
+			return matching.CFLFilter(q, g, matching.FilterOptions{})
+		},
+		"TopDownOnly": func(q, g *graph.Graph) *matching.Candidates {
+			return matching.CFLFilterTopDownOnly(q, g, matching.FilterOptions{})
+		},
 	}
 	for name, filter := range variants {
 		b.Run(name, func(b *testing.B) {
@@ -352,7 +356,7 @@ func BenchmarkAblation_GraphQLRefinement(b *testing.B) {
 				total := 0
 				for _, q := range fixQ8S {
 					for gi := 0; gi < fixAIDS.Len(); gi++ {
-						total += matching.GraphQLFilter(q, fixAIDS.Graph(gi), rounds.n).TotalSize()
+						total += matching.GraphQLFilter(q, fixAIDS.Graph(gi), matching.FilterOptions{Rounds: rounds.n}).TotalSize()
 					}
 				}
 				if total == 0 {

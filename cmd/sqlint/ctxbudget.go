@@ -1,0 +1,101 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxbudgetAnalyzer enforces the timeout/budget threading convention of
+// the query path: every exported Query*, Filter* or Build* entry point in
+// internal/core, internal/index and internal/matching must accept a way
+// to bound its work — an options struct carrying a Deadline field (the
+// project convention: core.QueryOptions, core.BuildOptions,
+// index.BuildOptions, matching.Options), a bare time.Time deadline, or a
+// context.Context. The paper runs every query under a 10-minute deadline
+// and every index build under 24 hours; an entry point that cannot be
+// bounded silently escapes both.
+//
+// Exemptions: functions with no parameters (nothing to bound),
+// constructors (New*), and sites annotated //sqlint:ignore ctxbudget with
+// a justification (e.g. index probes whose cost is bounded by the built
+// structure).
+var ctxbudgetAnalyzer = &Analyzer{
+	Name: "ctxbudget",
+	Doc:  "exported Query/Filter/Build paths must thread a deadline or budget",
+	Applies: func(path string) bool {
+		return pathMatchesAny(path, "internal/core", "internal/index", "internal/matching")
+	},
+	Run: runCtxBudget,
+}
+
+var budgetKeywords = []string{"Query", "Filter", "Build"}
+
+func runCtxBudget(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			name := fd.Name.Name
+			kw := matchedKeyword(name)
+			if kw == "" {
+				continue
+			}
+			if fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+				continue // accessors like Result.QueryTime: nothing to bound
+			}
+			if hasBudgetParam(pass.Info, fd) {
+				continue
+			}
+			recv := ""
+			if fd.Recv != nil {
+				recv = types.ExprString(fd.Recv.List[0].Type) + "."
+			}
+			pass.Reportf(fd.Name.Pos(), "%s%s is a %s path without a deadline/budget parameter; thread an options struct with a Deadline, a time.Time, or a context.Context", recv, name, kw)
+		}
+	}
+}
+
+// matchedKeyword returns the Query/Filter/Build keyword the function name
+// carries, or "". Constructors (New*) are exempt: they configure, they do
+// not traverse.
+func matchedKeyword(name string) string {
+	if strings.HasPrefix(name, "New") {
+		return ""
+	}
+	for _, kw := range budgetKeywords {
+		if strings.Contains(name, kw) {
+			return kw
+		}
+	}
+	return ""
+}
+
+// hasBudgetParam reports whether some parameter can bound the work: a
+// struct (or pointer to one) with a Deadline field, a time.Time, or a
+// context.Context.
+func hasBudgetParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if isNamedType(t, "time", "Time") || isNamedType(t, "context", "Context") {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if f.Name() == "Deadline" || strings.Contains(f.Name(), "Budget") || strings.Contains(f.Name(), "Max") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

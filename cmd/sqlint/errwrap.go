@@ -1,0 +1,169 @@
+package main
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// errwrapAnalyzer enforces the module's error conventions:
+//
+//   - an error operand formatted into fmt.Errorf must use %w, not %v or
+//     %s: without the wrap verb, errors.Is/As cannot see through the
+//     layer and callers lose sentinel matching (index.ErrBudget is
+//     matched with errors.Is across package boundaries);
+//   - errors.New with a constant message belongs at package level as a
+//     sentinel var, where callers can errors.Is against it — inside a
+//     function body it mints an unmatchable fresh error per call;
+//   - error strings are Go style: no capitalized first word, no trailing
+//     punctuation or newline (they get wrapped and composed).
+var errwrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc:  "enforce %w wrapping, package-level sentinels, and error string style",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(pass *Pass) {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgFuncCall(pass.Info, call, "fmt", "Errorf"):
+				checkErrorf(pass, call)
+			case pkgFuncCall(pass.Info, call, "errors", "New"):
+				checkErrorsNew(pass, call, stack)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf verifies the format string's verbs against error-typed
+// operands and the error string style.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := stringLiteral(call.Args[0])
+	if !ok {
+		return
+	}
+	checkErrorString(pass, call.Args[0], format)
+	verbs := formatVerbs(format)
+	for i, v := range verbs {
+		argIx := i + 1
+		if argIx >= len(call.Args) {
+			break
+		}
+		if v != 'v' && v != 's' {
+			continue
+		}
+		t := pass.Info.Types[call.Args[argIx]].Type
+		if t != nil && implementsError(t) {
+			pass.Reportf(call.Args[argIx].Pos(), "error operand formatted with %%%c; use %%w so callers can errors.Is/As through the wrap", v)
+		}
+	}
+}
+
+// checkErrorsNew flags dynamic sentinel construction inside functions.
+func checkErrorsNew(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) == 1 {
+		if msg, ok := stringLiteral(call.Args[0]); ok {
+			checkErrorString(pass, call.Args[0], msg)
+		}
+	}
+	if fn, _ := enclosingFunc(stack); fn != nil {
+		pass.Reportf(call.Pos(), "errors.New inside a function mints an unmatchable error per call; declare a package-level sentinel var or use fmt.Errorf with context")
+	}
+}
+
+// checkErrorString applies Go error-string style: lower-case start (unless
+// the first word is an identifier-like token), no trailing punctuation.
+func checkErrorString(pass *Pass, arg ast.Expr, s string) {
+	if s == "" {
+		return
+	}
+	if strings.HasSuffix(s, ".") || strings.HasSuffix(s, "!") || strings.HasSuffix(s, "\n") {
+		pass.Reportf(arg.Pos(), "error string ends with punctuation or newline; error strings are composed into longer messages")
+	}
+	first, size := utf8.DecodeRuneInString(s)
+	if unicode.IsUpper(first) && size < len(s) {
+		next, _ := utf8.DecodeRuneInString(s[size:])
+		// An all-caps or CamelCase first token is an identifier (CSR, Explain,
+		// GraphQL) — allowed; a capitalized ordinary word is not.
+		if unicode.IsLower(next) && !firstWordHasLaterUpper(s) {
+			pass.Reportf(arg.Pos(), "error string starts with a capitalized word; error strings are not sentences")
+		}
+	}
+}
+
+// firstWordHasLaterUpper reports whether the first whitespace-delimited
+// word contains an upper-case rune after its first — a CamelCase
+// identifier like GraphQL or TreePi.
+func firstWordHasLaterUpper(s string) bool {
+	word := s
+	if ix := strings.IndexAny(s, " \t:"); ix >= 0 {
+		word = s[:ix]
+	}
+	for i, r := range word {
+		if i > 0 && unicode.IsUpper(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// stringLiteral unquotes a basic string literal expression.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// formatVerbs extracts the verb letters of a printf format string in
+// operand order. Width/precision stars consume an operand and are
+// recorded as '*'; %% is skipped.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Scan flags, width, precision, then the verb letter.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.[]", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs
+}

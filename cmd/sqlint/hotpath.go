@@ -1,0 +1,89 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathAnalyzer enforces the enumeration/refinement hot-path rules of
+// internal/matching and internal/core:
+//
+//   - no fmt.Sprintf-family calls inside a loop: the per-candidate and
+//     per-embedding loops run millions of times per query, and one
+//     formatted string per iteration turns an engine into an allocator
+//     benchmark (error paths via fmt.Errorf are exempt — they fire once);
+//   - every obs.Observer method call inside a loop must be guarded by an
+//     `o != nil` check: calling a method on a nil interface panics, and
+//     the guard is also what keeps the nil-Observer path branch-cheap;
+//   - every *obs.Explain method call inside a loop must likewise sit
+//     behind a nil guard (the methods are nil-safe, but the convention
+//     keeps the nil-Explain path zero-allocation and makes the cost of
+//     instrumentation visible at the call site).
+var hotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation-heavy constructs and unguarded Observer/Explain calls in enumeration loops",
+	Applies: func(path string) bool {
+		return pathMatchesAny(path, "internal/matching", "internal/core")
+	},
+	Run: runHotpath,
+}
+
+// sprintfFamily is the set of fmt functions that allocate on every call.
+// fmt.Errorf is deliberately absent: error construction is a cold path.
+var sprintfFamily = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Printf": true, "Println": true, "Print": true,
+	"Fprintf": true, "Fprintln": true, "Fprint": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runHotpath(pass *Pass) {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if loopDepth(stack) == 0 {
+				return true
+			}
+			if name := sprintfCallName(pass.Info, call); name != "" {
+				pass.Reportf(call.Pos(), "fmt.%s inside a loop allocates per iteration; hoist it or build the value without fmt", name)
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvType := pass.Info.Types[sel.X].Type
+			recvStr := types.ExprString(sel.X)
+			switch {
+			case isNamedType(recvType, "obs", "Observer"):
+				if !nilGuarded(stack, recvStr) {
+					pass.Reportf(call.Pos(), "Observer call %s.%s in a loop without a %s != nil guard; a nil Observer panics here and the guard keeps the disabled path free", recvStr, sel.Sel.Name, recvStr)
+				}
+			case isNamedType(recvType, "obs", "Explain"):
+				if !nilGuarded(stack, recvStr) {
+					pass.Reportf(call.Pos(), "Explain call %s.%s in a loop without a %s != nil guard; keep the nil-Explain hot path zero-cost", recvStr, sel.Sel.Name, recvStr)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sprintfCallName returns the fmt function name if call is an
+// allocation-heavy fmt call, else "".
+func sprintfCallName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if !sprintfFamily[sel.Sel.Name] {
+		return ""
+	}
+	if pkgFuncCall(info, call, "fmt", sel.Sel.Name) {
+		return sel.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// locksAnalyzer enforces the concurrency hygiene rules:
+//
+//   - no sync.Mutex / RWMutex / WaitGroup / Once / Cond / Pool / Map
+//     received, passed or returned by value — a copied lock guards
+//     nothing (receivers are where `go vet` users get bitten most: a
+//     value receiver silently copies the struct and its mutex);
+//   - no map writes on fields of engine/index structs (types with a
+//     Query, Build, Filter or Insert method in internal/core or
+//     internal/index) in methods reachable from a Query*/Filter* entry
+//     point, unless the writing function also takes a lock — these
+//     structs are shared across queries and, for the parallel engines,
+//     across goroutines. Build-time writes are exempt: construction is
+//     single-writer by contract (callers may not query a half-built
+//     engine), so flagging them would only teach people to sprinkle
+//     locks on cold paths;
+//   - no goroutine launched without a visible completion bound: the
+//     launching function must use a sync.WaitGroup, or the goroutine
+//     body must signal completion over a channel (send or close).
+var locksAnalyzer = &Analyzer{
+	Name: "locks",
+	Doc:  "flag copied locks, unguarded engine-state map writes, and unbounded goroutines",
+	Run:  runLocks,
+}
+
+func runLocks(pass *Pass) {
+	reachable := queryReachableFuncs(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(pass, fd)
+			checkEngineMapWrites(pass, fd, reachable)
+			checkGoroutineBounds(pass, fd)
+		}
+	}
+}
+
+// queryReachableFuncs computes the functions of this package reachable
+// from a query-path entry point: any method or function whose name starts
+// with Query or Filter, closed under intra-package calls. Map writes are
+// only racy when a concurrent query can execute them, so the map-write
+// rule confines itself to this set; Build-time construction stays exempt.
+func queryReachableFuncs(pass *Pass) map[*types.Func]bool {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for obj := range decls {
+		if strings.HasPrefix(obj.Name(), "Query") || strings.HasPrefix(obj.Name(), "Filter") {
+			reachable[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		fd := decls[obj]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *types.Func
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				callee, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+			case *ast.Ident:
+				callee, _ = pass.Info.Uses[fun].(*types.Func)
+			}
+			if callee == nil {
+				return true
+			}
+			if _, local := decls[callee]; local && !reachable[callee] {
+				reachable[callee] = true
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	return reachable
+}
+
+// checkLockCopies flags by-value locks in the receiver, parameters and
+// results of fd.
+func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+	check := func(field *ast.Field, role string) {
+		if len(field.Names) == 0 && role != "receiver" && role != "result" {
+			role = "parameter"
+		}
+		t := pass.Info.Types[field.Type].Type
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if name := lockTypeName(t); name != "" {
+			pass.Reportf(field.Pos(), "%s %s copies %s by value; use a pointer", role, types.ExprString(field.Type), name)
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			check(field, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			check(field, "parameter")
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			check(field, "result")
+		}
+	}
+}
+
+// engineMethodNames marks a struct as engine/index state: anything
+// answering queries or holding a built index is shared across queries and
+// workers.
+var engineMethodNames = map[string]bool{
+	"Query": true, "Build": true, "Filter": true, "Insert": true, "InsertGraph": true,
+}
+
+// checkEngineMapWrites flags `recv.field[k] = v` (and delete/IncDec forms)
+// in engine/index methods reachable from a Query*/Filter* entry point when
+// the writing function never takes a lock.
+func checkEngineMapWrites(pass *Pass, fd *ast.FuncDecl, reachable map[*types.Func]bool) {
+	if fd.Recv == nil || fd.Body == nil {
+		return
+	}
+	if !pathMatchesAny(pass.Path, "internal/core", "internal/index") {
+		return
+	}
+	if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); !ok || !reachable[obj] {
+		return
+	}
+	recvField := fd.Recv.List[0]
+	if len(recvField.Names) == 0 {
+		return
+	}
+	recvName := recvField.Names[0].Name
+	named := namedFrom(pass.Info.Types[recvField.Type].Type)
+	if named == nil || !isEngineType(named) {
+		return
+	}
+	locked := funcTakesLock(fd.Body)
+
+	report := func(idx *ast.IndexExpr) {
+		if locked {
+			return
+		}
+		t := pass.Info.Types[idx.X].Type
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		root := rootIdent(idx.X)
+		if root == nil || root.Name != recvName {
+			return
+		}
+		pass.Reportf(idx.Pos(), "map write on engine state %s in method %s without holding a lock; engines are shared across queries and workers", types.ExprString(idx.X), fd.Name.Name)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					report(idx)
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := st.X.(*ast.IndexExpr); ok {
+				report(idx)
+			}
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) > 0 {
+				if idx, ok := st.Args[0].(*ast.IndexExpr); ok {
+					report(idx)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isEngineType reports whether the named type declares one of the
+// engine/index entry-point methods.
+func isEngineType(named *types.Named) bool {
+	for i := 0; i < named.NumMethods(); i++ {
+		if engineMethodNames[named.Method(i).Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// funcTakesLock reports whether the body contains a *.Lock() call.
+func funcTakesLock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkGoroutineBounds flags `go` statements whose completion nothing can
+// wait on.
+func checkGoroutineBounds(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	usesWaitGroup := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "Add" || sel.Sel.Name == "Done" || sel.Sel.Name == "Wait" {
+			if isNamedType(pass.Info.Types[sel.X].Type, "sync", "WaitGroup") {
+				usesWaitGroup = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if usesWaitGroup || goroutineSignalsCompletion(gs) {
+			return true
+		}
+		pass.Reportf(gs.Pos(), "goroutine in %s has no completion bound; use a sync.WaitGroup or signal completion over a channel", fd.Name.Name)
+		return true
+	})
+}
+
+// goroutineSignalsCompletion reports whether the goroutine body contains a
+// channel send, a close(), or a WaitGroup Done — some way for the launcher
+// to observe it finishing.
+func goroutineSignalsCompletion(gs *ast.GoStmt) bool {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		// `go pkg.F(ch)` — assume the callee owns its signaling; flagging
+		// would need whole-program analysis.
+		return true
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch c := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,169 @@
+// Command sqlint runs this repository's project-specific static analyzers
+// over the module — the correctness rules generic `go vet` cannot know:
+//
+//	hotpath   — no fmt.Sprintf-family allocations and no unguarded
+//	            Observer calls inside enumeration/refinement loops of
+//	            internal/matching and internal/core (the nil-Observer /
+//	            nil-Explain paths must stay allocation-free).
+//	locks     — no sync.Mutex/RWMutex/WaitGroup/Once passed or received
+//	            by value, no unguarded map writes on engine/index structs
+//	            reachable from Query/Build, no goroutines without a
+//	            completion bound (WaitGroup or channel).
+//	ctxbudget — every exported Query/Filter/Build entry point threads a
+//	            deadline or budget (an options struct with a Deadline
+//	            field, a time.Time, or a context.Context).
+//	errwrap   — fmt.Errorf wraps error operands with %w, sentinel errors
+//	            are package-level vars, error strings follow Go style.
+//
+// Findings can be suppressed — with a mandatory justification — by a
+// comment on the same line or the line above:
+//
+//	//sqlint:ignore locks single consumer; lifetime bounded by Build
+//
+// Usage:
+//
+//	go run ./cmd/sqlint ./...
+//	go run ./cmd/sqlint -tags sqdebug ./internal/... ./cmd/...
+//
+// Exit status: 0 clean, 1 findings, 2 load or internal error.
+//
+// The driver is standard-library only (go/ast, go/build, go/parser,
+// go/types); module-local imports are type-checked from source through a
+// custom importer, the standard library through importer.ForCompiler's
+// source mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// analyzers is the registry, in output order.
+var analyzers = []*Analyzer{
+	hotpathAnalyzer,
+	locksAnalyzer,
+	ctxbudgetAnalyzer,
+	errwrapAnalyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("sqlint", flag.ContinueOnError)
+	tags := fs.String("tags", "", "comma-separated extra build tags (e.g. sqdebug)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sqlint [-tags tags] [-only names] packages...")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlint:", err)
+		return 2
+	}
+	diags, err := Lint(cwd, patterns, splitList(*tags), splitList(*only))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "sqlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// Lint loads the packages matched by patterns under the module containing
+// dir and returns the surviving diagnostics, sorted by position. It is the
+// testable core of the command.
+func Lint(dir string, patterns, tags, only []string) ([]Diagnostic, error) {
+	rootDir, module, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(rootDir, module, tags)
+	paths, err := expandPatterns(l, patterns)
+	if err != nil {
+		return nil, err
+	}
+	selected := analyzers
+	if len(only) > 0 {
+		want := map[string]bool{}
+		for _, n := range only {
+			want[n] = true
+		}
+		selected = nil
+		for _, a := range analyzers {
+			if want[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+		if len(selected) == 0 {
+			return nil, fmt.Errorf("no analyzers match -only=%s", strings.Join(only, ","))
+		}
+	}
+
+	var diags []Diagnostic
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		var pkgDiags []Diagnostic
+		ignores := collectIgnores(l.fset, p.files, &pkgDiags)
+		for _, a := range selected {
+			if a.Applies != nil && !a.Applies(path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.fset,
+				Path:     path,
+				Files:    p.files,
+				Pkg:      p.pkg,
+				Info:     p.info,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		diags = append(diags, applyIgnores(pkgDiags, ignores)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module sqlint.example
+
+go 1.22

@@ -1,0 +1,85 @@
+// Package core holds locks and ctxbudget fixtures; its import path ends
+// in internal/core so the path-scoped analyzers apply.
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Options carries the query deadline, satisfying the ctxbudget rule for
+// the entry points below.
+type Options struct {
+	Deadline time.Time
+}
+
+// Engine is shared across queries and workers: map writes on its fields
+// from the query path must hold a lock.
+type Engine struct {
+	mu    sync.Mutex
+	cache map[string][]int
+	stats map[string]int
+}
+
+// Query is a query-path entry point; its unguarded map write races with
+// concurrent queries.
+func (e *Engine) Query(q string, opts Options) []int {
+	e.stats[q]++ // want: unguarded map write on query path
+	return e.lookup(q)
+}
+
+// lookup is reachable from Query, so its write is on the query path too.
+func (e *Engine) lookup(q string) []int {
+	e.cache[q] = nil // want: unguarded map write (reachable from Query)
+	return e.cache[q]
+}
+
+// QueryLocked holds the lock around its write: ok.
+func (e *Engine) QueryLocked(q string, opts Options) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache[q] = nil
+	return nil
+}
+
+// Build populates the maps before any query runs; construction is
+// single-writer by contract, so these writes are exempt.
+func (e *Engine) Build(items []string, opts Options) {
+	e.cache = map[string][]int{}
+	e.stats = map[string]int{}
+	for _, it := range items {
+		e.cache[it] = nil
+	}
+}
+
+// Snapshot's value receiver copies the embedded mutex.
+func (e Engine) Snapshot() int { // want: receiver copies sync.Mutex
+	return len(e.cache)
+}
+
+// waitOn's by-value parameter copies the WaitGroup, so the Wait observes
+// a snapshot of the counter.
+func waitOn(wg sync.WaitGroup) { // want: parameter copies sync.WaitGroup
+	wg.Wait()
+}
+
+// Spawn launches goroutines nothing can wait on.
+func (e *Engine) Spawn(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want: no completion bound
+			_ = i
+		}()
+	}
+}
+
+// SpawnBounded bounds its goroutines with a WaitGroup: ok.
+func (e *Engine) SpawnBounded(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,26 @@
+// Package index holds ctxbudget and suppression fixtures; its import path
+// ends in internal/index so the path-scoped analyzers apply.
+package index
+
+// Probe is a built index structure.
+type Probe struct {
+	ids []int
+}
+
+// Filter is an exported Filter path with no way to bound its work.
+func (p *Probe) Filter(q string) []int { // want: no deadline/budget parameter
+	return p.ids
+}
+
+// FilterBounded carries a justified suppression: the probe's cost is a
+// function of the built structure, not of unbounded input.
+func (p *Probe) FilterBounded(q string) []int { //sqlint:ignore ctxbudget probe cost bounded by the built structure
+	return p.ids
+}
+
+// malformed demonstrates that a suppression without a reason is itself a
+// finding.
+func malformed() {
+	//sqlint:ignore
+	_ = 0
+}

@@ -1,0 +1,41 @@
+package matching
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadQuery is the shape a sentinel should take: a package-level var
+// callers can errors.Is against.
+var ErrBadQuery = errors.New("bad query")
+
+// wrapVerb formats an error operand with %v, hiding it from errors.Is.
+func wrapVerb(err error) error {
+	return fmt.Errorf("filter: %v", err) // want: use %w
+}
+
+// wrapOK wraps properly.
+func wrapOK(err error) error {
+	return fmt.Errorf("filter: %w", err)
+}
+
+// freshSentinel mints an unmatchable error per call.
+func freshSentinel() error {
+	return errors.New("index not built") // want: package-level sentinel
+}
+
+// trailingPeriod violates error string style.
+func trailingPeriod() error {
+	return fmt.Errorf("load failed.") // want: trailing punctuation
+}
+
+// capitalized violates error string style.
+func capitalized() error {
+	return fmt.Errorf("Failed to load") // want: capitalized first word
+}
+
+// identifierStart is allowed: CamelCase / acronym first tokens name
+// identifiers, not sentence starts.
+func identifierStart() error {
+	return fmt.Errorf("GraphQL filter rejected %d rounds", 3)
+}

@@ -1,0 +1,53 @@
+// Package matching holds hotpath and errwrap fixtures; its import path
+// ends in internal/matching so the path-scoped analyzers apply.
+package matching
+
+import (
+	"fmt"
+
+	"sqlint.example/internal/obs"
+)
+
+// Hot trips every hotpath rule once and shows the compliant form of each.
+func Hot(o obs.Observer, ex *obs.Explain, items []int) (string, error) {
+	var s string
+	for _, it := range items {
+		s = fmt.Sprintf("item-%d", it) // want: fmt.Sprintf inside a loop
+		o.ObservePhase(s, 0)           // want: unguarded Observer call
+		ex.SetEngine(s)                // want: unguarded Explain call
+	}
+	for _, it := range items {
+		if o != nil {
+			o.ObservePhase("phase", 0) // guarded: ok
+		}
+		if ex != nil {
+			ex.SetEngine("engine") // guarded: ok
+		}
+		if it < 0 {
+			// fmt.Errorf is exempt: error construction is a cold path.
+			return "", fmt.Errorf("negative item %d", it)
+		}
+	}
+	s = fmt.Sprintf("total=%d", len(items)) // outside any loop: ok
+	return s, nil
+}
+
+// hotEarlyReturn uses the function-entry guard form, which also counts.
+func hotEarlyReturn(ex *obs.Explain, items []int) {
+	if ex == nil {
+		return
+	}
+	for range items {
+		ex.SetEngine("guarded-by-early-return") // ok
+	}
+}
+
+// hotSuppressed shows a justified suppression of a true positive.
+func hotSuppressed(items []int) string {
+	var s string
+	for range items {
+		//sqlint:ignore hotpath cold debug helper, runs once per process
+		s = fmt.Sprintf("suppressed")
+	}
+	return s
+}

@@ -1,0 +1,27 @@
+// Package obs mirrors the real module's observability surface just enough
+// for the hotpath analyzer's type-based matching: the analyzer identifies
+// Observer and Explain by package base name and type name, so this fixture
+// package exercises the same rules under the sqlint.example module.
+package obs
+
+import "time"
+
+// Observer is the per-phase callback interface; a nil Observer must never
+// be invoked (calling a method on a nil interface panics).
+type Observer interface {
+	ObservePhase(name string, d time.Duration)
+}
+
+// Explain accumulates a query report; its methods are nil-safe but the
+// hotpath convention still wants call sites guarded.
+type Explain struct {
+	engine string
+}
+
+// SetEngine records the engine name (no-op on nil).
+func (e *Explain) SetEngine(name string) {
+	if e == nil {
+		return
+	}
+	e.engine = name
+}

@@ -157,3 +157,64 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown engine should fail")
 	}
 }
+
+// extractExplain returns the EXPLAIN blocks of a -explain run: each
+// "EXPLAIN engine=" line plus its indented report body, with the
+// surrounding per-query timing lines (which are nondeterministic)
+// stripped.
+func extractExplain(out string) string {
+	var b strings.Builder
+	in := false
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "EXPLAIN "):
+			in = true
+		case in && !strings.HasPrefix(line, " "):
+			in = false
+		}
+		if in {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// TestRunExplainGolden pins the exact text of the -explain report — the
+// stage-table ordering, the per-vertex mean candidate columns, and the
+// refinement summary — for a fixed synthetic workload. Timing-bearing
+// lines are excluded, so the text is deterministic. Regenerate with
+// SQQUERY_UPDATE_GOLDEN=1.
+func TestRunExplainGolden(t *testing.T) {
+	dbPath, qPath := testWorkload(t)
+	var out strings.Builder
+	err := run(runOptions{
+		DBPath: dbPath, QueryPath: qPath, Engine: "CFQL",
+		Budget: time.Minute, IndexBudget: time.Minute, Workers: 1,
+		Explain: true, Out: &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := extractExplain(out.String())
+	if got == "" {
+		t.Fatalf("no EXPLAIN blocks in output:\n%s", out.String())
+	}
+
+	golden := filepath.Join("testdata", "explain_golden.txt")
+	if os.Getenv("SQQUERY_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("-explain output drifted from %s (regenerate with SQQUERY_UPDATE_GOLDEN=1):\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}

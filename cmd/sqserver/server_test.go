@@ -218,10 +218,10 @@ func TestStatsCacheInvalidation(t *testing.T) {
 
 // metricsResponse mirrors the /metrics JSON shape.
 type metricsResponse struct {
-	Engine   string           `json:"engine"`
-	UptimeS  int64            `json:"uptime_s"`
-	Counters map[string]int64 `json:"counters"`
-	Gauges   map[string]int64 `json:"gauges"`
+	Engine     string           `json:"engine"`
+	UptimeS    int64            `json:"uptime_s"`
+	Counters   map[string]int64 `json:"counters"`
+	Gauges     map[string]int64 `json:"gauges"`
 	Histograms map[string]struct {
 		Count  uint64 `json:"count"`
 		MeanUS int64  `json:"mean_us"`
@@ -417,11 +417,11 @@ func TestSlowLogEndpoint(t *testing.T) {
 		Seen        int64 `json:"seen"`
 		Kept        int64 `json:"kept"`
 		Queries     []struct {
-			DurationUS int64                `json:"duration_us"`
-			Engine     string               `json:"engine"`
-			Query      string               `json:"query"`
-			Trace      *sq.TraceSnapshot    `json:"trace"`
-			Explain    *sq.ExplainSnapshot  `json:"explain"`
+			DurationUS int64               `json:"duration_us"`
+			Engine     string              `json:"engine"`
+			Query      string              `json:"query"`
+			Trace      *sq.TraceSnapshot   `json:"trace"`
+			Explain    *sq.ExplainSnapshot `json:"explain"`
 		} `json:"queries"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {

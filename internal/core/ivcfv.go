@@ -105,9 +105,15 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		}
 		g := e.db.Graph(gid)
 		t1 := time.Now()
-		cand := matching.CFLFilterExplain(q, g, ex)
-		pass := q.NumVertices() > 0 && !cand.AnyEmpty()
+		cand := matching.CFLFilter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex})
 		res.FilterTime += time.Since(t1)
+		if cand.Aborted {
+			// Deadline hit mid-filter: the sets prove nothing about this
+			// graph, so stop with a partial answer set.
+			res.TimedOut = true
+			break
+		}
+		pass := q.NumVertices() > 0 && !cand.AnyEmpty()
 		if !pass {
 			continue
 		}

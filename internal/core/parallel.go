@@ -71,8 +71,8 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			g := e.db.Graph(gid)
 
 			t0 := time.Now()
-			cand := matching.CFLFilterExplain(q, g, ex)
-			pass := q.NumVertices() > 0 && !cand.AnyEmpty()
+			cand := matching.CFLFilter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex})
+			pass := !cand.Aborted && q.NumVertices() > 0 && !cand.AnyEmpty()
 			filterTime := time.Since(t0)
 
 			var verifyTime time.Duration
@@ -99,6 +99,11 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			mu.Lock()
 			res.FilterTime += filterTime
 			res.VerifyTime += verifyTime
+			if cand.Aborted {
+				// Deadline hit mid-filter: the sets prove nothing about
+				// this graph, so the answer set is a lower bound.
+				res.TimedOut = true
+			}
 			if pass {
 				res.Candidates++
 				if m := cand.MemoryFootprint(); m > res.AuxMemory {

@@ -15,10 +15,11 @@ import (
 // enumeration phase stopped at the first subgraph isomorphism.
 type vcFV struct {
 	name string
-	// filter receives the (possibly nil) Explain so the matching layer can
-	// record per-stage candidate counts; with a nil Explain it must behave
-	// exactly like the plain filter.
-	filter func(q, g *graph.Graph, ex *obs.Explain) *matching.Candidates
+	// filter receives the per-pass FilterOptions — the query deadline and
+	// the (possibly nil) Explain — so the matching layer can abort on
+	// timeout and record per-stage candidate counts; with a nil Explain it
+	// must behave exactly like the plain filter.
+	filter func(q, g *graph.Graph, opts matching.FilterOptions) *matching.Candidates
 	order  func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID
 
 	db *graph.Database
@@ -29,7 +30,7 @@ type vcFV struct {
 func NewCFL() Engine {
 	return &vcFV{
 		name:   "CFL",
-		filter: matching.CFLFilterExplain,
+		filter: matching.CFLFilter,
 		order:  matching.CFLOrder,
 	}
 }
@@ -39,10 +40,8 @@ func NewCFL() Engine {
 // Verify.
 func NewGraphQL() Engine {
 	return &vcFV{
-		name: "GraphQL",
-		filter: func(q, g *graph.Graph, ex *obs.Explain) *matching.Candidates {
-			return matching.GraphQLFilterExplain(q, g, 0, ex)
-		},
+		name:   "GraphQL",
+		filter: matching.GraphQLFilter,
 		order: func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID {
 			return matching.GraphQLOrder(q, cand)
 		},
@@ -54,7 +53,7 @@ func NewGraphQL() Engine {
 func NewCFQL() Engine {
 	return &vcFV{
 		name:   "CFQL",
-		filter: matching.CFLFilterExplain,
+		filter: matching.CFLFilter,
 		order: func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID {
 			return matching.GraphQLOrder(q, cand)
 		},
@@ -90,9 +89,15 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		g := e.db.Graph(gid)
 
 		t0 := time.Now()
-		cand := e.filter(q, g, ex)
-		pass := q.NumVertices() > 0 && !cand.AnyEmpty()
+		cand := e.filter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex})
 		res.FilterTime += time.Since(t0)
+		if cand.Aborted {
+			// The filter hit the query deadline mid-pass; its sets prove
+			// nothing about this graph, so stop with a partial answer set.
+			res.TimedOut = true
+			break
+		}
+		pass := q.NumVertices() > 0 && !cand.AnyEmpty()
 		if !pass {
 			continue
 		}

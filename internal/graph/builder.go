@@ -99,6 +99,7 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 	}
 	g.buildLabelIndex()
+	debugCheckGraph(g) // sqdebug builds only; compiles away otherwise
 	return g, nil
 }
 

@@ -112,10 +112,14 @@ func readGraphs(r io.Reader, limit int) ([]*Graph, error) {
 			var err1, err2 error
 			wantV, err1 = strconv.Atoi(fields[2])
 			wantE, err2 = strconv.Atoi(fields[3])
-			if err1 != nil || err2 != nil {
+			if err1 != nil || err2 != nil || wantV < 0 || wantE < 0 {
 				return nil, fmt.Errorf("line %d: malformed t record %q", lineNo, line)
 			}
-			b = NewBuilder(wantV, wantE)
+			// The declared counts are capacity hints here (flush enforces
+			// them exactly), so cap them: a hostile header must not force
+			// a huge allocation before any vertex has been parsed.
+			const maxHint = 1 << 20
+			b = NewBuilder(min(wantV, maxHint), min(wantE, maxHint))
 		case "v":
 			if b == nil {
 				return nil, fmt.Errorf("line %d: v record before t record", lineNo)

@@ -89,7 +89,7 @@ func (ix *FGIndexLite) Build(db *graph.Database, opts BuildOptions) error {
 
 // FilterExact returns the candidate ids and whether they are already the
 // exact answer set (the query matched an indexed feature verbatim).
-func (ix *FGIndexLite) FilterExact(q *graph.Graph) ([]int, bool) {
+func (ix *FGIndexLite) FilterExact(q *graph.Graph) ([]int, bool) { //sqlint:ignore ctxbudget probe cost is bounded by the built feature table, not the data graphs
 	if ix.features == nil {
 		return nil, false
 	}
@@ -124,7 +124,7 @@ func (ix *FGIndexLite) FilterExact(q *graph.Graph) ([]int, bool) {
 }
 
 // Filter implements Index.
-func (ix *FGIndexLite) Filter(q *graph.Graph) []int {
+func (ix *FGIndexLite) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the built feature table, not the data graphs
 	ids, _ := ix.FilterExact(q)
 	return ids
 }

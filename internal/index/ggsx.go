@@ -73,6 +73,7 @@ func (ix *GGSX) Build(db *graph.Database, opts BuildOptions) error {
 			return ErrBudget
 		}
 	}
+	debugCheckGGSX(ix) // sqdebug builds only; compiles away otherwise
 	return nil
 }
 
@@ -98,7 +99,7 @@ func (ix *GGSX) insert(labels []graph.Label, gid int32) {
 
 // Filter implements Index: C(q) = graphs containing every path feature of q
 // at least once.
-func (ix *GGSX) Filter(q *graph.Graph) []int {
+func (ix *GGSX) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the built suffix tree, not the data graphs
 	return ix.FilterExplain(q, nil)
 }
 

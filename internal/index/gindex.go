@@ -162,7 +162,7 @@ func (ix *GIndexLite) lookupLongest(key string, trimBack bool) []int32 {
 // Filter implements Index: intersect the posting lists of every indexed
 // feature of q. Unindexed features (mined away) are skipped — that is the
 // precision the mining trades for index size.
-func (ix *GIndexLite) Filter(q *graph.Graph) []int {
+func (ix *GIndexLite) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the mined feature set, not the data graphs
 	if ix.features == nil {
 		return nil
 	}

@@ -157,6 +157,7 @@ func (ix *Grapes) Build(db *graph.Database, opts BuildOptions) error {
 		return budgetErr
 	}
 	ix.sortPostings()
+	debugCheckGrapes(ix) // sqdebug builds only; compiles away otherwise
 	return nil
 }
 
@@ -226,7 +227,7 @@ func (ix *Grapes) lookup(key string, visited *int64) *grapesNode {
 
 // Filter implements Index: C(q) = graphs containing at least count_q(f)
 // occurrences of every path feature f of q.
-func (ix *Grapes) Filter(q *graph.Graph) []int {
+func (ix *Grapes) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the built trie, not the data graphs
 	return ix.FilterExplain(q, nil)
 }
 

@@ -75,7 +75,7 @@ func (ix *GraphGrep) bucket(labels []graph.Label) uint32 {
 }
 
 // Filter implements Index.
-func (ix *GraphGrep) Filter(q *graph.Graph) []int {
+func (ix *GraphGrep) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the built hash tables, not the data graphs
 	if ix.tables == nil {
 		return nil
 	}

@@ -1,0 +1,84 @@
+package index
+
+import "fmt"
+
+// Runtime invariant assertions over the trie-shaped indexes, active only
+// under the sqdebug build tag (see sqdebug_on.go). Both Grapes and GGSX
+// rely on per-node posting lists being strictly ascending — the
+// intersection-based Filter silently returns wrong candidate sets
+// otherwise — and on the nodes/entries counters matching the real tree,
+// since MemoryFootprint feeds the paper's reported index sizes.
+
+// debugCheckGrapes panics if the built Grapes trie violates an invariant.
+// No-op in normal builds.
+func debugCheckGrapes(ix *Grapes) {
+	if !debugInvariants || ix.root == nil {
+		return
+	}
+	var nodes, entries int64
+	var walk func(n *grapesNode, depth int)
+	walk = func(n *grapesNode, depth int) {
+		nodes++
+		if len(n.graphIDs) != len(n.counts) {
+			debugFailf("Grapes node at depth %d has %d ids but %d counts", depth, len(n.graphIDs), len(n.counts))
+		}
+		for i, id := range n.graphIDs {
+			if int(id) >= ix.numGraphs || id < 0 {
+				debugFailf("Grapes node at depth %d lists graph %d outside [0,%d)", depth, id, ix.numGraphs)
+			}
+			if i > 0 && n.graphIDs[i-1] >= id {
+				debugFailf("Grapes posting list at depth %d not strictly ascending at position %d", depth, i)
+			}
+			if n.counts[i] <= 0 {
+				debugFailf("Grapes node at depth %d has non-positive count %d for graph %d", depth, n.counts[i], id)
+			}
+		}
+		entries += int64(len(n.graphIDs))
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(ix.root, 0)
+	if nodes != ix.nodes {
+		debugFailf("Grapes nodes counter %d, walked %d", ix.nodes, nodes)
+	}
+	if entries != ix.entries {
+		debugFailf("Grapes entries counter %d, walked %d", ix.entries, entries)
+	}
+}
+
+// debugCheckGGSX panics if the built GGSX suffix tree violates an
+// invariant. No-op in normal builds.
+func debugCheckGGSX(ix *GGSX) {
+	if !debugInvariants || ix.root == nil {
+		return
+	}
+	var nodes, entries int64
+	var walk func(n *ggsxNode, depth int)
+	walk = func(n *ggsxNode, depth int) {
+		nodes++
+		for i, id := range n.graphIDs {
+			if int(id) >= ix.numGraphs || id < 0 {
+				debugFailf("GGSX node at depth %d lists graph %d outside [0,%d)", depth, id, ix.numGraphs)
+			}
+			if i > 0 && n.graphIDs[i-1] >= id {
+				debugFailf("GGSX presence list at depth %d not strictly ascending at position %d", depth, i)
+			}
+		}
+		entries += int64(len(n.graphIDs))
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(ix.root, 0)
+	if nodes != ix.nodes {
+		debugFailf("GGSX nodes counter %d, walked %d", ix.nodes, nodes)
+	}
+	if entries != ix.entries {
+		debugFailf("GGSX entries counter %d, walked %d", ix.entries, entries)
+	}
+}
+
+func debugFailf(format string, args ...any) {
+	panic("sqdebug: index: " + fmt.Sprintf(format, args...))
+}

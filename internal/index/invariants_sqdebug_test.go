@@ -1,0 +1,126 @@
+//go:build sqdebug
+
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"subgraphquery/internal/graph"
+)
+
+// Corruption tests for the sqdebug trie assertions.
+
+func mustPanicWith(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func debugDB(t *testing.T) *graph.Database {
+	t.Helper()
+	g0 := graph.MustFromEdges([]graph.Label{0, 1, 2}, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g1 := graph.MustFromEdges([]graph.Label{0, 1, 0}, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	return graph.NewDatabase([]*graph.Graph{g0, g1})
+}
+
+func builtGrapes(t *testing.T) *Grapes {
+	t.Helper()
+	ix := &Grapes{MaxPathLength: 2}
+	if err := ix.Build(debugDB(t), BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func builtGGSX(t *testing.T) *GGSX {
+	t.Helper()
+	ix := &GGSX{MaxPathLength: 2}
+	if err := ix.Build(debugDB(t), BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestDebugCheckGrapesAcceptsBuilt(t *testing.T) {
+	debugCheckGrapes(builtGrapes(t)) // Build already ran it; must still hold
+}
+
+func TestDebugCheckGrapesUnsortedPostings(t *testing.T) {
+	ix := builtGrapes(t)
+	n := findGrapesNodeWithPostings(ix.root, 2)
+	if n == nil {
+		t.Skip("no node with two postings in fixture")
+	}
+	n.graphIDs[0], n.graphIDs[1] = n.graphIDs[1], n.graphIDs[0]
+	mustPanicWith(t, "ascending", func() { debugCheckGrapes(ix) })
+}
+
+func TestDebugCheckGrapesCounterDrift(t *testing.T) {
+	ix := builtGrapes(t)
+	ix.nodes++
+	mustPanicWith(t, "nodes counter", func() { debugCheckGrapes(ix) })
+}
+
+func TestDebugCheckGrapesRaggedCounts(t *testing.T) {
+	ix := builtGrapes(t)
+	n := findGrapesNodeWithPostings(ix.root, 1)
+	if n == nil {
+		t.Fatal("no node with postings in fixture")
+	}
+	n.counts = n.counts[:len(n.counts)-1]
+	mustPanicWith(t, "counts", func() { debugCheckGrapes(ix) })
+}
+
+func TestDebugCheckGGSXAcceptsBuilt(t *testing.T) {
+	debugCheckGGSX(builtGGSX(t))
+}
+
+func TestDebugCheckGGSXUnsortedPostings(t *testing.T) {
+	ix := builtGGSX(t)
+	n := findGGSXNodeWithPostings(ix.root, 2)
+	if n == nil {
+		t.Skip("no node with two postings in fixture")
+	}
+	n.graphIDs[0], n.graphIDs[1] = n.graphIDs[1], n.graphIDs[0]
+	mustPanicWith(t, "ascending", func() { debugCheckGGSX(ix) })
+}
+
+func TestDebugCheckGGSXCounterDrift(t *testing.T) {
+	ix := builtGGSX(t)
+	ix.entries--
+	mustPanicWith(t, "entries counter", func() { debugCheckGGSX(ix) })
+}
+
+func findGrapesNodeWithPostings(n *grapesNode, min int) *grapesNode {
+	if len(n.graphIDs) >= min {
+		return n
+	}
+	for _, c := range n.children {
+		if found := findGrapesNodeWithPostings(c, min); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+func findGGSXNodeWithPostings(n *ggsxNode, min int) *ggsxNode {
+	if len(n.graphIDs) >= min {
+		return n
+	}
+	for _, c := range n.children {
+		if found := findGGSXNodeWithPostings(c, min); found != nil {
+			return found
+		}
+	}
+	return nil
+}

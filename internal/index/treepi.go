@@ -90,7 +90,7 @@ func isSingleVertexCode(code string) bool {
 }
 
 // Filter implements Index.
-func (ix *TreePiLite) Filter(q *graph.Graph) []int {
+func (ix *TreePiLite) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the built tree-feature table, not the data graphs
 	if ix.features == nil {
 		return nil
 	}

@@ -16,7 +16,7 @@ func TestCFLTopDownOnlyCompleteness(t *testing.T) {
 		g := randomConnectedGraph(r, 4+r.Intn(14), r.Intn(18), 1+r.Intn(4))
 		q := randomQueryFrom(r, g, 1+r.Intn(6))
 		embeddings := bruteForceEmbeddings(q, g)
-		cand := CFLFilterTopDownOnly(q, g)
+		cand := CFLFilterTopDownOnly(q, g, FilterOptions{})
 		for _, emb := range embeddings {
 			for u, v := range emb {
 				if !cand.Contains(graph.VertexID(u), v) {
@@ -34,8 +34,8 @@ func TestBottomUpOnlyPrunes(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		g := randomConnectedGraph(r, 4+r.Intn(14), r.Intn(18), 1+r.Intn(3))
 		q := randomQueryFrom(r, g, 1+r.Intn(6))
-		full := CFLFilter(q, g)
-		topDown := CFLFilterTopDownOnly(q, g)
+		full := CFLFilter(q, g, FilterOptions{})
+		topDown := CFLFilterTopDownOnly(q, g, FilterOptions{})
 		if full.AnyEmpty() {
 			continue // early exit makes set-by-set comparison moot
 		}
@@ -55,7 +55,7 @@ func TestGraphQLNoRefinementCompleteness(t *testing.T) {
 		g := randomConnectedGraph(r, 4+r.Intn(14), r.Intn(18), 1+r.Intn(4))
 		q := randomQueryFrom(r, g, 1+r.Intn(6))
 		embeddings := bruteForceEmbeddings(q, g)
-		cand := GraphQLFilter(q, g, -1) // profile-only ablation
+		cand := GraphQLFilter(q, g, FilterOptions{Rounds: -1}) // profile-only ablation
 		for _, emb := range embeddings {
 			for u, v := range emb {
 				if !cand.Contains(graph.VertexID(u), v) {
@@ -73,8 +73,8 @@ func TestRefinementOnlyPrunes(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		g := randomConnectedGraph(r, 4+r.Intn(14), r.Intn(18), 1+r.Intn(3))
 		q := randomQueryFrom(r, g, 1+r.Intn(6))
-		refined := GraphQLFilter(q, g, 3)
-		plain := GraphQLFilter(q, g, -1)
+		refined := GraphQLFilter(q, g, FilterOptions{Rounds: 3})
+		plain := GraphQLFilter(q, g, FilterOptions{Rounds: -1})
 		if refined.AnyEmpty() {
 			continue
 		}
@@ -103,11 +103,11 @@ func TestRefinementStrictlyHelpsSomewhere(t *testing.T) {
 	// satisfies everywhere — it cannot refute the cycle. GraphQL's
 	// semi-perfect matching refinement needs *distinct* neighbor images
 	// and empties the candidate sets within its default rounds.
-	gq := GraphQLFilter(q, g, 3)
+	gq := GraphQLFilter(q, g, FilterOptions{Rounds: 3})
 	if !gq.AnyEmpty() {
 		t.Errorf("refined GraphQL should prove a 4-cycle absent from a path: %v", gq.Sets)
 	}
-	gqPlain := GraphQLFilter(q, g, -1)
+	gqPlain := GraphQLFilter(q, g, FilterOptions{Rounds: -1})
 	if gqPlain.AnyEmpty() {
 		t.Error("profile-only GraphQL cannot refute the cycle; sets should be non-empty")
 	}

@@ -9,6 +9,12 @@ import "subgraphquery/internal/graph"
 type Candidates struct {
 	Sets [][]graph.VertexID
 
+	// Aborted reports that the filtering pass hit its FilterOptions
+	// deadline before completing. The sets are then incomplete and prove
+	// nothing: a caller must treat the data graph as timed out rather than
+	// pruned (AnyEmpty on an aborted filter is not a filtering condition).
+	Aborted bool
+
 	// member[u] is a bitset over data vertices mirroring Sets[u], used for
 	// O(1) membership tests during refinement and enumeration.
 	member []bitset

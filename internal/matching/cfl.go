@@ -19,26 +19,26 @@ import (
 //     query's core structure (2-core): root-to-leaf paths of q_t are ranked
 //     by their estimated number of embeddings, core paths first.
 
-// CFLFilter computes candidate sets for q against g. It returns early (with
-// some sets possibly empty) as soon as any candidate set becomes empty.
-func CFLFilter(q, g *graph.Graph) *Candidates {
-	return cflFilter(q, g, true, nil)
-}
-
-// CFLFilterExplain is CFLFilter with stage introspection: when ex is
-// non-nil, per-query-vertex candidate counts are recorded after the
-// label/degree qualification, the top-down generation (with backward
-// pruning) and the bottom-up refinement. A nil ex costs a few predictable
-// branches and allocates nothing.
-func CFLFilterExplain(q, g *graph.Graph, ex *obs.Explain) *Candidates {
-	return cflFilter(q, g, true, ex)
+// CFLFilter computes candidate sets for q against g under opts. It returns
+// early (with some sets possibly empty) as soon as any candidate set
+// becomes empty, and aborts (Candidates.Aborted) when opts.Deadline
+// passes. With a non-nil opts.Explain, per-query-vertex candidate counts
+// are recorded after the label/degree qualification, the top-down
+// generation (with backward pruning) and the bottom-up refinement; a nil
+// Explain costs a few predictable branches and allocates nothing.
+func CFLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
+	cand := cflFilter(q, g, true, opts)
+	debugCheckCandidates("CFLFilter", q, g, cand)
+	return cand
 }
 
 // CFLFilterTopDownOnly is the ablation variant that skips the bottom-up
 // refinement pass, isolating its contribution to filtering precision
 // (DESIGN.md ablation index).
-func CFLFilterTopDownOnly(q, g *graph.Graph) *Candidates {
-	return cflFilter(q, g, false, nil)
+func CFLFilterTopDownOnly(q, g *graph.Graph, opts FilterOptions) *Candidates {
+	cand := cflFilter(q, g, false, opts)
+	debugCheckCandidates("CFLFilterTopDownOnly", q, g, cand)
+	return cand
 }
 
 // emitStageCounts records the current per-vertex candidate counts of one
@@ -75,7 +75,8 @@ func emitLDFCounts(ex *obs.Explain, q, g *graph.Graph) {
 	ex.ObserveStage(obs.StageCFLLDF, counts)
 }
 
-func cflFilter(q, g *graph.Graph, bottomUp bool, ex *obs.Explain) *Candidates {
+func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates {
+	ex := opts.Explain
 	nq := q.NumVertices()
 	cand := NewCandidates(nq, g.NumVertices())
 	if nq == 0 {
@@ -98,6 +99,10 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, ex *obs.Explain) *Candidates {
 	var marked []graph.VertexID // vertices marked during the current epoch
 
 	for _, u := range tree.Order {
+		if opts.expired() {
+			cand.Aborted = true
+			return cand
+		}
 		qDeg := q.Degree(u)
 		qLab := q.Label(u)
 		var before []graph.VertexID
@@ -162,6 +167,7 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, ex *obs.Explain) *Candidates {
 	if !bottomUp {
 		return cand
 	}
+	snap := debugSnapshotCounts(cand) // sqdebug: stage monotonicity baseline
 
 	// Bottom-up refinement: in reverse BFS order, keep v ∈ Φ(u) only if for
 	// every neighbor u' processed after u (tree children and forward
@@ -171,6 +177,10 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, ex *obs.Explain) *Candidates {
 		pos[u] = i
 	}
 	for i := nq - 1; i >= 0; i-- {
+		if opts.expired() {
+			cand.Aborted = true
+			return cand
+		}
 		u := tree.Order[i]
 		var after []graph.VertexID
 		for _, up := range q.Neighbors(u) {
@@ -202,6 +212,7 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, ex *obs.Explain) *Candidates {
 		}
 	}
 	emitStageCounts(ex, obs.StageCFLBottomUp, cand)
+	debugCheckMonotone("CFL bottom-up", snap, cand)
 	return cand
 }
 
@@ -346,14 +357,19 @@ func pathEmbeddingEstimate(g, q *graph.Graph, cand *Candidates, path []graph.Ver
 type CFL struct{}
 
 // Filter runs CFL's preprocessing phase.
-func (CFL) Filter(q, g *graph.Graph) *Candidates { return CFLFilter(q, g) }
+func (CFL) Filter(q, g *graph.Graph, opts FilterOptions) *Candidates {
+	return CFLFilter(q, g, opts)
+}
 
 // Run enumerates embeddings with CFL's filter and path-based order.
 func (a CFL) Run(q, g *graph.Graph, opts Options) Result {
 	if q.NumVertices() == 0 {
 		return Result{Embeddings: 1}
 	}
-	cand := CFLFilter(q, g)
+	cand := CFLFilter(q, g, FilterOptions{Deadline: opts.Deadline})
+	if cand.Aborted {
+		return Result{Aborted: true}
+	}
 	if cand.AnyEmpty() {
 		return Result{}
 	}
@@ -377,14 +393,19 @@ func (a CFL) FindFirst(q, g *graph.Graph, opts Options) Result {
 type CFQL struct{}
 
 // Filter runs CFL's preprocessing phase (CFQL's filtering step).
-func (CFQL) Filter(q, g *graph.Graph) *Candidates { return CFLFilter(q, g) }
+func (CFQL) Filter(q, g *graph.Graph, opts FilterOptions) *Candidates {
+	return CFLFilter(q, g, opts)
+}
 
 // Run enumerates embeddings with CFL's filter and GraphQL's order.
 func (a CFQL) Run(q, g *graph.Graph, opts Options) Result {
 	if q.NumVertices() == 0 {
 		return Result{Embeddings: 1}
 	}
-	cand := CFLFilter(q, g)
+	cand := CFLFilter(q, g, FilterOptions{Deadline: opts.Deadline})
+	if cand.Aborted {
+		return Result{Aborted: true}
+	}
 	if cand.AnyEmpty() {
 		return Result{}
 	}

@@ -93,6 +93,7 @@ type enumerator struct {
 // when the limit is reached, the caller cancels, or the budget is exhausted.
 func (e *enumerator) search(depth int) {
 	if depth == len(e.order) {
+		debugCheckEmbedding(e.q, e.g, e.mapping) // sqdebug builds only
 		e.found++
 		if e.opts.OnEmbedding != nil && !e.opts.OnEmbedding(e.mapping) {
 			e.stop = true

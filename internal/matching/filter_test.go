@@ -12,8 +12,8 @@ import (
 // the vcFV algorithms) by name.
 func filters() map[string]func(q, g *graph.Graph) *Candidates {
 	return map[string]func(q, g *graph.Graph) *Candidates{
-		"GraphQL": func(q, g *graph.Graph) *Candidates { return GraphQLFilter(q, g, 0) },
-		"CFL":     CFLFilter,
+		"GraphQL": func(q, g *graph.Graph) *Candidates { return GraphQLFilter(q, g, FilterOptions{}) },
+		"CFL":     func(q, g *graph.Graph) *Candidates { return CFLFilter(q, g, FilterOptions{}) },
 	}
 }
 
@@ -186,14 +186,14 @@ func TestOrdersAreValid(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		g := randomConnectedGraph(r, 5+r.Intn(12), r.Intn(15), 1+r.Intn(3))
 		q := randomQueryFrom(r, g, 1+r.Intn(6))
-		cand := GraphQLFilter(q, g, 0)
+		cand := GraphQLFilter(q, g, FilterOptions{})
 		if cand.AnyEmpty() {
 			continue
 		}
 		if err := VerifyOrder(q, GraphQLOrder(q, cand)); err != nil {
 			t.Fatalf("GraphQLOrder invalid: %v", err)
 		}
-		cfl := CFLFilter(q, g)
+		cfl := CFLFilter(q, g, FilterOptions{})
 		if cfl.AnyEmpty() {
 			continue
 		}
@@ -211,7 +211,7 @@ func TestOrdersAreValid(t *testing.T) {
 
 func TestGraphQLOrderStartsAtRarest(t *testing.T) {
 	q, g := fig1()
-	cand := GraphQLFilter(q, g, 0)
+	cand := GraphQLFilter(q, g, FilterOptions{})
 	order := GraphQLOrder(q, cand)
 	// The first vertex must achieve the global minimum candidate count.
 	minCount := cand.Count(order[0])
@@ -225,7 +225,7 @@ func TestGraphQLOrderStartsAtRarest(t *testing.T) {
 
 func TestCFLOrderPrioritizesCore(t *testing.T) {
 	q, g := fig1()
-	cand := CFLFilter(q, g)
+	cand := CFLFilter(q, g, FilterOptions{})
 	order := CFLOrder(q, g, cand)
 	core := q.TwoCore()
 	// u3 is the only non-core vertex; with core-first ordering it must come

@@ -30,23 +30,27 @@ const DefaultRefinementRounds = 3
 // vertex, or nil sets when some set becomes empty (the data graph then
 // cannot contain q, Proposition III.1). The candidate generation and
 // pruning proceed in ascending query vertex id, as the paper's
-// implementation specifies. rounds = 0 selects DefaultRefinementRounds;
-// rounds < 0 disables the pseudo-isomorphism refinement entirely (the
-// neighborhood-profile-only ablation).
+// implementation specifies. opts.Rounds = 0 selects
+// DefaultRefinementRounds; negative disables the pseudo-isomorphism
+// refinement entirely (the neighborhood-profile-only ablation). The pass
+// aborts (Candidates.Aborted) when opts.Deadline passes. With a non-nil
+// opts.Explain it records per-vertex candidate counts after the
+// neighborhood-profile generation and after the refinement, the number of
+// refinement rounds executed, and how many candidate vertices the
+// semi-perfect bipartite matching test rejected; a nil Explain costs a few
+// predictable branches and allocates nothing.
 //
 // Space complexity O(|V(q)|·|V(G)|); time O(|V(q)|·|V(G)|·Θ(d_q, d_G)) with
 // Θ the bipartite matching cost.
-func GraphQLFilter(q, g *graph.Graph, rounds int) *Candidates {
-	return GraphQLFilterExplain(q, g, rounds, nil)
+func GraphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
+	cand := graphQLFilter(q, g, opts)
+	debugCheckCandidates("GraphQLFilter", q, g, cand)
+	return cand
 }
 
-// GraphQLFilterExplain is GraphQLFilter with stage introspection: when ex
-// is non-nil it records per-vertex candidate counts after the
-// neighborhood-profile generation and after the pseudo-isomorphism
-// refinement, the number of refinement rounds executed, and how many
-// candidate vertices the semi-perfect bipartite matching test rejected. A
-// nil ex costs a few predictable branches and allocates nothing.
-func GraphQLFilterExplain(q, g *graph.Graph, rounds int, ex *obs.Explain) *Candidates {
+func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
+	ex := opts.Explain
+	rounds := opts.Rounds
 	if rounds == 0 {
 		rounds = DefaultRefinementRounds
 	}
@@ -58,6 +62,10 @@ func GraphQLFilterExplain(q, g *graph.Graph, rounds int, ex *obs.Explain) *Candi
 
 	// Step 1: candidates by neighborhood profile, in ascending id order.
 	for u := 0; u < nq; u++ {
+		if opts.expired() {
+			cand.Aborted = true
+			return cand
+		}
 		uu := graph.VertexID(u)
 		prof := graph.NLFOf(q, uu)
 		deg := q.Degree(uu)
@@ -76,6 +84,7 @@ func GraphQLFilterExplain(q, g *graph.Graph, rounds int, ex *obs.Explain) *Candi
 		}
 	}
 	emitStageCounts(ex, obs.StageGraphQLProfile, cand)
+	snap := debugSnapshotCounts(cand) // sqdebug: stage monotonicity baseline
 
 	// Step 2: pseudo subgraph isomorphism pruning via semi-perfect
 	// bipartite matching, iterated for a bounded number of rounds.
@@ -87,6 +96,11 @@ func GraphQLFilterExplain(q, g *graph.Graph, rounds int, ex *obs.Explain) *Candi
 		executed = r + 1
 		changed := false
 		for u := 0; u < nq; u++ {
+			if opts.expired() {
+				cand.Aborted = true
+				emitRefineStats(ex, cand, executed, rejected)
+				return cand
+			}
 			uu := graph.VertexID(u)
 			qn := q.Neighbors(uu)
 			before := cand.Count(uu)
@@ -132,6 +146,7 @@ func GraphQLFilterExplain(q, g *graph.Graph, rounds int, ex *obs.Explain) *Candi
 		}
 	}
 	emitRefineStats(ex, cand, executed, rejected)
+	debugCheckMonotone("GraphQL refinement", snap, cand)
 	return cand
 }
 
@@ -232,9 +247,13 @@ type GraphQL struct {
 	RefinementRounds int
 }
 
-// Filter runs GraphQL's preprocessing phase.
-func (a GraphQL) Filter(q, g *graph.Graph) *Candidates {
-	return GraphQLFilter(q, g, a.RefinementRounds)
+// Filter runs GraphQL's preprocessing phase. opts.Rounds = 0 defers to the
+// matcher's configured RefinementRounds.
+func (a GraphQL) Filter(q, g *graph.Graph, opts FilterOptions) *Candidates {
+	if opts.Rounds == 0 {
+		opts.Rounds = a.RefinementRounds
+	}
+	return GraphQLFilter(q, g, opts)
 }
 
 // Run enumerates embeddings with GraphQL's filter and join-based order.
@@ -242,7 +261,10 @@ func (a GraphQL) Run(q, g *graph.Graph, opts Options) Result {
 	if q.NumVertices() == 0 {
 		return Result{Embeddings: 1}
 	}
-	cand := a.Filter(q, g)
+	cand := a.Filter(q, g, FilterOptions{Deadline: opts.Deadline})
+	if cand.Aborted {
+		return Result{Aborted: true}
+	}
 	if cand.AnyEmpty() {
 		return Result{}
 	}

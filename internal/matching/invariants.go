@@ -1,0 +1,119 @@
+package matching
+
+import (
+	"fmt"
+	"math/bits"
+
+	"subgraphquery/internal/graph"
+)
+
+// Runtime invariant assertions for the filtering and enumeration layers,
+// active only under the sqdebug build tag (see sqdebug_on.go):
+//
+//   - candidate structures leaving a filter keep their Sets/member bitset
+//     mirror exact, hold only label-compatible data vertices, and contain
+//     no duplicates;
+//   - the bottom-up/refinement stages only ever shrink candidate sets
+//     (stage monotonicity);
+//   - every reported embedding is injective and edge-preserving.
+//
+// Violations panic: a broken mirror silently corrupts Contains-based
+// pruning, and a non-embedding result would be a wrong answer, not a
+// recoverable condition.
+
+// debugCheckCandidates panics if cand violates a structural invariant
+// against query q and data graph g. stage names the filter pass for the
+// panic message. No-op in normal builds.
+func debugCheckCandidates(stage string, q, g *graph.Graph, cand *Candidates) {
+	if !debugInvariants {
+		return
+	}
+	if len(cand.Sets) != q.NumVertices() || len(cand.member) != q.NumVertices() {
+		debugFailf("%s: candidate structure shaped for %d/%d vertices, query has %d", stage, len(cand.Sets), len(cand.member), q.NumVertices())
+	}
+	for u, set := range cand.Sets {
+		uu := graph.VertexID(u)
+		for _, v := range set {
+			if int(v) >= g.NumVertices() {
+				debugFailf("%s: Φ(%d) contains %d outside the data graph", stage, u, v)
+			}
+			if !cand.member[u].get(uint32(v)) {
+				debugFailf("%s: Φ(%d) lists %d but its member bit is clear", stage, u, v)
+			}
+			if g.Label(v) != q.Label(uu) {
+				debugFailf("%s: Φ(%d) contains %d with label %d, query vertex has label %d", stage, u, v, g.Label(v), q.Label(uu))
+			}
+		}
+		// Exact mirror: the bitset population must equal the set length, so
+		// combined with the per-element check above there are no duplicates
+		// in Sets and no stray bits in member.
+		pop := 0
+		for _, word := range cand.member[u] {
+			pop += bits.OnesCount64(word)
+		}
+		if pop != len(set) {
+			debugFailf("%s: Φ(%d) has %d entries but %d member bits", stage, u, len(set), pop)
+		}
+	}
+}
+
+// debugSnapshotCounts captures per-vertex candidate counts before a
+// refinement stage; returns nil in normal builds.
+func debugSnapshotCounts(cand *Candidates) []int {
+	if !debugInvariants {
+		return nil
+	}
+	counts := make([]int, len(cand.Sets))
+	for u, s := range cand.Sets {
+		counts[u] = len(s)
+	}
+	return counts
+}
+
+// debugCheckMonotone panics if a refinement stage grew some candidate set:
+// filters may only remove candidates after generation.
+func debugCheckMonotone(stage string, before []int, cand *Candidates) {
+	if !debugInvariants || before == nil {
+		return
+	}
+	for u, s := range cand.Sets {
+		if len(s) > before[u] {
+			debugFailf("%s: Φ(%d) grew from %d to %d candidates", stage, u, before[u], len(s))
+		}
+	}
+}
+
+// debugCheckEmbedding panics unless mapping is a subgraph isomorphism from
+// q into g: label-preserving, injective, and edge-preserving. Called on
+// every embedding the enumerators report.
+func debugCheckEmbedding(q, g *graph.Graph, mapping []graph.VertexID) {
+	if !debugInvariants {
+		return
+	}
+	if len(mapping) != q.NumVertices() {
+		debugFailf("embedding maps %d of %d query vertices", len(mapping), q.NumVertices())
+	}
+	seen := make(map[graph.VertexID]graph.VertexID, len(mapping))
+	for u, v := range mapping {
+		uu := graph.VertexID(u)
+		if int(v) >= g.NumVertices() {
+			debugFailf("embedding maps %d to %d outside the data graph", u, v)
+		}
+		if g.Label(v) != q.Label(uu) {
+			debugFailf("embedding maps %d (label %d) to %d (label %d)", u, q.Label(uu), v, g.Label(v))
+		}
+		if prev, dup := seen[v]; dup {
+			debugFailf("embedding is not injective: %d and %d both map to %d", prev, u, v)
+		}
+		seen[v] = uu
+	}
+	for _, e := range q.Edges() {
+		if !g.HasEdge(mapping[e.U], mapping[e.V]) {
+			debugFailf("embedding drops query edge (%d,%d): no data edge (%d,%d)", e.U, e.V, mapping[e.U], mapping[e.V])
+		}
+	}
+}
+
+func debugFailf(format string, args ...any) {
+	panic("sqdebug: matching: " + fmt.Sprintf(format, args...))
+}

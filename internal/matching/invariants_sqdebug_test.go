@@ -1,0 +1,95 @@
+//go:build sqdebug
+
+package matching
+
+import (
+	"strings"
+	"testing"
+
+	"subgraphquery/internal/graph"
+)
+
+// Corruption tests for the sqdebug invariant assertions: each test breaks
+// one structural property and checks the matching panic fires.
+
+func mustPanicWith(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func debugFixture(t *testing.T) (q, g *graph.Graph) {
+	t.Helper()
+	q = graph.MustFromEdges([]graph.Label{0, 1}, []graph.Edge{{U: 0, V: 1}})
+	g = graph.MustFromEdges(
+		[]graph.Label{0, 1, 0, 1},
+		[]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 1, V: 2}},
+	)
+	return q, g
+}
+
+func TestDebugCheckCandidatesAcceptsFilterOutput(t *testing.T) {
+	q, g := debugFixture(t)
+	cand := CFLFilter(q, g, FilterOptions{}) // filter runs the check itself
+	debugCheckCandidates("test", q, g, cand) // and it must hold afterwards
+}
+
+func TestDebugCheckCandidatesBrokenMirror(t *testing.T) {
+	q, g := debugFixture(t)
+	cand := NewCandidates(q.NumVertices(), g.NumVertices())
+	cand.Add(0, 0)
+	// Grow Sets behind the bitset's back, as a buggy filter would.
+	cand.Sets[0] = append(cand.Sets[0], 2)
+	mustPanicWith(t, "member bit is clear", func() { debugCheckCandidates("test", q, g, cand) })
+}
+
+func TestDebugCheckCandidatesLabelMismatch(t *testing.T) {
+	q, g := debugFixture(t)
+	cand := NewCandidates(q.NumVertices(), g.NumVertices())
+	cand.Add(0, 1) // data vertex 1 has label 1, query vertex 0 has label 0
+	mustPanicWith(t, "label", func() { debugCheckCandidates("test", q, g, cand) })
+}
+
+func TestDebugCheckCandidatesStrayBit(t *testing.T) {
+	q, g := debugFixture(t)
+	cand := NewCandidates(q.NumVertices(), g.NumVertices())
+	cand.Add(0, 0)
+	cand.Add(0, 2)
+	// Drop a set entry without clearing its bit: the popcount no longer
+	// matches the list length.
+	cand.Sets[0] = cand.Sets[0][:1]
+	mustPanicWith(t, "member bits", func() { debugCheckCandidates("test", q, g, cand) })
+}
+
+func TestDebugCheckMonotoneGrowth(t *testing.T) {
+	q, g := debugFixture(t)
+	cand := NewCandidates(q.NumVertices(), g.NumVertices())
+	before := debugSnapshotCounts(cand)
+	cand.Add(0, 0)
+	mustPanicWith(t, "grew", func() { debugCheckMonotone("test", before, cand) })
+}
+
+func TestDebugCheckEmbeddingNotInjective(t *testing.T) {
+	q := graph.MustFromEdges([]graph.Label{0, 0}, []graph.Edge{{U: 0, V: 1}})
+	g := graph.MustFromEdges([]graph.Label{0, 0}, []graph.Edge{{U: 0, V: 1}})
+	mustPanicWith(t, "not injective", func() {
+		debugCheckEmbedding(q, g, []graph.VertexID{0, 0})
+	})
+}
+
+func TestDebugCheckEmbeddingDroppedEdge(t *testing.T) {
+	q := graph.MustFromEdges([]graph.Label{0, 0}, []graph.Edge{{U: 0, V: 1}})
+	g := graph.MustFromEdges([]graph.Label{0, 0, 0}, []graph.Edge{{U: 0, V: 1}})
+	mustPanicWith(t, "query edge", func() {
+		debugCheckEmbedding(q, g, []graph.VertexID{0, 2})
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/obs"
 )
 
 // Options bounds an enumeration. The zero value means "find everything with
@@ -40,6 +41,35 @@ type Options struct {
 	// between calls; callers must copy it to retain it. Returning false
 	// stops the enumeration early.
 	OnEmbedding func(mapping []graph.VertexID) bool
+}
+
+// FilterOptions bounds and instruments one filtering pass — the
+// preprocessing phase a vcFV engine runs per candidate data graph. The
+// zero value filters to completion with no instrumentation, the historic
+// behavior.
+type FilterOptions struct {
+	// Deadline aborts the filtering pass when exceeded. The returned
+	// Candidates then has Aborted set and is incomplete: callers must treat
+	// the data graph as timed out, never as filtered out. The zero time
+	// disables the check.
+	Deadline time.Time
+
+	// Rounds bounds GraphQL's pseudo-isomorphism refinement: 0 selects
+	// DefaultRefinementRounds, negative disables refinement (the
+	// profile-only ablation). CFL's filter ignores it.
+	Rounds int
+
+	// Explain, when non-nil, records per-stage candidate counts,
+	// refinement rounds and semi-perfect rejections. nil collects nothing
+	// and costs nothing on the hot path.
+	Explain *obs.Explain
+}
+
+// expired reports whether the filtering deadline has passed. It is called
+// once per query vertex per stage, so the time syscall cost is bounded by
+// |V(q)|, not by the data graph.
+func (o *FilterOptions) expired() bool {
+	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
 }
 
 // Result reports the outcome of an enumeration.

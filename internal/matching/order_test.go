@@ -40,7 +40,7 @@ func TestGraphQLOrderDeterministic(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		g := randomConnectedGraph(r, 6+r.Intn(10), r.Intn(12), 1+r.Intn(3))
 		q := randomQueryFrom(r, g, 1+r.Intn(5))
-		cand := GraphQLFilter(q, g, 0)
+		cand := GraphQLFilter(q, g, FilterOptions{})
 		if cand.AnyEmpty() {
 			continue
 		}
@@ -101,7 +101,7 @@ func TestBudgetUnlimited(t *testing.T) {
 
 func TestEnumerateRejectsBadOrders(t *testing.T) {
 	q, g := fig1()
-	cand := CFLFilter(q, g)
+	cand := CFLFilter(q, g, FilterOptions{})
 	cases := map[string][]graph.VertexID{
 		"too-short":    {0, 1},
 		"disconnected": {3, 0, 1, 2},

@@ -97,6 +97,7 @@ func (s *vf2state) nextQuery(depth int) graph.VertexID {
 
 func (s *vf2state) match(depth int) {
 	if depth == s.q.NumVertices() {
+		debugCheckEmbedding(s.q, s.g, s.mapping) // sqdebug builds only
 		s.found++
 		if s.opts.OnEmbedding != nil && !s.opts.OnEmbedding(s.mapping) {
 			s.stop = true

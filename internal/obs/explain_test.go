@@ -173,3 +173,37 @@ func TestExplainWriteText(t *testing.T) {
 		}
 	}
 }
+
+// TestExplainWriteTextStageOrder pins the stage-table row ordering: stages
+// render in first-emission order — the candidate pipeline's own order —
+// regardless of how later graphs interleave their emissions.
+func TestExplainWriteTextStageOrder(t *testing.T) {
+	ex := NewExplain()
+	ex.SetEngine("CFQL")
+	// Graph 1 runs the full pipeline.
+	ex.ObserveStage(StageCFLLDF, []int{8})
+	ex.ObserveStage(StageCFLTopDown, []int{4})
+	ex.ObserveStage(StageCFLBottomUp, []int{3})
+	// Graph 2 is pruned after the top-down pass; graph 3 re-emits every
+	// stage. Neither may reorder the table.
+	ex.ObserveStage(StageCFLLDF, []int{9})
+	ex.ObserveStage(StageCFLTopDown, []int{0})
+	ex.ObserveStage(StageCFLBottomUp, []int{2})
+	ex.ObserveStage(StageCFLTopDown, []int{1})
+	ex.ObserveStage(StageCFLLDF, []int{7})
+
+	var b strings.Builder
+	ex.Snapshot().WriteText(&b)
+	out := b.String()
+	prev := -1
+	for _, stage := range []string{StageCFLLDF, StageCFLTopDown, StageCFLBottomUp} {
+		at := strings.Index(out, stage)
+		if at < 0 {
+			t.Fatalf("stage %q missing from table:\n%s", stage, out)
+		}
+		if at < prev {
+			t.Fatalf("stage %q rendered out of pipeline order:\n%s", stage, out)
+		}
+		prev = at
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -72,5 +73,95 @@ func TestSlowLogRetainsTraceAndExplain(t *testing.T) {
 	}
 	if q.Explain == nil || q.Explain.Engine != "CFQL" {
 		t.Fatalf("explain not retained: %+v", q.Explain)
+	}
+}
+
+// TestSlowLogConcurrentEviction hammers the ring from many writers while
+// readers snapshot it: the retained set must never exceed the capacity, the
+// seen/kept counters must be exact, and every retained entry must be one
+// that was actually offered. Run under -race this also exercises the
+// locking around eviction.
+func TestSlowLogConcurrentEviction(t *testing.T) {
+	const (
+		capacity = 8
+		writers  = 16
+		perW     = 200
+	)
+	l := NewSlowLog(capacity, time.Millisecond)
+
+	var readers, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers snapshot concurrently with the writers; each snapshot must be
+	// internally consistent even mid-eviction.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := l.Snapshot()
+				if len(s.Queries) > capacity {
+					t.Errorf("snapshot retained %d > capacity %d", len(s.Queries), capacity)
+					return
+				}
+				if s.Kept > s.Seen {
+					t.Errorf("kept %d > seen %d", s.Kept, s.Seen)
+					return
+				}
+				for _, q := range s.Queries {
+					if q.DurationUS < 1000 {
+						t.Errorf("retained under-threshold query: %+v", q)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perW; i++ {
+				// Odd sequence numbers are under the 1ms threshold and must
+				// never survive into the ring.
+				dur := int64(1000 + w*perW + i)
+				if i%2 == 1 {
+					dur = int64(i) % 1000
+				}
+				kept := l.Offer(SlowQuery{DurationUS: dur, Answers: w*perW + i})
+				if kept != (i%2 == 0) {
+					t.Errorf("writer %d offer %d: kept=%v, want %v", w, i, kept, i%2 == 0)
+					return
+				}
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := l.Snapshot()
+	if s.Seen != writers*perW {
+		t.Fatalf("seen = %d, want %d", s.Seen, writers*perW)
+	}
+	if want := int64(writers * perW / 2); s.Kept != want {
+		t.Fatalf("kept = %d, want %d", s.Kept, want)
+	}
+	if len(s.Queries) != capacity {
+		t.Fatalf("retained %d, want full capacity %d", len(s.Queries), capacity)
+	}
+	seen := map[int]bool{}
+	for _, q := range s.Queries {
+		if q.DurationUS < 1000 {
+			t.Fatalf("under-threshold query survived eviction: %+v", q)
+		}
+		if seen[q.Answers] {
+			t.Fatalf("query %d retained twice", q.Answers)
+		}
+		seen[q.Answers] = true
 	}
 }

@@ -1,11 +1,20 @@
 #!/bin/sh
-# check.sh — fast pre-commit gate: vet everything, then race-test the
-# packages this tree churns most (the observability layer, the engines
-# and the HTTP server). The full suite is `go test ./...` (slow: the
-# bench smoke tests build every index).
+# check.sh — pre-commit gate: formatting, vet, build, the project-specific
+# static analyzers (cmd/sqlint), and the race-enabled short test suite over
+# every package. The full suite is `go test ./...` (slow: the bench smoke
+# tests build every index); the sqdebug invariant tests run via
+# `make test-sqdebug`.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l . 2>/dev/null)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -13,7 +22,10 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race -short internal/obs internal/core cmd/sqserver"
-go test -race -short ./internal/obs ./internal/core ./cmd/sqserver
+echo "== go run ./cmd/sqlint ./..."
+go run ./cmd/sqlint ./...
+
+echo "== go test -race -short ./..."
+go test -race -short ./...
 
 echo "ok"
