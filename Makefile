@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check lint test test-sqdebug fuzz bench bench-real bench-synthetic bench-json clean
+.PHONY: build check lint test test-sqdebug fuzz bench bench-real bench-synthetic bench-json benchcmp benchcmp-check clean
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,17 @@ bench-json:
 	mkdir -p bench-out
 	$(GO) run ./cmd/sqbench real -scale 0.005 -queries 3 \
 		-index-budget 30s -query-budget 2s -json-dir bench-out
+
+# Bench-regression gate: rerun the small-scale real study into bench-out
+# and fail if any per-engine, per-query-set p50 latency regressed more
+# than 15% against the committed BENCH_*.json baselines at the repo root.
+benchcmp:
+	sh scripts/benchdiff.sh
+
+# Gate only: compare an existing bench-out against the baselines without
+# rerunning the study (used by CI after a fresh `make bench-json`).
+benchcmp-check:
+	sh scripts/benchdiff.sh --check
 
 clean:
 	rm -rf bench-out

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"subgraphquery/internal/bench"
+)
+
+// runDiff implements `sqbench diff`: the bench-regression gate. It compares
+// the per-engine, per-query-set p50 query latency between a baseline and a
+// current set of BENCH_<dataset>.json reports and exits non-zero when any
+// cell regressed past the threshold. -base and -cur each accept a single
+// report file or a directory of BENCH_*.json files (paired by file name).
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	basePath := fs.String("base", "", "baseline report file or directory of BENCH_*.json")
+	curPath := fs.String("cur", "", "current report file or directory of BENCH_*.json")
+	threshold := fs.Float64("threshold", bench.DefaultDiffThreshold, "relative p50 slowdown that fails the gate (0.15 = +15%)")
+	floor := fs.Int64("floor", bench.DefaultDiffFloorUS, "noise floor in µs; cells below it in both reports are skipped")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: sqbench diff -base <file|dir> -cur <file|dir> [-threshold 0.15] [-floor 500]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *curPath == "" {
+		fs.Usage()
+		return fmt.Errorf("diff: both -base and -cur are required")
+	}
+
+	pairs, err := pairReports(*basePath, *curPath)
+	if err != nil {
+		return err
+	}
+
+	var regressions int
+	for _, p := range pairs {
+		base, err := bench.ReadReport(p.base)
+		if err != nil {
+			return err
+		}
+		cur, err := bench.ReadReport(p.cur)
+		if err != nil {
+			return err
+		}
+		deltas, missing, err := bench.DiffReports(base, cur, *floor)
+		if err != nil {
+			return err
+		}
+		for _, m := range missing {
+			fmt.Fprintf(out, "note: %s\n", m)
+		}
+		regs := bench.Regressions(deltas, *threshold)
+		regressions += len(regs)
+		for _, d := range regs {
+			fmt.Fprintf(out, "REGRESSION %s/%s/%s: p50 %dµs -> %dµs (%+.1f%%)\n",
+				d.Dataset, d.QuerySet, d.Engine, d.BaseP50US, d.CurP50US, (d.Ratio-1)*100)
+		}
+		// One summary line per dataset so a clean run still shows coverage.
+		best := 0.0
+		for _, d := range deltas {
+			if d.Ratio < 1 && 1-d.Ratio > best {
+				best = 1 - d.Ratio
+			}
+		}
+		fmt.Fprintf(out, "%s: %d cells compared, %d regression(s), best improvement %.1f%%\n",
+			base.Dataset, len(deltas), len(regs), best*100)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("diff: %d cell(s) regressed beyond +%.0f%%", regressions, *threshold*100)
+	}
+	return nil
+}
+
+type reportPair struct{ base, cur string }
+
+// pairReports resolves -base/-cur into file pairs. Two files pair directly;
+// two directories pair their BENCH_*.json members by file name, requiring
+// every baseline report to have a current counterpart (the reverse —
+// current reports without a baseline, e.g. a new dataset — is allowed).
+func pairReports(basePath, curPath string) ([]reportPair, error) {
+	bi, err := os.Stat(basePath)
+	if err != nil {
+		return nil, err
+	}
+	ci, err := os.Stat(curPath)
+	if err != nil {
+		return nil, err
+	}
+	if bi.IsDir() != ci.IsDir() {
+		return nil, fmt.Errorf("diff: -base and -cur must both be files or both be directories")
+	}
+	if !bi.IsDir() {
+		return []reportPair{{basePath, curPath}}, nil
+	}
+	baseFiles, err := filepath.Glob(filepath.Join(basePath, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(baseFiles) == 0 {
+		return nil, fmt.Errorf("diff: no BENCH_*.json files in %s", basePath)
+	}
+	sort.Strings(baseFiles)
+	var pairs []reportPair
+	for _, bf := range baseFiles {
+		if filepath.Base(bf) == "BENCH_synthetic.json" {
+			// The synthetic sweep report has a different shape (sweep cells,
+			// not query sets); the p50 gate covers the real-dataset reports.
+			continue
+		}
+		cf := filepath.Join(curPath, filepath.Base(bf))
+		if _, err := os.Stat(cf); err != nil {
+			return nil, fmt.Errorf("diff: baseline %s has no counterpart in %s", filepath.Base(bf), curPath)
+		}
+		pairs = append(pairs, reportPair{bf, cf})
+	}
+	return pairs, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"subgraphquery/internal/bench"
+)
+
+func writeDiffReport(t *testing.T, dir, name string, p50 map[string]map[string]int64) {
+	t.Helper()
+	r := bench.BenchReport{
+		Schema:    bench.BenchSchema,
+		Dataset:   strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json"),
+		QuerySets: map[string]map[string]bench.SetMetricsJSON{},
+	}
+	for set, engines := range p50 {
+		out := map[string]bench.SetMetricsJSON{}
+		for en, v := range engines {
+			out[en] = bench.SetMetricsJSON{P50US: v}
+		}
+		r.QuerySets[set] = out
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDiffGate: directory mode passes when every cell is within the
+// threshold and fails (with a REGRESSION line) when one is not.
+func TestRunDiffGate(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeDiffReport(t, baseDir, "BENCH_AIDS.json", map[string]map[string]int64{
+		"Q8S": {"CFQL": 10000, "Grapes": 20000},
+	})
+	writeDiffReport(t, curDir, "BENCH_AIDS.json", map[string]map[string]int64{
+		"Q8S": {"CFQL": 10500, "Grapes": 19000},
+	})
+
+	var out bytes.Buffer
+	if err := runDiff([]string{"-base", baseDir, "-cur", curDir}, &out); err != nil {
+		t.Fatalf("clean diff failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 cells compared, 0 regression(s)") {
+		t.Fatalf("summary missing: %s", out.String())
+	}
+
+	writeDiffReport(t, curDir, "BENCH_AIDS.json", map[string]map[string]int64{
+		"Q8S": {"CFQL": 13000, "Grapes": 19000},
+	})
+	out.Reset()
+	err := runDiff([]string{"-base", baseDir, "-cur", curDir}, &out)
+	if err == nil {
+		t.Fatalf("regressed diff passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION AIDS/Q8S/CFQL") {
+		t.Fatalf("regression line missing: %s", out.String())
+	}
+
+	// A looser threshold lets the same pair through.
+	out.Reset()
+	if err := runDiff([]string{"-base", baseDir, "-cur", curDir, "-threshold", "0.5"}, &out); err != nil {
+		t.Fatalf("loose threshold still failed: %v", err)
+	}
+}
+
+// TestRunDiffMissingCounterpart: a baseline report with no current
+// counterpart must fail loudly, not silently shrink coverage.
+func TestRunDiffMissingCounterpart(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeDiffReport(t, baseDir, "BENCH_AIDS.json", map[string]map[string]int64{
+		"Q8S": {"CFQL": 10000},
+	})
+	var out bytes.Buffer
+	if err := runDiff([]string{"-base", baseDir, "-cur", curDir}, &out); err == nil {
+		t.Fatal("missing counterpart not reported")
+	}
+}

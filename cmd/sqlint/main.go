@@ -5,6 +5,10 @@
 //	            Observer calls inside enumeration/refinement loops of
 //	            internal/matching and internal/core (the nil-Observer /
 //	            nil-Explain paths must stay allocation-free).
+//	hotalloc  — no per-iteration heap allocation (make/new, the arena
+//	            constructors, append onto fresh slices) inside the loops
+//	            of the hot-path files of internal/matching and
+//	            internal/core; buffers come from the Scratch arena.
 //	locks     — no sync.Mutex/RWMutex/WaitGroup/Once passed or received
 //	            by value, no unguarded map writes on engine/index structs
 //	            reachable from Query/Build, no goroutines without a
@@ -44,6 +48,7 @@ import (
 // analyzers is the registry, in output order.
 var analyzers = []*Analyzer{
 	hotpathAnalyzer,
+	hotallocAnalyzer,
 	locksAnalyzer,
 	ctxbudgetAnalyzer,
 	errwrapAnalyzer,

@@ -1,0 +1,56 @@
+// This file's base name (enumerate.go) is on the hotalloc analyzer's
+// hot-file list, so its loops are held to the zero-allocation rule.
+package matching
+
+// Scratch stands in for the real arena: grow-only buffers acquired once
+// per query and reused across graphs.
+type Scratch struct {
+	buf []int
+}
+
+// NewScratch trips the constructor rule when called inside a loop.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// NewCandidates likewise.
+func NewCandidates(nq, nd int) []int { return make([]int, nq) }
+
+// hotLoops plants one true positive per hotalloc rule and shows the
+// compliant arena forms.
+func hotLoops(graphs [][]int, s *Scratch) int {
+	total := 0
+	for _, g := range graphs {
+		buf := make([]int, len(g)) // want: make in a hot loop
+		_ = buf
+		p := new(Scratch) // want: new in a hot loop
+		_ = p
+		local := NewScratch() // want: arena constructor in a hot loop
+		_ = local
+		cand := NewCandidates(len(g), len(g)) // want: arena constructor in a hot loop
+		_ = cand
+		clone := append([]int(nil), g...) // want: append onto a fresh slice
+		_ = clone
+
+		// The compliant form: truncate the scratch-owned buffer and reuse
+		// its backing array.
+		s.buf = s.buf[:0]
+		for _, v := range g {
+			s.buf = append(s.buf, v) // append into retained capacity: ok
+		}
+		total += len(s.buf)
+	}
+	// Outside any loop every construct is fine.
+	once := make([]int, 4)
+	once = append([]int(nil), once...)
+	return total + len(once)
+}
+
+// hotSuppressedAlloc shows the justified escape for a genuinely cold
+// allocation inside a loop.
+func hotSuppressedAlloc(graphs [][]int) []*Scratch {
+	var out []*Scratch
+	for range graphs {
+		//sqlint:ignore hotalloc setup path, runs once per Build not per query
+		out = append(out, NewScratch())
+	}
+	return out
+}

@@ -165,6 +165,9 @@ func writeTraceText(w io.Writer, s obs.TraceSnapshot) {
 	for _, sp := range s.Phases {
 		fmt.Fprintf(w, " %s=%v", sp.Name, (time.Duration(sp.DurationUS) * time.Microsecond).Round(time.Microsecond))
 	}
+	if s.Workers > 0 {
+		fmt.Fprintf(w, " workers=%d", s.Workers)
+	}
 	if s.CacheHits+s.CacheMisses > 0 {
 		fmt.Fprintf(w, " cache=%dh/%dm", s.CacheHits, s.CacheMisses)
 	}

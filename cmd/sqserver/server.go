@@ -35,10 +35,13 @@ type server struct {
 	cacheHit  *obs.Counter
 	cacheMiss *obs.Counter
 	inflight  *obs.Gauge
-	latency   *obs.Histogram // wall-clock per query
-	filterLat *obs.Histogram // engine filtering phase
-	verifyLat *obs.Histogram // engine verification phase
-	siLat     *obs.Histogram // per-SI-test (one sample per candidate graph)
+	// workerPool tracks the effective parallel worker count (after the
+	// engines clamp to GOMAXPROCS); stays 0 for sequential engines.
+	workerPool *obs.Gauge
+	latency    *obs.Histogram // wall-clock per query
+	filterLat  *obs.Histogram // engine filtering phase
+	verifyLat  *obs.Histogram // engine verification phase
+	siLat      *obs.Histogram // per-SI-test (one sample per candidate graph)
 
 	// slow is the always-on slow-query ring behind GET /debug/slowlog:
 	// every query is traced and explained, and the record is retained iff
@@ -95,6 +98,7 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 	s.cacheHit = s.reg.Counter("cache_hits_total")
 	s.cacheMiss = s.reg.Counter("cache_misses_total")
 	s.inflight = s.reg.Gauge("queries_inflight")
+	s.workerPool = s.reg.Gauge("worker_pool_size")
 	s.latency = s.reg.Histogram("query_latency/" + en)
 	s.filterLat = s.reg.Histogram("filter_latency/" + en)
 	s.verifyLat = s.reg.Histogram("verify_latency/" + en)
@@ -173,6 +177,10 @@ func (o registryObserver) ObserveCache(hit bool) {
 	} else {
 		o.s.cacheMiss.Inc()
 	}
+}
+
+func (o registryObserver) ObserveWorkers(n int) {
+	o.s.workerPool.Set(int64(n))
 }
 
 // queryResponse is the JSON body returned by POST /query.

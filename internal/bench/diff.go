@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Bench-regression gate: compare the per-engine, per-query-set p50 query
+// latency between two BENCH_<dataset>.json reports and flag cells that got
+// slower than a threshold. This turns performance into a tested property —
+// the committed baselines under bench/ are the contract, and `sqbench diff`
+// (wired into `make benchcmp` and CI via scripts/benchdiff.sh) fails when a
+// change regresses a cell past the threshold.
+
+// DefaultDiffThreshold is the relative p50 slowdown beyond which a cell is
+// a regression: cur > base * (1 + threshold).
+const DefaultDiffThreshold = 0.15
+
+// DefaultDiffFloorUS is the noise floor in microseconds: cells whose p50 is
+// below the floor in BOTH reports are skipped, because at bench scale a
+// sub-floor p50 is dominated by scheduler jitter, not algorithmic cost.
+const DefaultDiffFloorUS = 500
+
+// Delta is one compared cell: the same engine on the same query set of the
+// same dataset, in the base and current report.
+type Delta struct {
+	Dataset             string
+	QuerySet            string
+	Engine              string
+	BaseP50US, CurP50US int64
+	// Ratio is cur/base; > 1 means slower.
+	Ratio float64
+}
+
+// Regression reports whether the delta exceeds the threshold (e.g. 0.15
+// for +15%).
+func (d Delta) Regression(threshold float64) bool {
+	return d.Ratio > 1+threshold
+}
+
+// DiffReports compares every cell present in both reports. Cells present
+// on only one side are returned in missing (engine additions/removals and
+// OOT changes are visible, not silently dropped). Configs must match:
+// comparing runs with different scales, seeds or budgets would compare
+// workloads, not code.
+func DiffReports(base, cur BenchReport, floorUS int64) (deltas []Delta, missing []string, err error) {
+	if base.Config != cur.Config {
+		return nil, nil, fmt.Errorf("bench: config mismatch between reports (base %+v, cur %+v); rerun with the baseline's parameters", base.Config, cur.Config)
+	}
+	for setName, baseEngines := range base.QuerySets {
+		curEngines, ok := cur.QuerySets[setName]
+		if !ok {
+			missing = append(missing, fmt.Sprintf("%s/%s: query set absent in current report", base.Dataset, setName))
+			continue
+		}
+		for en, bm := range baseEngines {
+			cm, ok := curEngines[en]
+			if !ok {
+				missing = append(missing, fmt.Sprintf("%s/%s/%s: engine absent in current report", base.Dataset, setName, en))
+				continue
+			}
+			if bm.P50US < floorUS && cm.P50US < floorUS {
+				continue
+			}
+			d := Delta{
+				Dataset:   base.Dataset,
+				QuerySet:  setName,
+				Engine:    en,
+				BaseP50US: bm.P50US,
+				CurP50US:  cm.P50US,
+			}
+			if bm.P50US > 0 {
+				d.Ratio = float64(cm.P50US) / float64(bm.P50US)
+			} else if cm.P50US > 0 {
+				d.Ratio = float64(cm.P50US) / float64(max(bm.P50US, 1))
+			} else {
+				d.Ratio = 1
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	for setName, curEngines := range cur.QuerySets {
+		baseEngines, ok := base.QuerySets[setName]
+		if !ok {
+			missing = append(missing, fmt.Sprintf("%s/%s: query set absent in base report", cur.Dataset, setName))
+			continue
+		}
+		for en := range curEngines {
+			if _, ok := baseEngines[en]; !ok {
+				missing = append(missing, fmt.Sprintf("%s/%s/%s: engine absent in base report", cur.Dataset, setName, en))
+			}
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		a, b := deltas[i], deltas[j]
+		if a.Ratio != b.Ratio {
+			return a.Ratio > b.Ratio // worst first
+		}
+		if a.QuerySet != b.QuerySet {
+			return a.QuerySet < b.QuerySet
+		}
+		return a.Engine < b.Engine
+	})
+	sort.Strings(missing)
+	return deltas, missing, nil
+}
+
+// Regressions filters deltas to those past the threshold, preserving the
+// worst-first order.
+func Regressions(deltas []Delta, threshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression(threshold) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ReadReport loads and schema-checks one BENCH_<dataset>.json file.
+func ReadReport(path string) (BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return BenchReport{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.Schema != BenchSchema {
+		return BenchReport{}, fmt.Errorf("bench: %s has schema %q, want %q", path, r.Schema, BenchSchema)
+	}
+	return r, nil
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diffFixture(p50 map[string]map[string]int64) BenchReport {
+	r := BenchReport{
+		Schema:    BenchSchema,
+		Dataset:   "AIDS",
+		QuerySets: map[string]map[string]SetMetricsJSON{},
+	}
+	for set, engines := range p50 {
+		out := map[string]SetMetricsJSON{}
+		for en, v := range engines {
+			out[en] = SetMetricsJSON{P50US: v}
+		}
+		r.QuerySets[set] = out
+	}
+	return r
+}
+
+func TestDiffReportsRegression(t *testing.T) {
+	base := diffFixture(map[string]map[string]int64{
+		"Q8S": {"CFQL": 1000, "Grapes": 2000},
+	})
+	cur := diffFixture(map[string]map[string]int64{
+		"Q8S": {"CFQL": 1200, "Grapes": 2100},
+	})
+	deltas, missing, err := DiffReports(base, cur, DefaultDiffFloorUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+	regs := Regressions(deltas, DefaultDiffThreshold)
+	if len(regs) != 1 || regs[0].Engine != "CFQL" {
+		t.Fatalf("Regressions = %+v, want exactly CFQL (+20%%)", regs)
+	}
+	// Grapes moved +5%, inside the threshold.
+	if got := regs[0].Ratio; got < 1.19 || got > 1.21 {
+		t.Fatalf("ratio = %v, want 1.2", got)
+	}
+	// Worst-first ordering.
+	if deltas[0].Engine != "CFQL" {
+		t.Fatalf("deltas not worst-first: %+v", deltas)
+	}
+}
+
+func TestDiffReportsNoiseFloor(t *testing.T) {
+	base := diffFixture(map[string]map[string]int64{"Q8S": {"CFL": 100}})
+	cur := diffFixture(map[string]map[string]int64{"Q8S": {"CFL": 400}}) // 4x, but sub-floor
+	deltas, _, err := DiffReports(base, cur, DefaultDiffFloorUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 0 {
+		t.Fatalf("sub-floor cells compared: %+v", deltas)
+	}
+	// Crossing the floor is compared: 100 -> 600.
+	cur = diffFixture(map[string]map[string]int64{"Q8S": {"CFL": 600}})
+	deltas, _, err = DiffReports(base, cur, DefaultDiffFloorUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("floor-crossing cell dropped: %+v", deltas)
+	}
+}
+
+func TestDiffReportsMissingCells(t *testing.T) {
+	base := diffFixture(map[string]map[string]int64{
+		"Q8S":  {"CFQL": 1000, "GGSX": 1500},
+		"Q16D": {"CFQL": 3000},
+	})
+	cur := diffFixture(map[string]map[string]int64{
+		"Q8S": {"CFQL": 1000, "vcGrapes": 900},
+	})
+	_, missing, err := DiffReports(base, cur, DefaultDiffFloorUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"GGSX", "Q16D", "vcGrapes"}
+	for _, frag := range want {
+		found := false
+		for _, m := range missing {
+			if strings.Contains(m, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing list %v lacks an entry about %s", missing, frag)
+		}
+	}
+}
+
+func TestDiffReportsConfigMismatch(t *testing.T) {
+	base := diffFixture(nil)
+	cur := diffFixture(nil)
+	cur.Config.Scale = 0.5
+	if _, _, err := DiffReports(base, cur, DefaultDiffFloorUS); err == nil {
+		t.Fatal("config mismatch not rejected")
+	}
+}
+
+// TestReadReportCommittedBaselines: the pre-PR baselines committed under
+// bench/pre-pr must stay loadable with the current schema.
+func TestReadReportCommittedBaselines(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "bench", "pre-pr", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no committed baselines")
+	}
+	for _, p := range paths {
+		r, err := ReadReport(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if len(r.QuerySets) == 0 {
+			t.Errorf("%s: no query sets", p)
+		}
+	}
+}

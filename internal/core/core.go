@@ -16,6 +16,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"subgraphquery/internal/graph"
@@ -132,6 +133,21 @@ func (r *Result) Contains(id int) bool {
 
 func expired(deadline time.Time) bool {
 	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// clampWorkers bounds a requested worker count to [1, GOMAXPROCS]. Worker
+// goroutines here are CPU-bound (no blocking I/O), so pool sizes beyond the
+// scheduler's parallelism only add context switches — and, with per-worker
+// scratch arenas, memory. The effective count is what engines report via
+// Observer.ObserveWorkers.
+func clampWorkers(n int) int {
+	if max := runtime.GOMAXPROCS(0); n > max {
+		return max
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // degenerate handles the empty query uniformly across engines: a query

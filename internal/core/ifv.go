@@ -156,6 +156,14 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 	if workers == 0 {
 		workers = e.defaultWorkers
 	}
+	if workers > 1 {
+		// The verification pool is CPU-bound; cap it at the scheduler's
+		// parallelism and surface the effective size in traces.
+		workers = clampWorkers(workers)
+	}
+	if o != nil && workers > 1 {
+		o.ObserveWorkers(workers)
+	}
 	t1 := time.Now()
 	if workers <= 1 {
 		for _, gid := range cand {

@@ -73,6 +73,16 @@ func (e *ivcFV) IndexMemory() int64 {
 // vertex-connectivity filter (CFL preprocessing) then reduces it to C(q),
 // whose members are verified by GraphQL's enumeration. Both filtering
 // levels count toward FilterTime, per the paper's metric definition.
+//
+// The second level and verification are fused per data graph: the CFL
+// candidate sets live in a scratch arena that is reused for the next graph,
+// so they must be consumed (ordered and enumerated) before the next filter
+// call rather than collected into a deferred verification queue. With
+// workers > 1 the index survivors are distributed over a pool, each worker
+// running the fused filter+verify pipeline with its own arena; FilterTime
+// and VerifyTime then aggregate per-graph work across workers (total CPU
+// work, like the parallel CFQL engine), while wall-clock latency is the
+// caller-observable duration.
 func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	if res, done := degenerate(q); done {
 		return res
@@ -91,122 +101,129 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		o.ObservePhase(obs.PhaseIndexFilter, res.FilterTime)
 	}
 
-	type job struct {
-		gid  int
-		cand *matching.Candidates
+	// graphResult is the outcome of the fused pipeline on one data graph;
+	// it is folded into res by the caller (under mu when parallel).
+	type graphResult struct {
+		filter, verify time.Duration
+		r              matching.Result
+		mem            int64
+		aborted, pass  bool
 	}
-	var verifyJobs []job
-
-	// Level 2: vertex-connectivity filtering on the index survivors.
-	for _, gid := range indexCand {
-		if expired(opts.Deadline) {
+	fold := func(gid int, g2 graphResult) {
+		res.FilterTime += g2.filter
+		res.VerifyTime += g2.verify
+		if g2.aborted {
+			// Deadline hit mid-filter: the sets prove nothing about this
+			// graph, so the answer set is a lower bound.
 			res.TimedOut = true
-			break
 		}
+		if g2.pass {
+			res.Candidates++
+			if g2.mem > res.AuxMemory {
+				res.AuxMemory = g2.mem
+			}
+			res.VerifySteps += g2.r.Steps
+			if g2.r.Aborted {
+				res.TimedOut = true
+			}
+			if g2.r.Found() {
+				res.Answers = append(res.Answers, gid)
+			}
+		}
+	}
+
+	// process runs the fused level-2 filter + verification for one index
+	// survivor using the caller's arena, and reports the time spent in each
+	// phase. The Candidates and order it builds are owned by s.
+	process := func(gid int, s *matching.Scratch) (g2 graphResult) {
 		g := e.db.Graph(gid)
 		t1 := time.Now()
-		cand := matching.CFLFilter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex})
-		res.FilterTime += time.Since(t1)
+		cand := matching.CFLFilter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex, Scratch: s})
+		g2.filter = time.Since(t1)
 		if cand.Aborted {
-			// Deadline hit mid-filter: the sets prove nothing about this
-			// graph, so stop with a partial answer set.
-			res.TimedOut = true
-			break
+			g2.aborted = true
+			return g2
 		}
-		pass := q.NumVertices() > 0 && !cand.AnyEmpty()
-		if !pass {
-			continue
+		if q.NumVertices() == 0 || cand.AnyEmpty() {
+			return g2
 		}
-		res.Candidates++
-		if m := cand.MemoryFootprint(); m > res.AuxMemory {
-			res.AuxMemory = m
-		}
-		verifyJobs = append(verifyJobs, job{gid, cand})
-	}
-
-	verify := func(j job) matching.Result {
-		g := e.db.Graph(j.gid)
-		order := matching.GraphQLOrder(q, j.cand)
-		observeOrder(ex, order, j.cand)
-		r, err := matching.Enumerate(q, g, j.cand, order, matching.Options{
+		g2.pass = true
+		g2.mem = cand.MemoryFootprint()
+		t2 := time.Now()
+		order := matching.GraphQLOrderScratch(q, cand, s)
+		observeOrder(ex, order, cand)
+		r, err := matching.Enumerate(q, g, cand, order, matching.Options{
 			Limit:      1,
 			Deadline:   opts.Deadline,
 			StepBudget: opts.StepBudgetPerGraph,
+			Scratch:    s,
 		})
 		if err != nil {
 			panic(err)
 		}
-		return r
+		g2.verify = time.Since(t2)
+		if o != nil {
+			o.ObserveVerify(gid, r.Steps, g2.verify, r.Found())
+		}
+		g2.r = r
+		return g2
 	}
 
 	workers := opts.Workers
 	if workers == 0 {
 		workers = e.defaultWorkers
 	}
-	t2 := time.Now()
+	if workers > 1 {
+		workers = clampWorkers(workers)
+	}
+	if o != nil && workers > 1 {
+		o.ObserveWorkers(workers)
+	}
 	if workers <= 1 {
-		for _, j := range verifyJobs {
+		s := matching.AcquireScratch()
+		defer matching.ReleaseScratch(s)
+		for _, gid := range indexCand {
 			if expired(opts.Deadline) {
 				res.TimedOut = true
 				break
 			}
-			var tv time.Time
-			if o != nil {
-				tv = time.Now()
-			}
-			r := verify(j)
-			if o != nil {
-				o.ObserveVerify(j.gid, r.Steps, time.Since(tv), r.Found())
-			}
-			res.VerifySteps += r.Steps
-			if r.Aborted {
-				res.TimedOut = true
-			}
-			if r.Found() {
-				res.Answers = append(res.Answers, j.gid)
+			g2 := process(gid, s)
+			fold(gid, g2)
+			if g2.aborted {
+				break
 			}
 		}
 	} else {
 		var mu sync.Mutex
 		var wg sync.WaitGroup
-		jobs := make(chan job)
+		jobs := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for j := range jobs {
-					var tv time.Time
-					if o != nil {
-						tv = time.Now()
-					}
-					r := verify(j)
-					if o != nil {
-						o.ObserveVerify(j.gid, r.Steps, time.Since(tv), r.Found())
-					}
+				// One arena per worker, reused across every survivor this
+				// worker draws from the job channel.
+				s := matching.AcquireScratch()
+				defer matching.ReleaseScratch(s)
+				for gid := range jobs {
+					g2 := process(gid, s)
 					mu.Lock()
-					res.VerifySteps += r.Steps
-					if r.Aborted {
-						res.TimedOut = true
-					}
-					if r.Found() {
-						res.Answers = append(res.Answers, j.gid)
-					}
+					fold(gid, g2)
 					mu.Unlock()
 				}
 			}()
 		}
-		for _, j := range verifyJobs {
+		for _, gid := range indexCand {
 			if expired(opts.Deadline) {
 				res.TimedOut = true
 				break
 			}
-			jobs <- j
+			jobs <- gid
 		}
 		close(jobs)
 		wg.Wait()
 		sort.Ints(res.Answers)
 	}
-	res.VerifyTime = time.Since(t2)
 	if o != nil {
 		o.ObservePhase(obs.PhaseFilter, res.FilterTime)
 		o.ObservePhase(obs.PhaseVerify, res.VerifyTime)

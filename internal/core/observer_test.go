@@ -19,6 +19,7 @@ type countingObserver struct {
 	found       int
 	eventGraphs map[int]bool
 	hits, miss  int
+	workers     int
 }
 
 func newCountingObserver() *countingObserver {
@@ -38,6 +39,12 @@ func (c *countingObserver) ObserveVerify(graphID int, steps uint64, d time.Durat
 		c.found++
 	}
 	c.eventGraphs[graphID] = true
+	c.mu.Unlock()
+}
+
+func (c *countingObserver) ObserveWorkers(n int) {
+	c.mu.Lock()
+	c.workers = n
 	c.mu.Unlock()
 }
 

@@ -28,7 +28,9 @@ type parallelVcFV struct {
 
 // NewParallelCFQL returns a CFQL engine whose filtering and verification
 // run on a pool of the given number of workers (0 selects 6, matching the
-// Grapes configuration).
+// Grapes configuration). The count is clamped to runtime.GOMAXPROCS(0) at
+// query time; the effective pool size is reported via Observer.
+// ObserveWorkers.
 func NewParallelCFQL(workers int) Engine {
 	if workers <= 0 {
 		workers = 6
@@ -57,21 +59,30 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	if workers <= 0 {
 		workers = e.workers
 	}
+	workers = clampWorkers(workers)
 	res := &Result{}
 	o := opts.Observer
 	ex := opts.Explain
 	ex.SetEngine(e.name)
+	if o != nil {
+		o.ObserveWorkers(workers)
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 
 	worker := func() {
 		defer wg.Done()
+		// One arena per worker, reused across every data graph this worker
+		// draws from the job channel — the parallel analogue of the
+		// sequential engine's per-query scratch.
+		s := matching.AcquireScratch()
+		defer matching.ReleaseScratch(s)
 		for gid := range jobs {
 			g := e.db.Graph(gid)
 
 			t0 := time.Now()
-			cand := matching.CFLFilter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex})
+			cand := matching.CFLFilter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex, Scratch: s})
 			pass := !cand.Aborted && q.NumVertices() > 0 && !cand.AnyEmpty()
 			filterTime := time.Since(t0)
 
@@ -79,13 +90,14 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			var r matching.Result
 			if pass {
 				t1 := time.Now()
-				order := matching.GraphQLOrder(q, cand)
+				order := matching.GraphQLOrderScratch(q, cand, s)
 				observeOrder(ex, order, cand)
 				var err error
 				r, err = matching.Enumerate(q, g, cand, order, matching.Options{
 					Limit:      1,
 					Deadline:   opts.Deadline,
 					StepBudget: opts.StepBudgetPerGraph,
+					Scratch:    s,
 				})
 				if err != nil {
 					panic(err)

@@ -15,12 +15,13 @@ import (
 // enumeration phase stopped at the first subgraph isomorphism.
 type vcFV struct {
 	name string
-	// filter receives the per-pass FilterOptions — the query deadline and
-	// the (possibly nil) Explain — so the matching layer can abort on
-	// timeout and record per-stage candidate counts; with a nil Explain it
-	// must behave exactly like the plain filter.
+	// filter receives the per-pass FilterOptions — the query deadline, the
+	// (possibly nil) Explain and the per-query Scratch arena — so the
+	// matching layer can abort on timeout, record per-stage candidate
+	// counts, and run allocation-free; with a nil Explain it must behave
+	// exactly like the plain filter. order receives the same arena.
 	filter func(q, g *graph.Graph, opts matching.FilterOptions) *matching.Candidates
-	order  func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID
+	order  func(q, g *graph.Graph, cand *matching.Candidates, s *matching.Scratch) []graph.VertexID
 
 	db *graph.Database
 }
@@ -31,7 +32,7 @@ func NewCFL() Engine {
 	return &vcFV{
 		name:   "CFL",
 		filter: matching.CFLFilter,
-		order:  matching.CFLOrder,
+		order:  matching.CFLOrderScratch,
 	}
 }
 
@@ -42,8 +43,8 @@ func NewGraphQL() Engine {
 	return &vcFV{
 		name:   "GraphQL",
 		filter: matching.GraphQLFilter,
-		order: func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID {
-			return matching.GraphQLOrder(q, cand)
+		order: func(q, g *graph.Graph, cand *matching.Candidates, s *matching.Scratch) []graph.VertexID {
+			return matching.GraphQLOrderScratch(q, cand, s)
 		},
 	}
 }
@@ -54,8 +55,8 @@ func NewCFQL() Engine {
 	return &vcFV{
 		name:   "CFQL",
 		filter: matching.CFLFilter,
-		order: func(q, g *graph.Graph, cand *matching.Candidates) []graph.VertexID {
-			return matching.GraphQLOrder(q, cand)
+		order: func(q, g *graph.Graph, cand *matching.Candidates, s *matching.Scratch) []graph.VertexID {
+			return matching.GraphQLOrderScratch(q, cand, s)
 		},
 	}
 }
@@ -81,6 +82,11 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	o := opts.Observer
 	ex := opts.Explain
 	ex.SetEngine(e.name)
+	// One arena for the whole query: candidate storage, filter scratch and
+	// enumeration buffers are reused across every data graph, so the loop
+	// body below allocates nothing in steady state.
+	s := matching.AcquireScratch()
+	defer matching.ReleaseScratch(s)
 	for gid := 0; gid < e.db.Len(); gid++ {
 		if expired(opts.Deadline) {
 			res.TimedOut = true
@@ -89,7 +95,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		g := e.db.Graph(gid)
 
 		t0 := time.Now()
-		cand := e.filter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex})
+		cand := e.filter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex, Scratch: s})
 		res.FilterTime += time.Since(t0)
 		if cand.Aborted {
 			// The filter hit the query deadline mid-pass; its sets prove
@@ -107,12 +113,13 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		}
 
 		t1 := time.Now()
-		order := e.order(q, g, cand)
+		order := e.order(q, g, cand, s)
 		observeOrder(ex, order, cand)
 		r, err := matching.Enumerate(q, g, cand, order, matching.Options{
 			Limit:      1,
 			Deadline:   opts.Deadline,
 			StepBudget: opts.StepBudgetPerGraph,
+			Scratch:    s,
 		})
 		dv := time.Since(t1)
 		res.VerifyTime += dv

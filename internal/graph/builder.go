@@ -99,8 +99,25 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 	}
 	g.buildLabelIndex()
+	g.buildLabelVertexIndex()
 	debugCheckGraph(g) // sqdebug builds only; compiles away otherwise
 	return g, nil
+}
+
+// buildLabelVertexIndex groups vertex ids by label, each group ascending,
+// backing LabeledVertices. One shared backing array keeps it a single
+// allocation plus the map.
+func (g *Graph) buildLabelVertexIndex() {
+	g.labelVerts = make(map[Label][]VertexID, len(g.labelCount))
+	backing := make([]VertexID, 0, len(g.labels))
+	for l, c := range g.labelCount {
+		start := len(backing)
+		backing = backing[:start+c]
+		g.labelVerts[l] = backing[start:start:len(backing)]
+	}
+	for v, l := range g.labels {
+		g.labelVerts[l] = append(g.labelVerts[l], VertexID(v))
+	}
 }
 
 // buildLabelIndex constructs the per-vertex label-run index over the sorted

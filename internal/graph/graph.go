@@ -35,7 +35,8 @@ type Graph struct {
 	nlEnds   []uint32 // end position (absolute into adj) of each label run
 
 	maxDegree  uint32
-	labelCount map[Label]int // number of vertices per label
+	labelCount map[Label]int        // number of vertices per label
+	labelVerts map[Label][]VertexID // vertices per label, ascending
 }
 
 // NumVertices returns |V(g)|.
@@ -109,12 +110,35 @@ func (g *Graph) DistinctLabels() int { return len(g.labelCount) }
 // VerticesWithLabel appends to dst all vertices of g labeled l and returns
 // the extended slice.
 func (g *Graph) VerticesWithLabel(dst []VertexID, l Label) []VertexID {
-	for v := range g.labels {
-		if g.labels[v] == l {
-			dst = append(dst, VertexID(v))
+	return append(dst, g.labelVerts[l]...)
+}
+
+// LabeledVertices returns the vertices of g labeled l, in ascending id
+// order, without copying. Callers must not modify the returned slice. This
+// is the index that turns every "scan V(G) for label L(u)" loop in the
+// filters into an O(|candidates|) walk.
+func (g *Graph) LabeledVertices(l Label) []VertexID { return g.labelVerts[l] }
+
+// SubsumesProfile reports whether vertex v's neighborhood label frequency
+// profile subsumes q — v has at least q.counts[j] neighbors of label
+// q.labels[j] for every j. It reads the CSR label-run index directly, so
+// unlike NLFOf(g, v).Subsumes(q) it allocates nothing.
+func (g *Graph) SubsumesProfile(v VertexID, q NLF) bool {
+	i, e := int(g.nlStart[v]), int(g.nlStart[v+1])
+	prev := g.offsets[v] // start position of run i within adj
+	for j := range q.labels {
+		lj := q.labels[j]
+		for i < e && g.nlLabels[i] < lj {
+			prev = g.nlEnds[i]
+			i++
 		}
+		if i == e || g.nlLabels[i] != lj || g.nlEnds[i]-prev < q.counts[j] {
+			return false
+		}
+		prev = g.nlEnds[i]
+		i++
 	}
-	return dst
+	return true
 }
 
 // MemoryFootprint returns the approximate number of bytes held by the CSR

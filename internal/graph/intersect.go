@@ -1,0 +1,95 @@
+package graph
+
+import "cmp"
+
+// Sorted-set intersection kernel shared by the enumeration hot path
+// (candidate set ∩ pivot neighborhood) and the index posting-list
+// intersections (Grapes occurrence lists, GGSX presence sets). Inputs are
+// ascending and duplicate-free — the invariant CSR adjacency, sorted
+// candidate sets and index posting lists all maintain — and the output is
+// then ascending and duplicate-free too (asserted under -tags sqdebug).
+//
+// The kernel is allocation-free: results are appended to a caller-provided
+// buffer, which may alias the first input's backing array (the classic
+// in-place `a = intersect(a[:0], a, b)` shrink).
+
+// gallopRatio is the size skew beyond which the kernel switches from a
+// linear merge scan to galloping (exponential probe + binary search) in
+// the larger input. Below the threshold the merge's sequential access
+// pattern wins; above it, galloping's O(min·log(max/min)) does.
+const gallopRatio = 16
+
+// IntersectSorted appends a ∩ b to dst and returns the extended slice.
+// Both inputs must be ascending and duplicate-free. dst may alias a's
+// backing array (e.g. dst = a[:0]); it must not alias b's.
+func IntersectSorted[T cmp.Ordered](dst, a, b []T) []T {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= gallopRatio*len(a) {
+		j := 0
+		for _, x := range a {
+			j = LowerBound(b, j, x)
+			if j == len(b) {
+				break
+			}
+			if b[j] == x {
+				dst = append(dst, x)
+				j++
+			}
+		}
+	} else {
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case b[j] < a[i]:
+				j++
+			default:
+				dst = append(dst, a[i])
+				i++
+				j++
+			}
+		}
+	}
+	debugCheckSortedUnique("IntersectSorted", dst)
+	return dst
+}
+
+// LowerBound returns the smallest index i in [from, len(s)] with
+// s[i] >= target, galloping: exponential probes from `from` followed by a
+// binary search over the bracketed range. For a sequence of increasing
+// targets this makes a full intersection O(min·log(max/min)) instead of
+// O(max). s must be ascending.
+func LowerBound[T cmp.Ordered](s []T, from int, target T) int {
+	n := len(s)
+	if from >= n || s[from] >= target {
+		return from
+	}
+	// s[lo] < target throughout; double the step until we bracket.
+	lo := from
+	step := 1
+	hi := from + step
+	for hi < n && s[hi] < target {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// Invariant: s[lo] < target, and s[hi] >= target or hi == n.
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"cmp"
+	"fmt"
+)
 
 // Runtime invariant assertions over the CSR representation, active only
 // under the sqdebug build tag (see sqdebug_on.go). Every graph leaving
@@ -64,6 +67,7 @@ func debugCheckGraph(g *Graph) {
 	}
 
 	debugCheckLabelRuns(g)
+	debugCheckLabelVertices(g)
 
 	// Symmetry: every stored arc has its reverse. HasEdge is safe to use
 	// here because the label-run index was just validated.
@@ -129,6 +133,44 @@ func debugCheckLabelRuns(g *Graph) {
 		if cursor != g.offsets[v+1] {
 			debugFailf("label runs of vertex %d cover up to %d, want %d", v, cursor, g.offsets[v+1])
 		}
+	}
+}
+
+// debugCheckSortedUnique panics unless s is strictly ascending — the
+// output contract of the intersection kernel (sorted, duplicate-free).
+// No-op in normal builds.
+func debugCheckSortedUnique[T cmp.Ordered](what string, s []T) {
+	if !debugInvariants {
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			debugFailf("%s output not strictly ascending at %d: %v then %v", what, i, s[i-1], s[i])
+		}
+	}
+}
+
+// debugCheckLabelVertices validates the per-label vertex index: every
+// label's list is ascending, lists tile V exactly, and every entry has the
+// label it is filed under.
+func debugCheckLabelVertices(g *Graph) {
+	if !debugInvariants {
+		return
+	}
+	total := 0
+	for l, vs := range g.labelVerts {
+		for i, v := range vs {
+			if g.labels[v] != l {
+				debugFailf("labelVerts[%d] lists vertex %d with label %d", l, v, g.labels[v])
+			}
+			if i > 0 && vs[i-1] >= v {
+				debugFailf("labelVerts[%d] not strictly ascending at %d", l, i)
+			}
+		}
+		total += len(vs)
+	}
+	if total != g.NumVertices() {
+		debugFailf("labelVerts covers %d of %d vertices", total, g.NumVertices())
 	}
 }
 

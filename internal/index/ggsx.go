@@ -160,17 +160,9 @@ func (ix *GGSX) MemoryFootprint() int64 {
 	return ix.nodes*nodeOverhead + ix.entries*4
 }
 
-// intersectSorted intersects two ascending id lists in place of the first.
+// intersectSorted intersects two ascending id lists in place of the first,
+// delegating to the shared kernel (merge scan with a galloping fallback for
+// skewed posting-list lengths).
 func intersectSorted(a, b []int32) []int32 {
-	out := a[:0]
-	j := 0
-	for _, x := range a {
-		for j < len(b) && b[j] < x {
-			j++
-		}
-		if j < len(b) && b[j] == x {
-			out = append(out, x)
-		}
-	}
-	return out
+	return graph.IntersectSorted(a[:0], a, b)
 }

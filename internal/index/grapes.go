@@ -292,13 +292,21 @@ func allGraphIDs(n int) []int32 {
 }
 
 // retainWithCount intersects the sorted candidate ids with the sorted
-// posting list, keeping ids whose count meets the requirement.
+// posting list, keeping ids whose count meets the requirement. When the
+// posting list dwarfs the surviving candidate set — the common case after a
+// few selective features — it gallops through the list instead of scanning
+// it linearly.
 func retainWithCount(cand, ids []int32, counts []int32, need int32) []int32 {
 	out := cand[:0]
 	j := 0
+	gallop := len(ids) >= 16*len(cand)
 	for _, c := range cand {
-		for j < len(ids) && ids[j] < c {
-			j++
+		if gallop {
+			j = graph.LowerBound(ids, j, c)
+		} else {
+			for j < len(ids) && ids[j] < c {
+				j++
+			}
 		}
 		if j < len(ids) && ids[j] == c && counts[j] >= need {
 			out = append(out, c)

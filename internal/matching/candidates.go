@@ -1,11 +1,32 @@
 package matching
 
-import "subgraphquery/internal/graph"
+import (
+	"unsafe"
+
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/scratch"
+)
+
+// Element sizes for the memory-footprint accounting, derived from the
+// actual types rather than hardcoded so the paper's footprint tables stay
+// honest if a representation changes.
+const vertexIDBytes = int64(unsafe.Sizeof(graph.VertexID(0)))
 
 // Candidates is the candidate vertex set structure Φ of Definition III.1:
 // Sets[u] lists the data vertices that may be matched to query vertex u. A
 // filter is correct when its output is *complete*: every data vertex that
 // participates in some subgraph isomorphism appears in the respective set.
+//
+// The filters in this package keep every set ascending by vertex id —
+// the invariant the enumeration's sorted-intersection kernel relies on.
+// Callers constructing Candidates by hand (tests, external orderings)
+// should Add in ascending order or call SortCandidates before Enumerate.
+//
+// Storage is arena-style: a Candidates owned by a Scratch is reset — not
+// re-allocated — between data graphs. The membership bitsets are
+// epoch-stamped (O(1) clear) and the per-vertex sets retain their backing
+// capacity, so steady-state filtering performs no heap allocation per
+// graph.
 type Candidates struct {
 	Sets [][]graph.VertexID
 
@@ -17,35 +38,53 @@ type Candidates struct {
 
 	// member[u] is a bitset over data vertices mirroring Sets[u], used for
 	// O(1) membership tests during refinement and enumeration.
-	member []bitset
+	member []scratch.Bits
 	nData  int
 }
 
 // NewCandidates returns an empty candidate structure for a query with
 // numQuery vertices against a data graph with numData vertices.
 func NewCandidates(numQuery, numData int) *Candidates {
-	c := &Candidates{
-		Sets:   make([][]graph.VertexID, numQuery),
-		member: make([]bitset, numQuery),
-		nData:  numData,
-	}
-	for i := range c.member {
-		c.member[i] = newBitset(numData)
-	}
+	c := &Candidates{}
+	c.reset(numQuery, numData)
 	return c
+}
+
+// reset clears c and shapes it for a numQuery-vertex query against a
+// numData-vertex data graph, reusing all retained capacity: set backing
+// arrays keep their storage and the membership bitsets clear by epoch
+// bump. This is the per-data-graph entry point of the scratch arena.
+func (c *Candidates) reset(numQuery, numData int) {
+	c.Aborted = false
+	c.nData = numData
+	if cap(c.Sets) < numQuery {
+		grownSets := make([][]graph.VertexID, numQuery)
+		copy(grownSets, c.Sets[:cap(c.Sets)])
+		c.Sets = grownSets
+		grownMember := make([]scratch.Bits, numQuery)
+		copy(grownMember, c.member[:cap(c.member)])
+		c.member = grownMember
+	} else {
+		c.Sets = c.Sets[:numQuery]
+		c.member = c.member[:numQuery]
+	}
+	for i := range c.Sets {
+		c.Sets[i] = c.Sets[i][:0]
+		c.member[i].Reset(numData)
+	}
 }
 
 // Add inserts data vertex v into Φ(u) if not already present.
 func (c *Candidates) Add(u graph.VertexID, v graph.VertexID) {
-	if !c.member[u].get(uint32(v)) {
-		c.member[u].set(uint32(v))
+	if !c.member[u].Get(uint32(v)) {
+		c.member[u].Set(uint32(v))
 		c.Sets[u] = append(c.Sets[u], v)
 	}
 }
 
 // Contains reports whether v ∈ Φ(u).
 func (c *Candidates) Contains(u, v graph.VertexID) bool {
-	return c.member[u].get(uint32(v))
+	return c.member[u].Get(uint32(v))
 }
 
 // Count returns |Φ(u)|.
@@ -70,14 +109,23 @@ func (c *Candidates) Retain(u graph.VertexID, keep func(v graph.VertexID) bool) 
 		if keep(v) {
 			s = append(s, v)
 		} else {
-			c.member[u].clear(uint32(v))
+			c.member[u].Clear(uint32(v))
 		}
 	}
 	c.Sets[u] = s
 }
 
-// TotalSize returns the sum of candidate set sizes, the quantity whose byte
-// cost the paper reports as the memory footprint of vcFV algorithms.
+// clearMember drops v's membership bit for u. The closure-free retention
+// loops on the filter hot paths rebuild Sets[u] in place and call this for
+// each dropped vertex, exactly what Retain does without the callback.
+func (c *Candidates) clearMember(u, v graph.VertexID) {
+	c.member[u].Clear(uint32(v))
+}
+
+// TotalSize returns the sum of candidate set sizes — the live candidate
+// count whose byte cost the paper reports as the memory footprint of vcFV
+// algorithms. Arena-retained capacity beyond the live sets is excluded;
+// see ReservedBytes.
 func (c *Candidates) TotalSize() int {
 	total := 0
 	for _, s := range c.Sets {
@@ -86,25 +134,37 @@ func (c *Candidates) TotalSize() int {
 	return total
 }
 
-// MemoryFootprint returns the byte size of the candidate vertex sets plus
-// their membership bitsets — the auxiliary data structure cost of a vcFV
-// algorithm on one data graph (space complexity O(|V(q)|·|V(G)|) for the
-// bitsets and O(|V(q)|·|E(G)|) worst case for the sets).
+// MemoryFootprint returns the live byte size of the candidate vertex sets
+// plus their membership bitsets — the auxiliary data structure cost of a
+// vcFV algorithm on one data graph (space complexity O(|V(q)|·|V(G)|) for
+// the bitsets and O(|V(q)|·|E(G)|) worst case for the sets). For an
+// arena-backed Candidates this is what the structure logically holds for
+// the current data graph, not what the arena has reserved; ReservedBytes
+// reports the latter.
 func (c *Candidates) MemoryFootprint() int64 {
 	var b int64
 	for _, s := range c.Sets {
-		b += int64(len(s)) * 4
+		b += int64(len(s)) * vertexIDBytes
 	}
-	for _, m := range c.member {
-		b += int64(len(m)) * 8
+	for i := range c.member {
+		b += c.member[i].LiveBytes()
 	}
 	return b
 }
 
-// bitset is a fixed-size bit vector over data vertex ids.
-type bitset []uint64
-
-func newBitset(n int) bitset       { return make(bitset, (n+63)/64) }
-func (b bitset) get(i uint32) bool { return b[i>>6]&(1<<(i&63)) != 0 }
-func (b bitset) set(i uint32)      { b[i>>6] |= 1 << (i & 63) }
-func (b bitset) clear(i uint32)    { b[i>>6] &^= 1 << (i & 63) }
+// ReservedBytes returns the bytes pinned by the backing arrays regardless
+// of the current data graph — the arena's actual resident cost, which
+// after warm-up is sized by the largest graph seen. Always ≥
+// MemoryFootprint.
+func (c *Candidates) ReservedBytes() int64 {
+	var b int64
+	sets := c.Sets[:cap(c.Sets)]
+	for _, s := range sets {
+		b += int64(cap(s)) * vertexIDBytes
+	}
+	member := c.member[:cap(c.member)]
+	for i := range member {
+		b += member[i].ReservedBytes()
+	}
+	return b
+}

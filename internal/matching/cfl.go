@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"slices"
 	"sort"
 
 	"subgraphquery/internal/graph"
@@ -26,6 +27,10 @@ import (
 // are recorded after the label/degree qualification, the top-down
 // generation (with backward pruning) and the bottom-up refinement; a nil
 // Explain costs a few predictable branches and allocates nothing.
+//
+// With a non-nil opts.Scratch the pass runs entirely on the arena: the
+// returned Candidates is owned by the Scratch and valid until its next
+// filter call, and steady-state execution allocates nothing.
 func CFLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 	cand := cflFilter(q, g, true, opts)
 	debugCheckCandidates("CFLFilter", q, g, cand)
@@ -65,9 +70,8 @@ func emitLDFCounts(ex *obs.Explain, q, g *graph.Graph) {
 	counts := make([]int, q.NumVertices())
 	for u := range counts {
 		uu := graph.VertexID(u)
-		for v := 0; v < g.NumVertices(); v++ {
-			vv := graph.VertexID(v)
-			if g.Label(vv) == q.Label(uu) && g.Degree(vv) >= q.Degree(uu) {
+		for _, vv := range g.LabeledVertices(q.Label(uu)) {
+			if g.Degree(vv) >= q.Degree(uu) {
 				counts[u]++
 			}
 		}
@@ -77,90 +81,99 @@ func emitLDFCounts(ex *obs.Explain, q, g *graph.Graph) {
 
 func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates {
 	ex := opts.Explain
+	s := opts.Scratch
+	if s == nil {
+		s = NewScratch()
+	}
 	nq := q.NumVertices()
-	cand := NewCandidates(nq, g.NumVertices())
+	cand := s.candidates(nq, g.NumVertices())
 	if nq == 0 {
 		return cand
 	}
 	emitLDFCounts(ex, q, g)
 
+	s.ensureCFL(nq, g.NumVertices())
+	profs := s.profilesFor(q)
 	root := cflRoot(q, g)
-	tree := graph.NewBFSTree(q, root)
+	order := s.bfsOrderInto(q, root)
 
 	// Top-down generation along the BFS order. processed[u'] marks query
 	// vertices whose candidate sets exist already; for each new u, a data
 	// vertex v qualifies if label/degree match and, for *every* processed
 	// neighbor u' of u, v is adjacent to some candidate of u' (backward
 	// pruning over both tree and non-tree edges).
-	processed := make([]bool, nq)
-	lastEpoch := make([]int64, g.NumVertices()) // epoch at which v was last marked
-	chain := make([]int32, g.NumVertices())     // consecutive before-neighbors satisfied
-	var epoch int64
-	var marked []graph.VertexID // vertices marked during the current epoch
-
-	for _, u := range tree.Order {
+	for _, u := range order {
 		if opts.expired() {
 			cand.Aborted = true
 			return cand
 		}
 		qDeg := q.Degree(u)
 		qLab := q.Label(u)
-		var before []graph.VertexID
+		before := s.adjacent[:0]
 		for _, up := range q.Neighbors(u) {
-			if processed[up] {
+			if s.processed[up] {
 				before = append(before, up)
 			}
 		}
+		s.adjacent = before
 		if len(before) == 0 {
 			// The root: label + degree + neighborhood-label-frequency seed.
-			prof := graph.NLFOf(q, u)
-			for v := 0; v < g.NumVertices(); v++ {
-				vv := graph.VertexID(v)
-				if g.Label(vv) == qLab && g.Degree(vv) >= qDeg && profileSubsumed(g, vv, prof) {
+			// LabeledVertices is ascending, so Φ(root) is born sorted.
+			prof := profs[u]
+			for _, vv := range g.LabeledVertices(qLab) {
+				if g.Degree(vv) >= qDeg && g.SubsumesProfile(vv, prof) {
 					cand.Add(u, vv)
 				}
 			}
 		} else {
 			// A data vertex v survives iff, for every processed neighbor u'
 			// of u, v is adjacent to some candidate in Φ(u'). One epoch per
-			// u'; chain[v] counts how many consecutive epochs marked v.
+			// u'; chain[v] counts how many consecutive epochs marked v. The
+			// epoch counter is monotonic across the Scratch's whole
+			// lifetime, so stale stamps from earlier graphs never match.
+			marked := s.marked[:0]
 			for i, up := range before {
-				prevEpoch := epoch
-				epoch++
+				prevEpoch := s.epoch
+				s.epoch++
+				epoch := s.epoch
 				if i == len(before)-1 {
 					marked = marked[:0]
 				}
 				for _, vp := range cand.Sets[up] {
 					for _, w := range g.NeighborsWithLabel(vp, qLab) {
-						if lastEpoch[w] == epoch {
+						if s.lastEpoch[w] == epoch {
 							continue // already counted for this u'
 						}
 						if i == 0 {
-							chain[w] = 1
-						} else if lastEpoch[w] == prevEpoch && chain[w] == int32(i) {
-							chain[w] = int32(i + 1)
+							s.chain[w] = 1
+						} else if s.lastEpoch[w] == prevEpoch && s.chain[w] == int32(i) {
+							s.chain[w] = int32(i + 1)
 						} else {
 							continue // missed an earlier u'
 						}
-						lastEpoch[w] = epoch
+						s.lastEpoch[w] = epoch
 						if i == len(before)-1 {
 							marked = append(marked, w)
 						}
 					}
 				}
 			}
+			s.marked = marked
 			need := int32(len(before))
 			for _, vv := range marked {
-				if chain[vv] == need && g.Degree(vv) >= qDeg {
+				if s.chain[vv] == need && g.Degree(vv) >= qDeg {
 					cand.Add(u, vv)
 				}
 			}
+			// marked is in discovery order; restore the ascending-set
+			// invariant the enumeration kernel relies on.
+			slices.Sort(cand.Sets[u])
 		}
 		if cand.Count(u) == 0 {
 			emitStageCounts(ex, obs.StageCFLTopDown, cand)
 			return cand
 		}
-		processed[u] = true
+		s.processed[u] = true
 	}
 	emitStageCounts(ex, obs.StageCFLTopDown, cand)
 
@@ -171,41 +184,47 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates
 
 	// Bottom-up refinement: in reverse BFS order, keep v ∈ Φ(u) only if for
 	// every neighbor u' processed after u (tree children and forward
-	// non-tree edges), N(v) ∩ Φ(u') ≠ ∅.
-	pos := make([]int, nq)
-	for i, u := range tree.Order {
-		pos[u] = i
-	}
+	// non-tree edges), N(v) ∩ Φ(u') ≠ ∅. The retention loop is written out
+	// (rather than via Retain's callback) to keep the hot path closure-free.
 	for i := nq - 1; i >= 0; i-- {
 		if opts.expired() {
 			cand.Aborted = true
 			return cand
 		}
-		u := tree.Order[i]
-		var after []graph.VertexID
+		u := order[i]
+		after := s.adjacent[:0]
 		for _, up := range q.Neighbors(u) {
-			if pos[up] > i {
+			if s.pos[up] > i {
 				after = append(after, up)
 			}
 		}
+		s.adjacent = after
 		if len(after) == 0 {
 			continue
 		}
-		cand.Retain(u, func(v graph.VertexID) bool {
+		kept := cand.Sets[u][:0]
+		for _, v := range cand.Sets[u] {
+			ok := true
 			for _, up := range after {
-				ok := false
+				found := false
 				for _, w := range g.NeighborsWithLabel(v, q.Label(up)) {
 					if cand.Contains(up, w) {
-						ok = true
+						found = true
 						break
 					}
 				}
-				if !ok {
-					return false
+				if !found {
+					ok = false
+					break
 				}
 			}
-			return true
-		})
+			if ok {
+				kept = append(kept, v)
+			} else {
+				cand.clearMember(u, v)
+			}
+		}
+		cand.Sets[u] = kept
 		if cand.Count(u) == 0 {
 			emitStageCounts(ex, obs.StageCFLBottomUp, cand)
 			return cand
@@ -218,16 +237,16 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates
 
 // cflRoot selects the BFS root as the query vertex minimizing the ratio of
 // label-and-degree-qualified data vertices to its degree, CFL's root
-// selection rule.
+// selection rule. The per-label vertex index reduces the scan from
+// O(|V(q)|·|V(G)|) to the qualified vertices only.
 func cflRoot(q, g *graph.Graph) graph.VertexID {
 	best := graph.VertexID(0)
 	bestScore := -1.0
 	for u := 0; u < q.NumVertices(); u++ {
 		uu := graph.VertexID(u)
 		cnt := 0
-		for v := 0; v < g.NumVertices(); v++ {
-			vv := graph.VertexID(v)
-			if g.Label(vv) == q.Label(uu) && g.Degree(vv) >= q.Degree(uu) {
+		for _, vv := range g.LabeledVertices(q.Label(uu)) {
+			if g.Degree(vv) >= q.Degree(uu) {
 				cnt++
 			}
 		}
@@ -249,9 +268,19 @@ func cflRoot(q, g *graph.Graph) graph.VertexID {
 // estimate each path's embedding count through the candidate sets, and
 // concatenate paths in ascending estimated cost with 2-core paths first.
 func CFLOrder(q, g *graph.Graph, cand *Candidates) []graph.VertexID {
+	return CFLOrderScratch(q, g, cand, nil)
+}
+
+// CFLOrderScratch is CFLOrder running on an arena: the returned order is
+// owned by s and valid until its next ordering call. A nil s allocates a
+// private arena (identical to CFLOrder).
+func CFLOrderScratch(q, g *graph.Graph, cand *Candidates, s *Scratch) []graph.VertexID {
 	n := q.NumVertices()
 	if n == 0 {
 		return nil
+	}
+	if s == nil {
+		s = NewScratch()
 	}
 	root := cflRoot(q, g)
 	tree := graph.NewBFSTree(q, root)
@@ -281,7 +310,7 @@ func CFLOrder(q, g *graph.Graph, cand *Candidates) []graph.VertexID {
 	for i, p := range paths {
 		ranked[i] = scored{
 			path:   p,
-			cost:   pathEmbeddingEstimate(g, q, cand, p),
+			cost:   pathEmbeddingEstimate(g, q, cand, p, s),
 			inCore: pathInCore(core, p),
 		}
 	}
@@ -292,16 +321,17 @@ func CFLOrder(q, g *graph.Graph, cand *Candidates) []graph.VertexID {
 		return ranked[i].cost < ranked[j].cost
 	})
 
-	order := make([]graph.VertexID, 0, n)
-	in := make([]bool, n)
-	for _, s := range ranked {
-		for _, u := range s.path {
+	order := s.orderBuf[:0]
+	in := growBools(&s.orderIn, n)
+	for _, sc := range ranked {
+		for _, u := range sc.path {
 			if !in[u] {
 				in[u] = true
 				order = append(order, u)
 			}
 		}
 	}
+	s.orderBuf = order
 	return order
 }
 
@@ -318,37 +348,46 @@ func pathInCore(core []bool, path []graph.VertexID) bool {
 
 // pathEmbeddingEstimate counts, by dynamic programming over the candidate
 // sets, the number of homomorphic embeddings of the tree path — CFL's
-// cardinality estimate for ranking paths.
-func pathEmbeddingEstimate(g, q *graph.Graph, cand *Candidates, path []graph.VertexID) float64 {
-	weight := make([]float64, g.NumVertices())
-	cur := append([]graph.VertexID(nil), cand.Sets[path[0]]...)
-	for _, v := range cur {
-		weight[v] = 1
+// cardinality estimate for ranking paths. The per-step weight vectors over
+// V(G) ping-pong between two arena buffers that are kept all-zero between
+// uses: only the entries actually touched (tracked in the touch lists) are
+// cleared, so a step costs O(reached vertices), not O(|V(G)|).
+func pathEmbeddingEstimate(g, q *graph.Graph, cand *Candidates, path []graph.VertexID, s *Scratch) float64 {
+	n := g.NumVertices()
+	wCur, wNext := growZeroFloats(&s.wA, n), growZeroFloats(&s.wB, n)
+	tCur, tNext := s.touchA[:0], s.touchB[:0]
+	for _, v := range cand.Sets[path[0]] {
+		wCur[v] = 1
+		tCur = append(tCur, v)
 	}
-	for i := 1; i < len(path); i++ {
+	for i := 1; i < len(path) && len(tCur) > 0; i++ {
 		u := path[i]
-		next := make([]graph.VertexID, 0, len(cur))
-		nextWeight := make([]float64, g.NumVertices())
-		for _, vp := range cur {
-			c := weight[vp]
-			for _, w := range g.NeighborsWithLabel(vp, q.Label(u)) {
+		lab := q.Label(u)
+		tNext = tNext[:0]
+		for _, vp := range tCur {
+			c := wCur[vp]
+			for _, w := range g.NeighborsWithLabel(vp, lab) {
 				if cand.Contains(u, w) {
-					if nextWeight[w] == 0 {
-						next = append(next, w)
+					if wNext[w] == 0 {
+						tNext = append(tNext, w)
 					}
-					nextWeight[w] += c
+					wNext[w] += c
 				}
 			}
 		}
-		cur, weight = next, nextWeight
-		if len(cur) == 0 {
-			return 0
+		for _, v := range tCur {
+			wCur[v] = 0 // restore the all-zero invariant before reuse
 		}
+		wCur, wNext = wNext, wCur
+		tCur, tNext = tNext, tCur
 	}
 	total := 0.0
-	for _, v := range cur {
-		total += weight[v]
+	for _, v := range tCur {
+		total += wCur[v]
+		wCur[v] = 0
 	}
+	s.wA, s.wB = wCur, wNext
+	s.touchA, s.touchB = tCur, tNext
 	return total
 }
 
@@ -366,14 +405,14 @@ func (a CFL) Run(q, g *graph.Graph, opts Options) Result {
 	if q.NumVertices() == 0 {
 		return Result{Embeddings: 1}
 	}
-	cand := CFLFilter(q, g, FilterOptions{Deadline: opts.Deadline})
+	cand := CFLFilter(q, g, FilterOptions{Deadline: opts.Deadline, Scratch: opts.Scratch})
 	if cand.Aborted {
 		return Result{Aborted: true}
 	}
 	if cand.AnyEmpty() {
 		return Result{}
 	}
-	order := CFLOrder(q, g, cand)
+	order := CFLOrderScratch(q, g, cand, opts.Scratch)
 	res, err := Enumerate(q, g, cand, order, opts)
 	if err != nil {
 		panic(err) // BFS-tree path order is connected for connected queries
@@ -402,14 +441,14 @@ func (a CFQL) Run(q, g *graph.Graph, opts Options) Result {
 	if q.NumVertices() == 0 {
 		return Result{Embeddings: 1}
 	}
-	cand := CFLFilter(q, g, FilterOptions{Deadline: opts.Deadline})
+	cand := CFLFilter(q, g, FilterOptions{Deadline: opts.Deadline, Scratch: opts.Scratch})
 	if cand.Aborted {
 		return Result{Aborted: true}
 	}
 	if cand.AnyEmpty() {
 		return Result{}
 	}
-	res, err := Enumerate(q, g, cand, GraphQLOrder(q, cand), opts)
+	res, err := Enumerate(q, g, cand, GraphQLOrderScratch(q, cand, opts.Scratch), opts)
 	if err != nil {
 		panic(err)
 	}

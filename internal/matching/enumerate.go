@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/scratch"
 )
 
 // Enumerate performs the backtracking search common to the
@@ -12,35 +13,54 @@ import (
 // from Φ(u) intersected with the data neighborhood of an already-matched
 // neighbor of u, and checking every edge back to matched query vertices.
 //
+// The candidate sets must be ascending by vertex id (the invariant every
+// filter in this package maintains; call SortCandidates on hand-built
+// sets): the Φ(u) ∩ N(pivot) step runs through the shared sorted-set
+// intersection kernel, so candidates are visited in ascending id order at
+// every depth.
+//
 // The order must be connected: each vertex after the first needs at least
 // one earlier neighbor in q (both GraphQL's join-based order and CFL's
 // path-based order guarantee this). Enumerate returns an error for
 // disconnected orders rather than silently enumerating a cartesian product.
+//
+// With a non-nil opts.Scratch all search state (mapping, used-set,
+// backward-neighbor and intersection buffers) comes from the arena and the
+// call allocates nothing in steady state.
 func Enumerate(q, g *graph.Graph, cand *Candidates, order []graph.VertexID, opts Options) (Result, error) {
 	n := q.NumVertices()
 	if len(order) != n {
 		return Result{}, fmt.Errorf("matching: order covers %d of %d query vertices", len(order), n)
 	}
+	debugCheckSortedSets("Enumerate", cand) // sqdebug: kernel input invariant
+	s := opts.Scratch
+	if s == nil {
+		s = NewScratch()
+	}
+	s.mapping = scratch.Grow(s.mapping, n)
+	s.used.Reset(g.NumVertices())
 	e := enumerator{
-		q:       q,
-		g:       g,
-		cand:    cand,
-		order:   order,
-		opts:    &opts,
-		budget:  newBudget(&opts),
-		mapping: make([]graph.VertexID, n),
-		used:    newBitset(g.NumVertices()),
+		q:        q,
+		g:        g,
+		cand:     cand,
+		order:    order,
+		opts:     opts,
+		budget:   newBudget(&opts),
+		mapping:  s.mapping,
+		used:     &s.used,
+		backward: s.backward.Take(n),
+		isect:    s.isect.Take(n),
 	}
 
 	// Precompute, for each position i > 0, the query neighbors of order[i]
 	// that appear earlier in the order ("backward neighbors"), and pick the
 	// pivot whose data-side neighborhood will seed the candidates.
-	e.backward = make([][]graph.VertexID, n)
-	pos := make([]int, n)
+	s.pos = scratch.Grow(s.pos, n)
+	pos := s.pos
 	for i, u := range order {
 		pos[u] = i
 	}
-	seen := make([]bool, n)
+	seen := growBools(&s.seen, n)
 	for i, u := range order {
 		for _, w := range q.Neighbors(u) {
 			if seen[w] {
@@ -79,11 +99,12 @@ type enumerator struct {
 	cand     *Candidates
 	order    []graph.VertexID
 	backward [][]graph.VertexID
-	opts     *Options
+	isect    [][]graph.VertexID // per-depth Φ(u) ∩ N(pivot) buffers
+	opts     Options            // by value: storing &opts would heap-allocate it per call
 	budget   budget
 
 	mapping []graph.VertexID
-	used    bitset
+	used    *scratch.Bits
 	found   uint64
 	stop    bool
 	stopped bool // an OnEmbedding callback returned false
@@ -120,8 +141,14 @@ func (e *enumerator) search(depth int) {
 	}
 	bw := e.backward[depth]
 	pivotImage := e.mapping[bw[0]]
-	for _, v := range e.g.NeighborsWithLabel(pivotImage, e.q.Label(u)) {
-		if e.used.get(uint32(v)) || !e.cand.Contains(u, v) {
+	// Φ(u) ∩ N_label(pivotImage): both inputs ascending, so the shared
+	// kernel replaces the probe loop. The result lives in this depth's
+	// arena row, stable across the deeper recursion.
+	nbrs := e.g.NeighborsWithLabel(pivotImage, e.q.Label(u))
+	buf := graph.IntersectSorted(e.isect[depth][:0], e.cand.Sets[u], nbrs)
+	e.isect[depth] = buf
+	for _, v := range buf {
+		if e.used.Get(uint32(v)) {
 			continue
 		}
 		ok := true
@@ -142,9 +169,9 @@ func (e *enumerator) search(depth int) {
 
 func (e *enumerator) extend(depth int, u, v graph.VertexID) {
 	e.mapping[u] = v
-	e.used.set(uint32(v))
+	e.used.Set(uint32(v))
 	e.search(depth + 1)
-	e.used.clear(uint32(v))
+	e.used.Clear(uint32(v))
 }
 
 // VerifyOrder checks that order is a valid connected permutation of the

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/scratch"
 )
 
 // filters lists every Filter implementation (the preprocessing phases of
@@ -142,30 +143,31 @@ func TestCandidatesBasics(t *testing.T) {
 }
 
 func TestBitset(t *testing.T) {
+	var b scratch.Bits
 	f := func(bits []uint16) bool {
-		b := newBitset(1 << 16)
+		b.Reset(1 << 16) // O(1) epoch clear between property-test rounds
 		ref := map[uint32]bool{}
 		for i, raw := range bits {
 			v := uint32(raw)
 			if i%3 == 2 {
-				b.clear(v)
+				b.Clear(v)
 				delete(ref, v)
 			} else {
-				b.set(v)
+				b.Set(v)
 				ref[v] = true
 			}
 		}
 		for v := range ref {
-			if !b.get(v) {
+			if !b.Get(v) {
 				return false
 			}
 		}
 		for _, raw := range bits {
-			if b.get(uint32(raw)) != ref[uint32(raw)] {
+			if b.Get(uint32(raw)) != ref[uint32(raw)] {
 				return false
 			}
 		}
-		return true
+		return b.Count() == len(ref)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)

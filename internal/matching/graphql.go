@@ -40,6 +40,10 @@ const DefaultRefinementRounds = 3
 // semi-perfect bipartite matching test rejected; a nil Explain costs a few
 // predictable branches and allocates nothing.
 //
+// With a non-nil opts.Scratch the pass runs on the arena: the returned
+// Candidates is owned by the Scratch and valid until its next filter
+// call, and steady-state execution allocates nothing.
+//
 // Space complexity O(|V(q)|·|V(G)|); time O(|V(q)|·|V(G)|·Θ(d_q, d_G)) with
 // Θ the bipartite matching cost.
 func GraphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
@@ -50,6 +54,10 @@ func GraphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 
 func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 	ex := opts.Explain
+	s := opts.Scratch
+	if s == nil {
+		s = NewScratch()
+	}
 	rounds := opts.Rounds
 	if rounds == 0 {
 		rounds = DefaultRefinementRounds
@@ -58,23 +66,24 @@ func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 		rounds = 0
 	}
 	nq := q.NumVertices()
-	cand := NewCandidates(nq, g.NumVertices())
+	cand := s.candidates(nq, g.NumVertices())
+	if nq == 0 {
+		return cand
+	}
+	profs := s.profilesFor(q)
 
 	// Step 1: candidates by neighborhood profile, in ascending id order.
+	// LabeledVertices is ascending, so every set is born sorted.
 	for u := 0; u < nq; u++ {
 		if opts.expired() {
 			cand.Aborted = true
 			return cand
 		}
 		uu := graph.VertexID(u)
-		prof := graph.NLFOf(q, uu)
+		prof := profs[u]
 		deg := q.Degree(uu)
-		for v := 0; v < g.NumVertices(); v++ {
-			vv := graph.VertexID(v)
-			if g.Label(vv) != q.Label(uu) || g.Degree(vv) < deg {
-				continue
-			}
-			if profileSubsumed(g, vv, prof) {
+		for _, vv := range g.LabeledVertices(q.Label(uu)) {
+			if g.Degree(vv) >= deg && g.SubsumesProfile(vv, prof) {
 				cand.Add(uu, vv)
 			}
 		}
@@ -87,11 +96,12 @@ func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 	snap := debugSnapshotCounts(cand) // sqdebug: stage monotonicity baseline
 
 	// Step 2: pseudo subgraph isomorphism pruning via semi-perfect
-	// bipartite matching, iterated for a bounded number of rounds.
-	var m bipartiteMatcher
+	// bipartite matching, iterated for a bounded number of rounds. The
+	// retention loop is written out (rather than via Retain's callback) to
+	// keep the hot path closure-free, and the bigraph rows come from the
+	// arena's reusable row storage.
 	var executed int
 	var rejected int64
-	adj := make([][]int32, 0, q.MaxDegree())
 	for r := 0; r < rounds; r++ {
 		executed = r + 1
 		changed := false
@@ -104,35 +114,40 @@ func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 			uu := graph.VertexID(u)
 			qn := q.Neighbors(uu)
 			before := cand.Count(uu)
-			cand.Retain(uu, func(v graph.VertexID) bool {
+			kept := cand.Sets[uu][:0]
+			for _, v := range cand.Sets[uu] {
 				gn := g.Neighbors(v)
-				if len(gn) < len(qn) {
-					rejected++
-					return false
-				}
-				// Build the bigraph B between N(u) and N(v): edge when the
-				// data neighbor is a candidate of the query neighbor.
-				adj = adj[:0]
-				for _, up := range qn {
-					row := make([]int32, 0, 4)
-					for j, w := range gn {
-						if cand.Contains(up, w) {
-							row = append(row, int32(j))
+				keep := len(gn) >= len(qn)
+				if keep {
+					// Build the bigraph B between N(u) and N(v): edge when
+					// the data neighbor is a candidate of the query neighbor.
+					adj := s.adjRows.Take(len(qn))
+					for k, up := range qn {
+						row := adj[k]
+						for j, w := range gn {
+							if cand.Contains(up, w) {
+								row = append(row, int32(j))
+							}
 						}
+						if len(row) == 0 {
+							keep = false
+							break
+						}
+						adj[k] = row
 					}
-					if len(row) == 0 {
-						rejected++
-						return false
+					if keep {
+						s.bm.reset(len(qn), len(gn))
+						keep = s.bm.semiPerfect(adj)
 					}
-					adj = append(adj, row)
 				}
-				m.reset(len(qn), len(gn))
-				ok := m.semiPerfect(adj)
-				if !ok {
+				if keep {
+					kept = append(kept, v)
+				} else {
 					rejected++
+					cand.clearMember(uu, v)
 				}
-				return ok
-			})
+			}
+			cand.Sets[uu] = kept
 			if cand.Count(uu) == 0 {
 				emitRefineStats(ex, cand, executed, rejected)
 				return cand
@@ -161,29 +176,25 @@ func emitRefineStats(ex *obs.Explain, cand *Candidates, rounds int, rejected int
 	ex.ObserveRejections(rejected)
 }
 
-// profileSubsumed reports whether data vertex v has, for every neighbor
-// label of the query profile, at least as many neighbors with that label.
-func profileSubsumed(g *graph.Graph, v graph.VertexID, prof graph.NLF) bool {
-	ok := true
-	prof.ForEach(func(l graph.Label, count int) bool {
-		if len(g.NeighborsWithLabel(v, l)) < count {
-			ok = false
-			return false
-		}
-		return true
-	})
-	return ok
-}
-
 // GraphQLOrder computes the join-based matching order: start from the query
 // vertex with the minimum number of candidates; at each step select, among
 // the un-ordered neighbors of the ordered prefix, the vertex with the
 // minimum number of candidates (ties toward higher degree, then lower id).
 func GraphQLOrder(q *graph.Graph, cand *Candidates) []graph.VertexID {
+	return GraphQLOrderScratch(q, cand, nil)
+}
+
+// GraphQLOrderScratch is GraphQLOrder running on an arena: the returned
+// order is owned by s and valid until its next ordering call. A nil s
+// allocates a private arena (identical to GraphQLOrder).
+func GraphQLOrderScratch(q *graph.Graph, cand *Candidates, s *Scratch) []graph.VertexID {
+	if s == nil {
+		s = NewScratch()
+	}
 	n := q.NumVertices()
-	order := make([]graph.VertexID, 0, n)
-	in := make([]bool, n)
-	frontier := make([]bool, n) // un-ordered neighbors of the prefix
+	order := s.orderBuf[:0]
+	in := growBools(&s.orderIn, n)
+	frontier := growBools(&s.frontier, n) // un-ordered neighbors of the prefix
 
 	better := func(a, b graph.VertexID) bool {
 		ca, cb := cand.Count(a), cand.Count(b)
@@ -197,12 +208,12 @@ func GraphQLOrder(q *graph.Graph, cand *Candidates) []graph.VertexID {
 		return a < b
 	}
 
-	pick := func(eligible func(u graph.VertexID) bool) graph.VertexID {
+	pick := func(frontierOnly bool) graph.VertexID {
 		best := graph.VertexID(0)
 		have := false
 		for u := 0; u < n; u++ {
 			uu := graph.VertexID(u)
-			if in[u] || !eligible(uu) {
+			if in[u] || (frontierOnly && !frontier[u]) {
 				continue
 			}
 			if !have || better(uu, best) {
@@ -220,14 +231,14 @@ func GraphQLOrder(q *graph.Graph, cand *Candidates) []graph.VertexID {
 		return best
 	}
 
-	first := pick(func(graph.VertexID) bool { return true })
+	first := pick(false)
 	order = append(order, first)
 	in[first] = true
 	for _, w := range q.Neighbors(first) {
 		frontier[w] = true
 	}
 	for len(order) < n {
-		next := pick(func(u graph.VertexID) bool { return frontier[u] })
+		next := pick(true)
 		order = append(order, next)
 		in[next] = true
 		frontier[next] = false
@@ -237,6 +248,7 @@ func GraphQLOrder(q *graph.Graph, cand *Candidates) []graph.VertexID {
 			}
 		}
 	}
+	s.orderBuf = order
 	return order
 }
 
@@ -261,14 +273,14 @@ func (a GraphQL) Run(q, g *graph.Graph, opts Options) Result {
 	if q.NumVertices() == 0 {
 		return Result{Embeddings: 1}
 	}
-	cand := a.Filter(q, g, FilterOptions{Deadline: opts.Deadline})
+	cand := a.Filter(q, g, FilterOptions{Deadline: opts.Deadline, Scratch: opts.Scratch})
 	if cand.Aborted {
 		return Result{Aborted: true}
 	}
 	if cand.AnyEmpty() {
 		return Result{}
 	}
-	res, err := Enumerate(q, g, cand, GraphQLOrder(q, cand), opts)
+	res, err := Enumerate(q, g, cand, GraphQLOrderScratch(q, cand, opts.Scratch), opts)
 	if err != nil {
 		panic(err) // connected query + join-based order cannot disconnect
 	}
@@ -281,8 +293,10 @@ func (a GraphQL) FindFirst(q, g *graph.Graph, opts Options) Result {
 	return a.Run(q, g, opts)
 }
 
-// SortCandidates orders every candidate set ascending by vertex id; useful
-// for deterministic tests and stable enumeration order.
+// SortCandidates orders every candidate set ascending by vertex id — the
+// invariant the filters maintain by construction and the enumeration's
+// intersection kernel requires; useful for hand-built candidate sets and
+// deterministic tests.
 func SortCandidates(cand *Candidates) {
 	for u := range cand.Sets {
 		s := cand.Sets[u]

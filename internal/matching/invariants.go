@@ -2,7 +2,6 @@ package matching
 
 import (
 	"fmt"
-	"math/bits"
 
 	"subgraphquery/internal/graph"
 )
@@ -33,26 +32,42 @@ func debugCheckCandidates(stage string, q, g *graph.Graph, cand *Candidates) {
 	}
 	for u, set := range cand.Sets {
 		uu := graph.VertexID(u)
-		for _, v := range set {
+		for i, v := range set {
 			if int(v) >= g.NumVertices() {
 				debugFailf("%s: Φ(%d) contains %d outside the data graph", stage, u, v)
 			}
-			if !cand.member[u].get(uint32(v)) {
+			if !cand.member[u].Get(uint32(v)) {
 				debugFailf("%s: Φ(%d) lists %d but its member bit is clear", stage, u, v)
 			}
 			if g.Label(v) != q.Label(uu) {
 				debugFailf("%s: Φ(%d) contains %d with label %d, query vertex has label %d", stage, u, v, g.Label(v), q.Label(uu))
 			}
+			if i > 0 && set[i-1] >= v {
+				debugFailf("%s: Φ(%d) not strictly ascending at position %d", stage, u, i)
+			}
 		}
 		// Exact mirror: the bitset population must equal the set length, so
 		// combined with the per-element check above there are no duplicates
 		// in Sets and no stray bits in member.
-		pop := 0
-		for _, word := range cand.member[u] {
-			pop += bits.OnesCount64(word)
-		}
-		if pop != len(set) {
+		if pop := cand.member[u].Count(); pop != len(set) {
 			debugFailf("%s: Φ(%d) has %d entries but %d member bits", stage, u, len(set), pop)
+		}
+	}
+}
+
+// debugCheckSortedSets panics unless every candidate set is strictly
+// ascending — the input invariant of the enumeration's sorted-intersection
+// kernel. Checked on entry to Enumerate so hand-built unsorted sets fail
+// loudly under sqdebug instead of silently skipping embeddings.
+func debugCheckSortedSets(stage string, cand *Candidates) {
+	if !debugInvariants {
+		return
+	}
+	for u, set := range cand.Sets {
+		for i := 1; i < len(set); i++ {
+			if set[i-1] >= set[i] {
+				debugFailf("%s: Φ(%d) not strictly ascending at position %d", stage, u, i)
+			}
 		}
 	}
 }

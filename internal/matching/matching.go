@@ -41,6 +41,12 @@ type Options struct {
 	// between calls; callers must copy it to retain it. Returning false
 	// stops the enumeration early.
 	OnEmbedding func(mapping []graph.VertexID) bool
+
+	// Scratch, when non-nil, supplies the arena for all enumeration state
+	// (and, through the matcher Run methods, the filter and ordering
+	// passes). The arena must not be shared between goroutines. nil
+	// allocates private state per call, the historic behavior.
+	Scratch *Scratch
 }
 
 // FilterOptions bounds and instruments one filtering pass — the
@@ -63,6 +69,13 @@ type FilterOptions struct {
 	// refinement rounds and semi-perfect rejections. nil collects nothing
 	// and costs nothing on the hot path.
 	Explain *obs.Explain
+
+	// Scratch, when non-nil, supplies the reusable arena the pass runs on.
+	// The returned Candidates is then owned by the Scratch and valid only
+	// until its next filter call; steady-state filtering allocates
+	// nothing. The arena must not be shared between goroutines. nil
+	// allocates private state per call, the historic behavior.
+	Scratch *Scratch
 }
 
 // expired reports whether the filtering deadline has passed. It is called

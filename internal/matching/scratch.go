@@ -1,0 +1,174 @@
+package matching
+
+import (
+	"sync"
+
+	"subgraphquery/internal/graph"
+	"subgraphquery/internal/scratch"
+)
+
+// Scratch is the per-worker arena for the filtering-verification hot path.
+// Algorithm 2 runs its loop body once per data graph per query; everything
+// that body needs — the candidate structure, CFL's top-down/bottom-up
+// buffers, GraphQL's bipartite rows, the ordering and enumeration state —
+// lives here and is reused across graphs, so steady-state filtering
+// performs zero heap allocations per graph (asserted by
+// testing.AllocsPerRun in the tests and statically by sqlint's hotalloc
+// rule).
+//
+// Ownership rules (see DESIGN.md, "Scratch arenas"):
+//
+//   - A Scratch belongs to exactly one goroutine at a time. Engines
+//     acquire one per Query call (sequential) or one per worker
+//     (parallel pools), never per graph.
+//   - A *Candidates returned by a filter running on a Scratch is owned by
+//     that Scratch and valid only until the next filter call on it. The
+//     caller must finish ordering and enumeration for the current data
+//     graph before filtering the next.
+//   - Orders returned by the scratch-aware ordering functions are
+//     likewise valid until the next ordering call on the same Scratch.
+//
+// The zero value is ready to use; the pool exists only to recycle warmed
+// arenas across queries.
+type Scratch struct {
+	cand Candidates // the reusable Φ structure filters hand out
+
+	// CFL filter state. epoch is monotonic across the Scratch's lifetime:
+	// stale lastEpoch stamps from earlier graphs are always smaller than
+	// any epoch the current pass issues, so neither array is ever zeroed.
+	epoch     int64
+	lastEpoch []int64
+	chain     []int32
+	processed []bool
+	marked    []graph.VertexID
+	adjacent  []graph.VertexID // before/after-neighbor collection
+	pos       []int
+	bfsDepth  []int32
+	bfsOrder  []graph.VertexID
+
+	// Neighborhood-label-frequency profiles of the query vertices. They
+	// depend only on q, so they are computed once per (Scratch, query)
+	// pair and reused across every data graph.
+	profQ *graph.Graph
+	profs []graph.NLF
+
+	// GraphQL refinement: the reusable bipartite matcher and its
+	// per-query-neighbor adjacency rows.
+	bm      bipartiteMatcher
+	adjRows scratch.Rows[int32]
+
+	// CFL path-cost estimation: ping-pong weight buffers over V(G) (kept
+	// all-zero between uses, see pathEmbeddingEstimate) and the
+	// touched-vertex lists that restore them.
+	wA, wB []float64
+	touchA []graph.VertexID
+	touchB []graph.VertexID
+
+	// Ordering state shared by GraphQLOrderScratch and CFLOrderScratch.
+	orderBuf []graph.VertexID
+	orderIn  []bool
+	frontier []bool
+
+	// Enumeration state.
+	mapping  []graph.VertexID
+	seen     []bool
+	used     scratch.Bits
+	backward scratch.Rows[graph.VertexID]
+	isect    scratch.Rows[graph.VertexID]
+}
+
+// growBools sizes *buf to n and clears it; for the visited/membership
+// masks whose algorithms expect all-false on entry.
+func growBools(buf *[]bool, n int) []bool {
+	*buf = scratch.Grow(*buf, n)
+	clear(*buf)
+	return *buf
+}
+
+// growZeroFloats sizes *buf to n relying on the all-zero invariant its
+// users maintain: fresh storage is zeroed by make, and every user restores
+// the zeros for the entries it touched before returning, so no O(n) clear
+// is ever needed.
+func growZeroFloats(buf *[]float64, n int) []float64 {
+	*buf = scratch.Grow(*buf, n)
+	return *buf
+}
+
+// NewScratch returns an empty arena. Buffers grow on first use and are
+// retained afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// AcquireScratch takes a warmed arena from the process-wide pool. Pair
+// with ReleaseScratch once no Candidates or order obtained from it is
+// still in use.
+func AcquireScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// ReleaseScratch returns s to the pool. The caller must not retain any
+// pointer obtained from s (its Candidates, orders, profiles).
+func ReleaseScratch(s *Scratch) { scratchPool.Put(s) }
+
+// candidates resets and returns the arena's candidate structure, shaped
+// for nq query vertices over nd data vertices.
+func (s *Scratch) candidates(nq, nd int) *Candidates {
+	s.cand.reset(nq, nd)
+	return &s.cand
+}
+
+// ensureCFL sizes the CFL filter buffers for a query with nq vertices
+// against a data graph with nd vertices. Only capacity growth allocates.
+func (s *Scratch) ensureCFL(nq, nd int) {
+	s.lastEpoch = scratch.Grow(s.lastEpoch, nd)
+	s.chain = scratch.Grow(s.chain, nd)
+	s.processed = scratch.Grow(s.processed, nq)
+	clear(s.processed)
+	s.pos = scratch.Grow(s.pos, nq)
+	s.bfsDepth = scratch.Grow(s.bfsDepth, nq)
+	s.bfsOrder = s.bfsOrder[:0]
+	s.marked = s.marked[:0]
+	s.adjacent = s.adjacent[:0]
+}
+
+// profilesFor returns the NLF profiles of q's vertices, computing them on
+// the first call for this query and reusing them for every subsequent
+// data graph.
+func (s *Scratch) profilesFor(q *graph.Graph) []graph.NLF {
+	if s.profQ == q {
+		return s.profs
+	}
+	s.profs = s.profs[:0]
+	for u := 0; u < q.NumVertices(); u++ {
+		s.profs = append(s.profs, graph.NLFOf(q, graph.VertexID(u)))
+	}
+	s.profQ = q
+	return s.profs
+}
+
+// bfsOrderInto computes the BFS visit order of q from root into the
+// arena's bfsOrder buffer and fills pos with each vertex's position in
+// it. This is the only part of graph.BFSTree the CFL filter needs, without
+// the tree's per-call allocations.
+func (s *Scratch) bfsOrderInto(q *graph.Graph, root graph.VertexID) []graph.VertexID {
+	n := q.NumVertices()
+	for i := 0; i < n; i++ {
+		s.bfsDepth[i] = -1
+	}
+	order := s.bfsOrder[:0]
+	order = append(order, root)
+	s.bfsDepth[root] = 0
+	for qi := 0; qi < len(order); qi++ {
+		v := order[qi]
+		for _, w := range q.Neighbors(v) {
+			if s.bfsDepth[w] == -1 {
+				s.bfsDepth[w] = s.bfsDepth[v] + 1
+				order = append(order, w)
+			}
+		}
+	}
+	s.bfsOrder = order
+	for i, u := range order {
+		s.pos[u] = i
+	}
+	return order
+}

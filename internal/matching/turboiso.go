@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"slices"
 	"time"
 
 	"subgraphquery/internal/graph"
@@ -50,7 +51,7 @@ func (a TurboIso) Run(q, g *graph.Graph, opts Options) Result {
 		if g.Label(vs) != q.Label(start) || g.Degree(vs) < q.Degree(start) {
 			continue
 		}
-		if !profileSubsumed(g, vs, prof) {
+		if !g.SubsumesProfile(vs, prof) {
 			continue
 		}
 		region := exploreRegion(q, g, tree, vs)
@@ -145,6 +146,9 @@ func exploreRegion(q, g *graph.Graph, tree *graph.BFSTree, vs graph.VertexID) *C
 		if cand.Count(u) == 0 {
 			return nil
 		}
+		// Region exploration adds in discovery order; restore the
+		// ascending-set invariant Enumerate's kernel requires.
+		slices.Sort(cand.Sets[u])
 	}
 	return cand
 }

@@ -186,7 +186,10 @@ func (r *Registry) Names() (counters, gauges, histograms []string) {
 //   - ObserveVerify once per candidate data graph tested, with the graph
 //     id, search steps, duration and outcome — the paper's per-SI-test
 //     cost (eq. 3), one event per sample;
-//   - ObserveCache once per result-cache probe (hit or miss).
+//   - ObserveCache once per result-cache probe (hit or miss);
+//   - ObserveWorkers once per query by the parallel engines, with the
+//     effective worker-pool size after clamping to runtime.GOMAXPROCS(0) —
+//     so oversubscribed configurations are visible in traces.
 //
 // Implementations must be safe for concurrent use: parallel engines emit
 // ObserveVerify from worker goroutines.
@@ -194,6 +197,7 @@ type Observer interface {
 	ObservePhase(name string, d time.Duration)
 	ObserveVerify(graphID int, steps uint64, d time.Duration, found bool)
 	ObserveCache(hit bool)
+	ObserveWorkers(n int)
 }
 
 // Phase names emitted by the engines.
@@ -243,5 +247,11 @@ func (m multiObserver) ObserveVerify(graphID int, steps uint64, d time.Duration,
 func (m multiObserver) ObserveCache(hit bool) {
 	for _, o := range m {
 		o.ObserveCache(hit)
+	}
+}
+
+func (m multiObserver) ObserveWorkers(n int) {
+	for _, o := range m {
+		o.ObserveWorkers(n)
 	}
 }

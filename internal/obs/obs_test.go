@@ -235,6 +235,8 @@ func (r *recordingObserver) ObserveCache(bool) {
 	r.mu.Unlock()
 }
 
+func (r *recordingObserver) ObserveWorkers(int) {}
+
 func TestTee(t *testing.T) {
 	if Tee() != nil {
 		t.Error("Tee() should be nil")

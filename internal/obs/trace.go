@@ -23,6 +23,7 @@ type Trace struct {
 	dropped     int
 	cacheHits   int
 	cacheMisses int
+	workers     int
 	maxEvents   int
 }
 
@@ -94,6 +95,17 @@ func (t *Trace) ObserveCache(hit bool) {
 	t.mu.Unlock()
 }
 
+// ObserveWorkers implements Observer: it records the effective worker-pool
+// size a parallel engine settled on after clamping.
+func (t *Trace) ObserveWorkers(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.workers = n
+	t.mu.Unlock()
+}
+
 // TraceSnapshot is the JSON-marshalable view of a Trace, inlined into the
 // /query response under ?trace=1.
 type TraceSnapshot struct {
@@ -115,6 +127,9 @@ type TraceSnapshot struct {
 	Truncated   bool `json:"truncated,omitempty"`
 	CacheHits   int  `json:"cache_hits"`
 	CacheMisses int  `json:"cache_misses"`
+	// Workers is the effective worker-pool size of a parallel engine
+	// (after clamping to GOMAXPROCS); 0 for sequential engines.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Snapshot copies the trace's current contents.
@@ -132,6 +147,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		Truncated:            t.dropped > 0,
 		CacheHits:            t.cacheHits,
 		CacheMisses:          t.cacheMisses,
+		Workers:              t.workers,
 	}
 }
 

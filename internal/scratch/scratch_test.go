@@ -1,0 +1,181 @@
+package scratch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBitsEpochReset checks the core property of the epoch scheme: Reset is
+// a logical full clear, even though it touches O(1) memory — bits set in an
+// earlier epoch must read as zero afterwards, without any explicit Clear.
+func TestBitsEpochReset(t *testing.T) {
+	var b Bits
+	b.Reset(256)
+	for i := uint32(0); i < 256; i += 3 {
+		b.Set(i)
+	}
+	if got := b.Count(); got != 86 {
+		t.Fatalf("Count() = %d, want 86", got)
+	}
+	b.Reset(256)
+	for i := uint32(0); i < 256; i++ {
+		if b.Get(i) {
+			t.Fatalf("Get(%d) true after Reset", i)
+		}
+	}
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count() = %d after Reset, want 0", got)
+	}
+	// Words never written in the new epoch must still read correctly after
+	// a partial re-population.
+	b.Set(7)
+	b.Set(200)
+	if !b.Get(7) || !b.Get(200) || b.Get(8) {
+		t.Fatal("membership wrong after partial re-population")
+	}
+	if got := b.Count(); got != 2 {
+		t.Fatalf("Count() = %d, want 2", got)
+	}
+}
+
+// TestBitsAgainstMap cross-checks Set/Clear/Get/Count against a map across
+// many resets, shrinks and grows, so stale epoch stamps from earlier rounds
+// get every chance to leak through.
+func TestBitsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var b Bits
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(1<<12)
+		b.Reset(n)
+		ref := map[uint32]bool{}
+		for op := 0; op < 400; op++ {
+			i := uint32(rng.Intn(n))
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				ref[i] = true
+			case 1:
+				b.Clear(i)
+				delete(ref, i)
+			case 2:
+				if b.Get(i) != ref[i] {
+					t.Fatalf("round %d: Get(%d) = %v, want %v", round, i, b.Get(i), ref[i])
+				}
+			}
+		}
+		if b.Count() != len(ref) {
+			t.Fatalf("round %d: Count() = %d, want %d", round, b.Count(), len(ref))
+		}
+		if b.Len() < n {
+			t.Fatalf("round %d: Len() = %d < n = %d", round, b.Len(), n)
+		}
+	}
+}
+
+// TestBitsReservedVsLive: after shrinking, live bytes track the current
+// length while reserved bytes keep reporting the pinned capacity.
+func TestBitsReservedVsLive(t *testing.T) {
+	var b Bits
+	b.Reset(1 << 12)
+	bigLive, bigReserved := b.LiveBytes(), b.ReservedBytes()
+	if bigLive != bigReserved {
+		t.Fatalf("fresh bitset: live %d != reserved %d", bigLive, bigReserved)
+	}
+	b.Reset(64)
+	if b.LiveBytes() >= bigLive {
+		t.Fatalf("live bytes %d did not shrink from %d", b.LiveBytes(), bigLive)
+	}
+	if b.ReservedBytes() != bigReserved {
+		t.Fatalf("reserved bytes %d changed from %d after shrink", b.ReservedBytes(), bigReserved)
+	}
+}
+
+// TestBitsResetAllocs: once grown, Reset and Set must not allocate.
+func TestBitsResetAllocs(t *testing.T) {
+	var b Bits
+	b.Reset(1 << 10)
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset(1 << 10)
+		b.Set(511)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Set allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestGrow checks capacity reuse and power-of-two growth.
+func TestGrow(t *testing.T) {
+	buf := Grow[int](nil, 5)
+	if len(buf) != 5 {
+		t.Fatalf("len = %d, want 5", len(buf))
+	}
+	if cap(buf) != 8 {
+		t.Fatalf("cap = %d, want 8 (next power of two)", cap(buf))
+	}
+	prev := &buf[0]
+	buf = Grow(buf, 3)
+	if len(buf) != 3 || &buf[0] != prev {
+		t.Fatal("shrink reallocated or resized wrongly")
+	}
+	buf = Grow(buf, 8)
+	if len(buf) != 8 || &buf[0] != prev {
+		t.Fatal("growth within capacity reallocated")
+	}
+	buf = Grow(buf, 9)
+	if len(buf) != 9 || cap(buf) != 16 {
+		t.Fatalf("len,cap = %d,%d after growth, want 9,16", len(buf), cap(buf))
+	}
+}
+
+// TestRowsTake: rows come back truncated but keep their capacity, and the
+// row count can shrink and regrow without losing earlier rows' backing.
+func TestRowsTake(t *testing.T) {
+	var r Rows[int]
+	rows := r.Take(4)
+	if len(rows) != 4 {
+		t.Fatalf("Take(4) returned %d rows", len(rows))
+	}
+	rows[2] = append(rows[2], 1, 2, 3)
+	// Write-back is required for grown rows to retain capacity (Take hands
+	// out the shared storage, so mutating the header needs the store).
+	r.rows[2] = rows[2]
+
+	rows = r.Take(2) // shrink
+	if len(rows) != 2 {
+		t.Fatalf("Take(2) returned %d rows", len(rows))
+	}
+	rows = r.Take(4) // regrow: row 2's capacity must survive
+	if len(rows[2]) != 0 {
+		t.Fatalf("row 2 not truncated: len %d", len(rows[2]))
+	}
+	if cap(rows[2]) < 3 {
+		t.Fatalf("row 2 lost its capacity: cap %d", cap(rows[2]))
+	}
+	if got := r.ReservedBytes(8); got < 3*8 {
+		t.Fatalf("ReservedBytes(8) = %d, want >= 24", got)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Take(4)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Take allocated %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkScratchBitsReset: the O(1)-clear claim, measured. An epoch bump
+// must cost nanoseconds regardless of the bitset's size, where an explicit
+// zeroing pass would be O(size/64) writes.
+func BenchmarkScratchBitsReset(bm *testing.B) {
+	var b Bits
+	b.Reset(1 << 20)
+	for i := uint32(0); i < 1<<20; i += 64 {
+		b.Set(i)
+	}
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		b.Reset(1 << 20)
+		b.Set(uint32(i) & (1<<20 - 1))
+	}
+}

@@ -1,0 +1,46 @@
+#!/bin/sh
+# benchdiff.sh — the bench-regression gate.
+#
+# Default mode runs the small-scale real-dataset study into a scratch
+# directory and compares its per-engine, per-query-set p50 latency against
+# the committed baselines (BENCH_*.json at the repo root), failing on any
+# cell slower than the threshold. The run parameters MUST match the ones
+# the baselines were recorded with (`make bench`); sqbench diff rejects
+# mismatched configs rather than comparing different workloads.
+#
+#   scripts/benchdiff.sh            # run the study, then gate
+#   scripts/benchdiff.sh --check    # gate only: compare an existing
+#                                   # -cur directory (default bench-out)
+#                                   # against the baselines, no study run
+#
+# Environment:
+#   BENCH_BASE       baseline directory (default: repo root)
+#   BENCH_CUR        current-report directory (default: bench-out)
+#   BENCH_THRESHOLD  relative p50 slowdown that fails the gate (default 0.15)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASE="${BENCH_BASE:-.}"
+CUR="${BENCH_CUR:-bench-out}"
+THRESHOLD="${BENCH_THRESHOLD:-0.15}"
+
+check_only=0
+if [ "${1:-}" = "--check" ]; then
+    check_only=1
+fi
+
+if [ "$check_only" -eq 0 ]; then
+    mkdir -p "$CUR"
+    echo "== sqbench real -json-dir $CUR (matching the committed baseline config)"
+    go run ./cmd/sqbench real -scale 0.005 -queries 3 \
+        -index-budget 30s -query-budget 2s -json-dir "$CUR" >/dev/null
+fi
+
+if ! ls "$CUR"/BENCH_*.json >/dev/null 2>&1; then
+    echo "benchdiff: no BENCH_*.json in $CUR (run without --check first)" >&2
+    exit 2
+fi
+
+echo "== sqbench diff -base $BASE -cur $CUR -threshold $THRESHOLD"
+go run ./cmd/sqbench diff -base "$BASE" -cur "$CUR" -threshold "$THRESHOLD"
