@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check lint test test-sqdebug fuzz bench bench-real bench-synthetic bench-json benchcmp benchcmp-check clean
+.PHONY: build check lint test test-sqdebug test-sqchaos fuzz bench bench-real bench-synthetic bench-json benchcmp benchcmp-check clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,15 @@ test:
 # (CSR shape, candidate-set mirrors, embedding validity, trie postings).
 test-sqdebug:
 	$(GO) test -tags sqdebug -short ./...
+
+# Chaos suite with the sqchaos fault-injection substrate compiled in:
+# panics, latency, allocation spikes and spurious aborts fired into the
+# filter/order/enumerate/index-probe hot paths, with the engines and the
+# server asserted to survive every fault (structured errors, no crash, no
+# goroutine or scratch-arena leak). Runs under the race detector — worker
+# pools unwinding through injected panics is exactly where races hide.
+test-sqchaos:
+	$(GO) test -tags sqchaos -race ./internal/core ./cmd/sqserver
 
 # Ten-second fuzz smoke over the graph text-format reader, seeded from
 # internal/graph/testdata/fuzz.

@@ -51,6 +51,13 @@ func runLocks(pass *Pass) {
 // only racy when a concurrent query can execute them, so the map-write
 // rule confines itself to this set; Build-time construction stays exempt.
 func queryReachableFuncs(pass *Pass) map[*types.Func]bool {
+	return reachableFuncs(pass, "Query", "Filter")
+}
+
+// reachableFuncs computes the functions of this package reachable from any
+// method or function whose name starts with one of the prefixes, closed
+// under intra-package calls.
+func reachableFuncs(pass *Pass, prefixes ...string) map[*types.Func]bool {
 	decls := map[*types.Func]*ast.FuncDecl{}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -66,9 +73,12 @@ func queryReachableFuncs(pass *Pass) map[*types.Func]bool {
 	reachable := map[*types.Func]bool{}
 	var queue []*types.Func
 	for obj := range decls {
-		if strings.HasPrefix(obj.Name(), "Query") || strings.HasPrefix(obj.Name(), "Filter") {
-			reachable[obj] = true
-			queue = append(queue, obj)
+		for _, p := range prefixes {
+			if strings.HasPrefix(obj.Name(), p) {
+				reachable[obj] = true
+				queue = append(queue, obj)
+				break
+			}
 		}
 	}
 	for len(queue) > 0 {

@@ -18,6 +18,10 @@
 //	            field, a time.Time, or a context.Context).
 //	errwrap   — fmt.Errorf wraps error operands with %w, sentinel errors
 //	            are package-level vars, error strings follow Go style.
+//	recoverhygiene — every goroutine launched on the query path of
+//	            internal/core or cmd/sqserver (reachable from a
+//	            Query*/handle* entry point) defers a recover; a panic
+//	            escaping a goroutine kills the process.
 //
 // Findings can be suppressed — with a mandatory justification — by a
 // comment on the same line or the line above:
@@ -52,6 +56,7 @@ var analyzers = []*Analyzer{
 	locksAnalyzer,
 	ctxbudgetAnalyzer,
 	errwrapAnalyzer,
+	recoverhygieneAnalyzer,
 }
 
 func main() {

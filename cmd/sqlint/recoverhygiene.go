@@ -1,0 +1,184 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// recoverhygieneAnalyzer enforces the panic-isolation contract on the query
+// path (DESIGN.md, "Resilience"): a goroutine launched in internal/core or
+// cmd/sqserver from a function reachable from a Query*/handle* entry point
+// must recover its own panics. A panic escaping any goroutine kills the
+// whole process — the spawner cannot catch it — so one poisoned data graph
+// in a worker pool would turn into a full outage instead of a skipped
+// graph. A goroutine passes when its body (resolved through local
+// `worker := func() {...}` bindings and intra-package named functions)
+// defers a recover: either a func literal calling recover() or an
+// intra-package function that does.
+var recoverhygieneAnalyzer = &Analyzer{
+	Name: "recoverhygiene",
+	Doc:  "goroutines on the query path must recover their own panics",
+	Applies: func(path string) bool {
+		return pathMatchesAny(path, "internal/core", "sqserver")
+	},
+	Run: runRecoverHygiene,
+}
+
+func runRecoverHygiene(pass *Pass) {
+	recovers := packageRecoverFuncs(pass)
+	reachable := reachableFuncs(pass, "Query", "Handle", "handle")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); !ok || !reachable[obj] {
+				continue
+			}
+			checkGoRecovers(pass, fd, recovers)
+		}
+	}
+}
+
+// packageRecoverFuncs collects the package-level functions whose body calls
+// recover() — the reusable guard functions a goroutine may defer.
+func packageRecoverFuncs(pass *Pass) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if callsRecover(fd.Body) {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGoRecovers flags every `go` statement in fd whose goroutine body
+// cannot be shown to establish a recover boundary.
+func checkGoRecovers(pass *Pass, fd *ast.FuncDecl, recovers map[*types.Func]bool) {
+	// Local `name := func() {...}` bindings, so `go worker()` resolves.
+	localLits := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lit, ok := as.Rhs[i].(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				localLits[obj] = lit
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				localLits[obj] = lit
+			}
+		}
+		return true
+	})
+
+	declBody := func(tf *types.Func) *ast.BlockStmt {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && obj == tf {
+					return fd.Body
+				}
+			}
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var body *ast.BlockStmt
+		switch fun := gs.Call.Fun.(type) {
+		case *ast.FuncLit:
+			body = fun.Body
+		case *ast.Ident:
+			if obj := pass.Info.Uses[fun]; obj != nil {
+				if lit, ok := localLits[obj]; ok {
+					body = lit.Body
+				} else if tf, ok := obj.(*types.Func); ok {
+					body = declBody(tf)
+				}
+			}
+		case *ast.SelectorExpr:
+			if tf, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+				body = declBody(tf)
+			}
+		}
+		if body == nil {
+			pass.Reportf(gs.Pos(), "goroutine in %s on the query path runs a function this analyzer cannot resolve; inline a func literal with a deferred recover", fd.Name.Name)
+			return true
+		}
+		if !bodyDefersRecover(pass, body, recovers) {
+			pass.Reportf(gs.Pos(), "goroutine in %s on the query path has no recover boundary; a panic here kills the process — defer a recover (see graphGuard/queryGuard in internal/core)", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// bodyDefersRecover reports whether the goroutine body defers a recover:
+// `defer func() { ...recover()... }()` or `defer guard(...)` where guard is
+// an intra-package function that recovers.
+func bodyDefersRecover(pass *Pass, body *ast.BlockStmt, recovers map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		switch fun := ds.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if callsRecover(fun.Body) {
+				found = true
+			}
+		case *ast.Ident:
+			if tf, ok := pass.Info.Uses[fun].(*types.Func); ok && recovers[tf] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if tf, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok && recovers[tf] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsRecover reports whether the node contains a call to the recover
+// builtin (matched by name; nothing in this codebase shadows it).
+func callsRecover(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,82 @@
+package core
+
+// This file plants recoverhygiene fixtures: goroutines on the query path
+// (reachable from a Query* entry point) must defer a recover.
+
+// QuerySpawnUnguarded's worker goroutine has no recover boundary: a panic
+// in it would kill the process.
+func (e *Engine) QuerySpawnUnguarded(q string, opts Options, jobs chan int) {
+	done := make(chan struct{})
+	go func() { // want: no recover boundary
+		for range jobs {
+			_ = q
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// QuerySpawnGuarded recovers directly in a deferred literal: ok.
+func (e *Engine) QuerySpawnGuarded(q string, opts Options, jobs chan int) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if v := recover(); v != nil {
+				_ = v
+			}
+		}()
+		for range jobs {
+		}
+	}()
+	<-done
+}
+
+// guard recovers on behalf of its deferrers, like core's graphGuard.
+func guard() {
+	_ = recover()
+}
+
+// QuerySpawnNamedGuard defers an intra-package recovering function through
+// a local worker binding: ok.
+func (e *Engine) QuerySpawnNamedGuard(q string, opts Options, jobs chan int) {
+	done := make(chan struct{})
+	worker := func() {
+		defer close(done)
+		defer guard()
+		for range jobs {
+		}
+	}
+	go worker()
+	<-done
+}
+
+// QuerySpawnLocalUnguarded resolves the local binding and still finds no
+// recover.
+func (e *Engine) QuerySpawnLocalUnguarded(q string, opts Options, jobs chan int) {
+	done := make(chan struct{})
+	worker := func() {
+		defer close(done)
+		for range jobs {
+		}
+	}
+	go worker() // want: no recover boundary
+	<-done
+}
+
+// spawnHelper is reachable from QuerySpawnViaHelper, so its goroutine is on
+// the query path too.
+func (e *Engine) spawnHelper(jobs chan int) {
+	done := make(chan struct{})
+	go func() { // want: no recover boundary (reachable from Query*)
+		for range jobs {
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// QuerySpawnViaHelper pulls spawnHelper into the reachable set.
+func (e *Engine) QuerySpawnViaHelper(q string, opts Options, jobs chan int) {
+	e.spawnHelper(jobs)
+}

@@ -1,0 +1,211 @@
+//go:build sqchaos
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	sq "subgraphquery"
+	"subgraphquery/internal/fault"
+	"subgraphquery/internal/matching"
+)
+
+// TestChaosServerSurvives is the acceptance run from the issue: 500 queries
+// from concurrent clients against a server with tight budgets and admission
+// limits, while the fault substrate injects panics, latency, allocation
+// spikes and spurious aborts into the engine hot paths. Every response must
+// be structured — 2xx, 408, 429 (with Retry-After), or 500 carrying a JSON
+// QueryError — the process must never crash, and afterwards no goroutine or
+// scratch arena may outlive its query.
+func TestChaosServerSurvives(t *testing.T) {
+	db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: 20, NumVertices: 24, NumLabels: 3, Degree: 4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vcGrapes exercises the index-probe injection point and the IvcFV
+	// worker pool; the result cache exercises probe/store under fault.
+	fault.Set(fault.Config{}) // engine build stays fault-free
+	srv, err := newServer(db, sq.NewVcGrapesEngine(), serverConfig{
+		cacheEntries:  16,
+		budget:        250 * time.Millisecond,
+		slowThreshold: -1,
+		memBudget:     8 << 20,
+		maxInflight:   2,
+		maxQueue:      2,
+		queueWait:     50 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	queries, err := sq.GenerateQuerySet(db, sq.QuerySetConfig{
+		Count: 10, Edges: 3, Method: sq.QueryRandomWalk, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := make([]string, len(queries))
+	for i, q := range queries {
+		bodies[i] = graphText(t, q)
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	defer client.CloseIdleConnections()
+
+	baselineG := runtime.NumGoroutine()
+	baselineS := matching.ScratchLive()
+
+	fault.Set(fault.Config{
+		PanicRate:   0.02,
+		LatencyRate: 0.2,
+		AllocRate:   0.02,
+		AbortRate:   0.02,
+		Latency:     2 * time.Millisecond,
+		AllocBytes:  1 << 16,
+		Seed:        3,
+	})
+	defer fault.Set(fault.Config{})
+
+	const totalQueries = 500
+	const clients = 8
+	var counts [600]atomic.Int64 // indexed by HTTP status
+	var malformed atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= totalQueries {
+					return
+				}
+				resp, err := client.Post(ts.URL+"/query", "text/plain",
+					strings.NewReader(bodies[i%int64(len(bodies))]))
+				if err != nil {
+					// A transport-level failure would mean the server died.
+					malformed.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode < len(counts) {
+					counts[resp.StatusCode].Add(1)
+				}
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusRequestTimeout:
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						malformed.Add(1)
+					}
+					// Back off briefly — a shed client that retries in a hot
+					// loop only measures its own spin rate.
+					time.Sleep(2 * time.Millisecond)
+				case http.StatusInternalServerError:
+					var out struct {
+						Error struct {
+							Kind string `json:"kind"`
+						} `json:"error"`
+					}
+					if json.Unmarshal(body, &out) != nil || out.Error.Kind == "" {
+						malformed.Add(1)
+					}
+				default:
+					malformed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var summary []string
+	var answered int64
+	for status := range counts {
+		if n := counts[status].Load(); n > 0 {
+			answered += n
+			summary = append(summary, fmt.Sprintf("%d×%d", status, n))
+		}
+	}
+	panics, latencies, allocs, aborts := fault.Counts()
+	t.Logf("statuses: %s; faults fired: %d panics, %d latencies, %d allocs, %d aborts",
+		strings.Join(summary, " "), panics, latencies, allocs, aborts)
+
+	if malformed.Load() != 0 {
+		t.Errorf("%d malformed responses (wrong status, missing Retry-After, or unstructured 500 body)", malformed.Load())
+	}
+	if answered != totalQueries {
+		t.Errorf("answered %d of %d queries; the rest hit transport errors", answered, totalQueries)
+	}
+	if counts[http.StatusOK].Load() == 0 {
+		t.Error("no query succeeded under fault; rates are drowning the run")
+	}
+	if panics == 0 {
+		t.Error("chaos run fired no panics; injection points or rates are dead")
+	}
+	// Engine-recovered panics reach the registry through the observer's
+	// ObservePanic, so the counter behind panics_recovered_total moves.
+	if srv.panics.Value() == 0 {
+		t.Error("panics_recovered_total stayed zero while panics fired")
+	}
+
+	// Quiesce and assert nothing leaked: the admission slots are all free,
+	// scratch arenas all returned, worker goroutines all gone.
+	fault.Set(fault.Config{})
+	client.CloseIdleConnections()
+	if d := srv.adm.depth(); d != 0 {
+		t.Errorf("admission queue depth %d after run, want 0", d)
+	}
+	if got := matching.ScratchLive(); got != baselineS {
+		t.Errorf("scratch arenas leaked: live %d, was %d", got, baselineS)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baselineG {
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: have %d, want <= %d", runtime.NumGoroutine(), baselineG)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The server is still healthy and answers cleanly after the storm.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("healthz after chaos: %d, want 200", hz.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(bodies[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Skipped != 0 || out.TimedOut {
+		t.Errorf("clean query after chaos: status=%d skipped=%d timed_out=%v",
+			resp.StatusCode, out.Skipped, out.TimedOut)
+	}
+	if len(out.Answers) == 0 {
+		t.Error("clean query after chaos returned no answers")
+	}
+}

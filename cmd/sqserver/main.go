@@ -17,7 +17,15 @@
 //	               ?format=prom switches to the Prometheus text exposition
 //	GET  /debug/slowlog  JSON ring of recent slow queries (latency over
 //	               -slowlog-threshold), each with its full Trace and Explain
-//	GET  /healthz  liveness probe
+//	GET  /healthz  readiness probe: 200 "ok", or 503 "shedding" while
+//	               admission control is saturated
+//
+// Admission control bounds concurrently executing queries (-max-inflight)
+// with a bounded wait queue (-max-queue, -queue-wait); excess load is shed
+// with 429 + Retry-After instead of piling up memory. Per-request budgets
+// (-budget, -mem-budget) cancel cooperatively inside the engines, and every
+// engine panic is isolated into a structured error response — the process
+// keeps serving.
 //
 // With -debug-addr, a second listener serves net/http/pprof profiles
 // (/debug/pprof/) for CPU and heap investigation, kept off the public
@@ -29,7 +37,9 @@
 // Usage:
 //
 //	sqserver -db db.graph [-addr :8080] [-engine CFQL] [-cache 64]
-//	         [-budget 10m] [-slowlog-threshold 100ms] [-slowlog-size 64]
+//	         [-budget 10m] [-mem-budget 268435456]
+//	         [-max-inflight 16] [-max-queue 64] [-queue-wait 1s]
+//	         [-slowlog-threshold 100ms] [-slowlog-size 64]
 //	         [-debug-addr :6060] [-log-json]
 package main
 
@@ -41,6 +51,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -55,6 +66,14 @@ func main() {
 	engineName := flag.String("engine", "CFQL", "query engine")
 	cache := flag.Int("cache", 64, "result cache entries (0 disables)")
 	budget := flag.Duration("budget", 0, "per-query budget (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0,
+		"per-query candidate-structure memory budget in bytes (0 = none)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"max concurrently executing queries; 0 = 2x GOMAXPROCS, negative disables admission control")
+	maxQueue := flag.Int("max-queue", 64,
+		"max requests waiting for a query slot before shedding with 429")
+	queueWait := flag.Duration("queue-wait", time.Second,
+		"max time a request may wait for a query slot before shedding")
 	slowThreshold := flag.Duration("slowlog-threshold", 100*time.Millisecond,
 		"slow-query log latency threshold (0 retains every query, negative disables the log)")
 	slowSize := flag.Int("slowlog-size", obs.DefaultSlowLogSize, "slow-query log ring capacity")
@@ -85,9 +104,20 @@ func main() {
 		logger.Error("creating engine", "err", err)
 		os.Exit(1)
 	}
+	inflight := *maxInflight
+	switch {
+	case inflight == 0:
+		inflight = 2 * runtime.GOMAXPROCS(0)
+	case inflight < 0:
+		inflight = 0 // disables admission control in newAdmission
+	}
 	srv, err := newServer(db, engine, serverConfig{
 		cacheEntries:  *cache,
 		budget:        *budget,
+		memBudget:     *memBudget,
+		maxInflight:   inflight,
+		maxQueue:      *maxQueue,
+		queueWait:     *queueWait,
 		slowThreshold: *slowThreshold,
 		slowSize:      *slowSize,
 	}, logger)

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -18,12 +21,16 @@ import (
 // serializes appends against queries: the engines themselves are safe for
 // concurrent queries but not for concurrent database mutation.
 type server struct {
-	mu     sync.RWMutex
-	db     *sq.Database
-	engine sq.Engine
-	budget time.Duration
-	log    *slog.Logger
-	start  time.Time
+	mu        sync.RWMutex
+	db        *sq.Database
+	engine    sq.Engine
+	budget    time.Duration
+	memBudget int64
+	log       *slog.Logger
+	start     time.Time
+
+	// adm bounds concurrent query execution (nil = admission disabled).
+	adm *admission
 
 	// Telemetry. The registry backs GET /metrics; the named instruments
 	// are held directly so the hot path never takes the registry lock.
@@ -34,7 +41,12 @@ type server struct {
 	appends   *obs.Counter
 	cacheHit  *obs.Counter
 	cacheMiss *obs.Counter
+	shed      *obs.Counter // requests bounced by admission control
+	panics    *obs.Counter // panics recovered in engines and handlers
 	inflight  *obs.Gauge
+	// queueDepth mirrors the admission wait-queue occupancy at snapshot
+	// time (refreshed by /metrics).
+	queueDepth *obs.Gauge
 	// workerPool tracks the effective parallel worker count (after the
 	// engines clamp to GOMAXPROCS); stays 0 for sequential engines.
 	workerPool *obs.Gauge
@@ -67,6 +79,18 @@ type serverConfig struct {
 	slowThreshold time.Duration
 	// slowSize is the slow-log ring capacity; 0 selects the default.
 	slowSize int
+	// memBudget bounds each query's candidate-structure footprint in bytes
+	// (core.QueryOptions.MemoryBudget); 0 disables the check.
+	memBudget int64
+	// maxInflight bounds concurrently executing queries; 0 disables
+	// admission control entirely (every request runs immediately).
+	maxInflight int
+	// maxQueue bounds requests waiting for an execution slot; beyond it
+	// arrivals are shed with 429. Only meaningful with maxInflight > 0.
+	maxQueue int
+	// queueWait is how long a queued request may wait for a slot before
+	// being shed (0 selects 1s).
+	queueWait time.Duration
 }
 
 func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog.Logger) (*server, error) {
@@ -80,12 +104,14 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &server{
-		db:     db,
-		engine: engine,
-		budget: cfg.budget,
-		log:    logger,
-		start:  time.Now(),
-		reg:    obs.NewRegistry(),
+		db:        db,
+		engine:    engine,
+		budget:    cfg.budget,
+		memBudget: cfg.memBudget,
+		log:       logger,
+		start:     time.Now(),
+		reg:       obs.NewRegistry(),
+		adm:       newAdmission(cfg.maxInflight, cfg.maxQueue, cfg.queueWait),
 	}
 	if cfg.slowThreshold >= 0 {
 		s.slow = obs.NewSlowLog(cfg.slowSize, cfg.slowThreshold)
@@ -97,7 +123,10 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 	s.appends = s.reg.Counter("graph_appends_total")
 	s.cacheHit = s.reg.Counter("cache_hits_total")
 	s.cacheMiss = s.reg.Counter("cache_misses_total")
+	s.shed = s.reg.Counter("queries_shed_total")
+	s.panics = s.reg.Counter("panics_recovered_total")
 	s.inflight = s.reg.Gauge("queries_inflight")
+	s.queueDepth = s.reg.Gauge("admission_queue_depth")
 	s.workerPool = s.reg.Gauge("worker_pool_size")
 	s.latency = s.reg.Histogram("query_latency/" + en)
 	s.filterLat = s.reg.Histogram("filter_latency/" + en)
@@ -108,13 +137,40 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("/query", s.handleQuery)
-	m.HandleFunc("/graphs", s.handleAppend)
-	m.HandleFunc("/stats", s.handleStats)
-	m.HandleFunc("/metrics", s.handleMetrics)
-	m.HandleFunc("/debug/slowlog", s.handleSlowLog)
-	m.HandleFunc("/healthz", s.handleHealthz)
+	m.HandleFunc("/query", s.recovered(s.handleQuery))
+	m.HandleFunc("/graphs", s.recovered(s.handleAppend))
+	m.HandleFunc("/stats", s.recovered(s.handleStats))
+	m.HandleFunc("/metrics", s.recovered(s.handleMetrics))
+	m.HandleFunc("/debug/slowlog", s.recovered(s.handleSlowLog))
+	m.HandleFunc("/healthz", s.recovered(s.handleHealthz))
 	return m
+}
+
+// recovered is the handler-level panic boundary: a panic that escapes a
+// handler (the engines recover their own, so this catches handler bugs and
+// anything outside Query) becomes a structured 500 instead of a dropped
+// connection, and the process keeps serving. Writing the status fails
+// silently if the handler already streamed part of a response — net/http
+// then closes the connection, which is the best remaining signal.
+func (s *server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Inc()
+				obs.Panics.Inc()
+				s.log.Error("handler panic",
+					"path", r.URL.Path, "panic", fmt.Sprint(v),
+					"stack", string(debug.Stack()))
+				writeJSONStatus(w, http.StatusInternalServerError, map[string]any{
+					"error": map[string]any{
+						"kind":    "panic",
+						"message": fmt.Sprint(v),
+					},
+				})
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // handler wraps the mux with request logging.
@@ -183,16 +239,25 @@ func (o registryObserver) ObserveWorkers(n int) {
 	o.s.workerPool.Set(int64(n))
 }
 
+func (o registryObserver) ObservePanic(int) {
+	o.s.panics.Inc()
+}
+
 // queryResponse is the JSON body returned by POST /query.
 type queryResponse struct {
-	Answers    []int                `json:"answers"`
-	Candidates int                  `json:"candidates"`
-	FilterUS   int64                `json:"filter_us"`
-	VerifyUS   int64                `json:"verify_us"`
-	TimedOut   bool                 `json:"timed_out,omitempty"`
-	Engine     string               `json:"engine"`
-	Trace      *obs.TraceSnapshot   `json:"trace,omitempty"`
-	Explain    *obs.ExplainSnapshot `json:"explain,omitempty"`
+	Answers    []int `json:"answers"`
+	Candidates int   `json:"candidates"`
+	FilterUS   int64 `json:"filter_us"`
+	VerifyUS   int64 `json:"verify_us"`
+	TimedOut   bool  `json:"timed_out,omitempty"`
+	Cancelled  bool  `json:"cancelled,omitempty"`
+	// Skipped counts data graphs abandoned mid-processing (recovered panic
+	// or exceeded memory budget); Answers is a lower bound when non-zero.
+	Skipped     int                  `json:"skipped,omitempty"`
+	GraphErrors []*sq.QueryError     `json:"graph_errors,omitempty"`
+	Engine      string               `json:"engine"`
+	Trace       *obs.TraceSnapshot   `json:"trace,omitempty"`
+	Explain     *obs.ExplainSnapshot `json:"explain,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -211,10 +276,36 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "query graph must be connected", http.StatusBadRequest)
 		return
 	}
-	opts := sq.QueryOptions{}
+
+	// Admission control: bound concurrent query execution before any work.
+	if s.adm != nil {
+		release, verdict := s.adm.acquire(r.Context().Done())
+		switch verdict {
+		case admitOK:
+			defer release()
+		case admitShed, admitTimeout:
+			s.shed.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+			return
+		case admitCancelled:
+			http.Error(w, "client gave up while queued", http.StatusRequestTimeout)
+			return
+		}
+	}
+
+	// The per-request timeout rides on the request context, so one Done
+	// channel carries both client disconnects and the budget to the
+	// engine's cooperative cancellation checks.
+	ctx := r.Context()
+	opts := sq.QueryOptions{MemoryBudget: s.memBudget}
 	if s.budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.budget)
+		defer cancel()
 		opts.Deadline = time.Now().Add(s.budget)
 	}
+	opts.Cancel = ctx.Done()
 
 	wantTrace := r.URL.Query().Get("trace") == "1"
 	wantExplain := r.URL.Query().Get("explain") == "1"
@@ -249,13 +340,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.timeouts.Inc()
 	}
 
+	if res.Err != nil {
+		// The query itself failed (panic recovered at the engine boundary
+		// outside any per-graph section): structured 500, process intact.
+		s.log.Error("query failed", "engine", s.engine.Name(), "err", res.Err.Error())
+		writeJSONStatus(w, http.StatusInternalServerError, map[string]any{"error": res.Err})
+		return
+	}
+
 	resp := queryResponse{
-		Answers:    append([]int{}, res.Answers...),
-		Candidates: res.Candidates,
-		FilterUS:   res.FilterTime.Microseconds(),
-		VerifyUS:   res.VerifyTime.Microseconds(),
-		TimedOut:   res.TimedOut,
-		Engine:     s.engine.Name(),
+		Answers:     append([]int{}, res.Answers...),
+		Candidates:  res.Candidates,
+		FilterUS:    res.FilterTime.Microseconds(),
+		VerifyUS:    res.VerifyTime.Microseconds(),
+		TimedOut:    res.TimedOut,
+		Cancelled:   res.Cancelled,
+		Skipped:     res.Skipped,
+		GraphErrors: res.GraphErrors,
+		Engine:      s.engine.Name(),
 	}
 	var traceSnap *obs.TraceSnapshot
 	var explainSnap *obs.ExplainSnapshot
@@ -372,6 +474,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.adm != nil {
+		s.queueDepth.Set(s.adm.depth())
+	}
 	snap := s.reg.Snapshot()
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -387,8 +492,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is the readiness probe: 503 "shedding" while admission
+// control is saturated (every slot busy, queue full), so load balancers
+// steer new traffic away instead of feeding the 429 path; 200 "ok"
+// otherwise.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.adm != nil && s.adm.saturated() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "shedding")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -397,4 +511,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }

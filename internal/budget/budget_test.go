@@ -1,0 +1,88 @@
+package budget
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroCheckpointNeverStops(t *testing.T) {
+	var c Checkpoint
+	for i := 0; i < 3*StepStride; i++ {
+		if c.Tick() {
+			t.Fatalf("zero checkpoint stopped at tick %d", i)
+		}
+	}
+	if c.Exceeded() {
+		t.Fatal("zero checkpoint reports Exceeded")
+	}
+}
+
+func TestTickHonorsDeadlineAtStride(t *testing.T) {
+	c := Checkpoint{Deadline: time.Now().Add(-time.Second), Stride: 8}
+	stopped := -1
+	for i := 0; i < 64; i++ {
+		if c.Tick() {
+			stopped = i
+			break
+		}
+	}
+	if stopped != 7 {
+		t.Fatalf("expired deadline noticed at tick %d, want 7 (stride-1)", stopped)
+	}
+}
+
+func TestTickHonorsCancel(t *testing.T) {
+	cancel := make(chan struct{})
+	c := Checkpoint{Cancel: cancel, Stride: 4}
+	for i := 0; i < 16; i++ {
+		if c.Tick() {
+			t.Fatalf("open cancel channel stopped the loop at tick %d", i)
+		}
+	}
+	close(cancel)
+	stopped := false
+	for i := 0; i < 4; i++ {
+		if c.Tick() {
+			stopped = true
+			break
+		}
+	}
+	if !stopped {
+		t.Fatal("closed cancel channel never stopped the loop within one stride")
+	}
+}
+
+func TestDefaultStride(t *testing.T) {
+	c := Checkpoint{Deadline: time.Now().Add(-time.Second)}
+	for i := 1; i < StepStride; i++ {
+		if c.Tick() {
+			t.Fatalf("default stride polled early at tick %d", i)
+		}
+	}
+	if !c.Tick() {
+		t.Fatalf("default stride did not poll at tick %d", StepStride)
+	}
+}
+
+func TestExceededBypassesStride(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	c := Checkpoint{Cancel: cancel, Stride: 1 << 20}
+	if !c.Exceeded() {
+		t.Fatal("Exceeded ignored a closed cancel channel")
+	}
+}
+
+func TestCancelled(t *testing.T) {
+	if Cancelled(nil) {
+		t.Fatal("nil channel reports cancelled")
+	}
+	ch := make(chan struct{})
+	if Cancelled(ch) {
+		t.Fatal("open channel reports cancelled")
+	}
+	close(ch)
+	if !Cancelled(ch) {
+		t.Fatal("closed channel not reported cancelled")
+	}
+}

@@ -77,26 +77,13 @@ func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
 		return res
 	}
 
-	// Probe the cache: find the tightest subgraph hit (smallest answer
-	// pool) and union the supergraph hits' answers.
-	probeOpts := matching.Options{StepBudget: 1 << 16} // query graphs are tiny
-	var pool []int
-	confirmed := map[int]bool{}
-	e.mu.Lock()
-	for _, ent := range e.entries {
-		if (matching.CFQL{}).FindFirst(ent.query, q, probeOpts).Found() {
-			// ent.query ⊆ q: answers of q are among ent.answers.
-			if pool == nil || len(ent.answers) < len(pool) {
-				pool = ent.answers
-			}
-		} else if (matching.CFQL{}).FindFirst(q, ent.query, probeOpts).Found() {
-			// q ⊆ ent.query: every answer of ent is an answer of q.
-			for _, id := range ent.answers {
-				confirmed[id] = true
-			}
-		}
+	// Cache probing runs outside the inner engine's panic boundary, so it
+	// carries its own: a probe panic falls back to a plain miss (the cache
+	// is an accelerator, never a correctness dependency).
+	pool, confirmed, probed := e.probe(q)
+	if !probed {
+		pool, confirmed = nil, nil
 	}
-	e.mu.Unlock()
 
 	var res *Result
 	if pool == nil {
@@ -130,17 +117,68 @@ func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
 	}
 	// After delegating: the outermost engine name wins in the report.
 	opts.Explain.SetEngine(e.Name())
-	if !res.TimedOut {
+	// Only complete answer sets are cacheable: a timed-out, cancelled,
+	// failed or partially-skipped query yields a lower bound that would
+	// poison later containment reasoning.
+	if !res.TimedOut && res.Err == nil && res.Skipped == 0 {
 		e.store(q, res.Answers)
 	}
 	return res
 }
 
+// probe scans the cache for containment hits; ok is false when the probe
+// panicked (treated as a miss by the caller).
+func (e *Cached) probe(q *graph.Graph) (pool []int, confirmed map[int]bool, ok bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			obs.Panics.Inc()
+			ok = false
+		}
+	}()
+	// Find the tightest subgraph hit (smallest answer pool) and union the
+	// supergraph hits' answers.
+	probeOpts := matching.Options{StepBudget: 1 << 16} // query graphs are tiny
+	confirmed = map[int]bool{}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ent := range e.entries {
+		if (matching.CFQL{}).FindFirst(ent.query, q, probeOpts).Found() {
+			// ent.query ⊆ q: answers of q are among ent.answers.
+			if pool == nil || len(ent.answers) < len(pool) {
+				pool = ent.answers
+			}
+		} else if (matching.CFQL{}).FindFirst(q, ent.query, probeOpts).Found() {
+			// q ⊆ ent.query: every answer of ent is an answer of q.
+			for _, id := range ent.answers {
+				confirmed[id] = true
+			}
+		}
+	}
+	return pool, confirmed, true
+}
+
 // verifyPool answers q by testing only the graphs of the candidate pool,
 // skipping those already confirmed by a supergraph hit.
-func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, opts QueryOptions) *Result {
-	res := &Result{Candidates: len(pool)}
+func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, opts QueryOptions) (res *Result) {
+	res = &Result{Candidates: len(pool)}
 	o := opts.Observer
+	defer queryGuard(e.Name(), o, res)
+	step := func(gid int) (r matching.Result, qe *QueryError) {
+		defer graphGuard(e.Name(), gid, o, &qe)
+		var tv time.Time
+		if o != nil {
+			tv = time.Now()
+		}
+		r = (matching.CFQL{}).FindFirst(q, e.db.Graph(gid), matching.Options{
+			Deadline:   opts.Deadline,
+			Cancel:     opts.Cancel,
+			StepBudget: opts.StepBudgetPerGraph,
+		})
+		if o != nil {
+			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
+		}
+		return r, nil
+	}
 	t0 := time.Now()
 	for _, gid := range pool {
 		if confirmed[gid] {
@@ -149,24 +187,17 @@ func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, 
 			res.Answers = append(res.Answers, gid)
 			continue
 		}
-		if expired(opts.Deadline) {
-			res.TimedOut = true
+		if halt(&opts, res) {
 			break
 		}
-		var tv time.Time
-		if o != nil {
-			tv = time.Now()
-		}
-		r := (matching.CFQL{}).FindFirst(q, e.db.Graph(gid), matching.Options{
-			Deadline:   opts.Deadline,
-			StepBudget: opts.StepBudgetPerGraph,
-		})
-		if o != nil {
-			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
+		r, qe := step(gid)
+		if qe != nil {
+			recordGraphError(res, qe)
+			continue
 		}
 		res.VerifySteps += r.Steps
 		if r.Aborted {
-			res.TimedOut = true
+			noteAbort(&opts, res)
 		}
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)

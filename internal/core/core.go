@@ -47,6 +47,10 @@ type Engine interface {
 type BuildOptions struct {
 	// Deadline aborts index construction (paper: 24 hours).
 	Deadline time.Time
+	// Cancel aborts construction cooperatively when closed
+	// (context-compatible: pass ctx.Done()); Build then returns the same
+	// budget error as an exceeded Deadline. nil disables the check.
+	Cancel <-chan struct{}
 	// MaxFeatures is a deterministic enumeration budget (see index pkg).
 	MaxFeatures int64
 	// Workers parallelizes index construction where supported (Grapes).
@@ -58,6 +62,19 @@ type QueryOptions struct {
 	// Deadline aborts the query (paper: 10 minutes per query). Queries that
 	// exceed it report TimedOut and a partial answer set.
 	Deadline time.Time
+	// Cancel aborts the query cooperatively when closed
+	// (context-compatible: pass ctx.Done()). A cancelled query returns
+	// promptly with Cancelled and TimedOut set and a partial answer set.
+	// nil disables the check at no cost.
+	Cancel <-chan struct{}
+	// MemoryBudget bounds the live byte footprint of the per-graph
+	// candidate structure a vcFV/IvcFV engine builds
+	// (Candidates.MemoryFootprint). A data graph whose structure outgrows
+	// the budget is skipped with a KindBudget QueryError instead of
+	// running the process out of memory; the query continues with the
+	// remaining graphs. 0 disables the check. IFV engines, which build no
+	// candidate structure, ignore it.
+	MemoryBudget int64
 	// StepBudgetPerGraph bounds each subgraph isomorphism test's search
 	// steps, a deterministic timeout proxy for tests. 0 = unlimited.
 	StepBudgetPerGraph uint64
@@ -111,6 +128,25 @@ type Result struct {
 	// TimedOut reports that the query hit its Deadline (or a per-graph
 	// step budget); Answers is then a lower bound.
 	TimedOut bool
+
+	// Cancelled refines TimedOut: the query stopped because
+	// QueryOptions.Cancel closed, not because time ran out. Always set
+	// together with TimedOut (the answer set is a lower bound either way).
+	Cancelled bool
+
+	// Skipped counts data graphs abandoned mid-processing — a recovered
+	// panic or an exceeded memory budget — without aborting the query.
+	// Answers is a lower bound when Skipped > 0.
+	Skipped int
+
+	// GraphErrors details the skipped graphs' failures, capped at
+	// maxGraphErrors entries (Skipped is the true count).
+	GraphErrors []*QueryError
+
+	// Err is set when the query itself failed — a panic recovered at the
+	// engine boundary outside any per-graph section. The rest of the
+	// Result holds whatever was computed before the failure.
+	Err *QueryError
 }
 
 // QueryTime returns the paper's "query time" metric: filtering plus

@@ -86,6 +86,7 @@ func (e *ifv) Build(db *graph.Database, opts BuildOptions) error {
 	}
 	err := e.idx.Build(db, index.BuildOptions{
 		Deadline:    opts.Deadline,
+		Cancel:      opts.Cancel,
 		MaxFeatures: opts.MaxFeatures,
 		Workers:     workers,
 	})
@@ -105,12 +106,20 @@ func (e *ifv) IndexMemory() int64 {
 }
 
 // Query implements Engine.
-func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
-	if res, done := degenerate(q); done {
+func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	if r, done := degenerate(q); done {
+		return r
+	}
+	res = &Result{}
+	o := opts.Observer
+	defer queryGuard(e.name, o, res)
+	if halt(&opts, res) {
+		// Already cancelled or past deadline: don't even probe the index.
+		// The other engines observe this at their per-graph loop, but the
+		// verification-free path (FG-Index exact hits) would otherwise
+		// return a complete answer for a query the caller abandoned.
 		return res
 	}
-	res := &Result{}
-	o := opts.Observer
 	ex := opts.Explain
 	ex.SetEngine(e.name)
 
@@ -139,17 +148,30 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 		o.ObservePhase(obs.PhaseFilter, res.FilterTime)
 	}
 
-	verify := func(gid int) (matching.Result, bool) {
+	// step runs one candidate's VF2 verification behind a per-graph panic
+	// boundary: a panicking graph yields a non-nil qe and is skipped, the
+	// query continues with the remaining candidates.
+	step := func(gid int) (r matching.Result, found bool, qe *QueryError) {
+		defer graphGuard(e.name, gid, o, &qe)
 		g := e.db.Graph(gid)
 		vf2 := &matching.VF2{}
 		if e.ctOrder {
 			vf2.Order = matching.CTIndexOrder(q, g)
 		}
-		r := vf2.FindFirst(q, g, matching.Options{
+		var tv time.Time
+		if o != nil {
+			tv = time.Now()
+		}
+		r = vf2.FindFirst(q, g, matching.Options{
 			Deadline:   opts.Deadline,
+			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
 		})
-		return r, r.Found()
+		found = r.Found()
+		if o != nil {
+			o.ObserveVerify(gid, r.Steps, time.Since(tv), found)
+		}
+		return r, found, nil
 	}
 
 	workers := opts.Workers
@@ -167,21 +189,17 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 	t1 := time.Now()
 	if workers <= 1 {
 		for _, gid := range cand {
-			if expired(opts.Deadline) {
-				res.TimedOut = true
+			if halt(&opts, res) {
 				break
 			}
-			var tv time.Time
-			if o != nil {
-				tv = time.Now()
-			}
-			r, found := verify(gid)
-			if o != nil {
-				o.ObserveVerify(gid, r.Steps, time.Since(tv), found)
+			r, found, qe := step(gid)
+			if qe != nil {
+				recordGraphError(res, qe)
+				continue
 			}
 			res.VerifySteps += r.Steps
 			if r.Aborted {
-				res.TimedOut = true
+				noteAbort(&opts, res)
 			}
 			if found {
 				res.Answers = append(res.Answers, gid)
@@ -195,30 +213,47 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) *Result {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					// Per-worker boundary for panics that escape the
+					// per-graph guard: record a query-level error and keep
+					// draining so the producer never blocks on a dead pool.
+					if v := recover(); v != nil {
+						obs.Panics.Inc()
+						if o != nil {
+							o.ObservePanic(-1)
+						}
+						mu.Lock()
+						if res.Err == nil {
+							res.Err = newPanicError(e.name, -1, v)
+						}
+						mu.Unlock()
+						for range jobs { //nolint — drain
+						}
+					}
+				}()
 				for gid := range jobs {
-					var tv time.Time
-					if o != nil {
-						tv = time.Now()
-					}
-					r, found := verify(gid)
-					if o != nil {
-						o.ObserveVerify(gid, r.Steps, time.Since(tv), found)
-					}
+					r, found, qe := step(gid)
 					mu.Lock()
-					res.VerifySteps += r.Steps
-					if r.Aborted {
-						res.TimedOut = true
-					}
-					if found {
-						res.Answers = append(res.Answers, gid)
+					if qe != nil {
+						recordGraphError(res, qe)
+					} else {
+						res.VerifySteps += r.Steps
+						if r.Aborted {
+							noteAbort(&opts, res)
+						}
+						if found {
+							res.Answers = append(res.Answers, gid)
+						}
 					}
 					mu.Unlock()
 				}
 			}()
 		}
 		for _, gid := range cand {
-			if expired(opts.Deadline) {
-				res.TimedOut = true
+			mu.Lock()
+			stop := halt(&opts, res)
+			mu.Unlock()
+			if stop {
 				break
 			}
 			jobs <- gid

@@ -51,6 +51,7 @@ func (e *ivcFV) Build(db *graph.Database, opts BuildOptions) error {
 	}
 	err := e.idx.Build(db, index.BuildOptions{
 		Deadline:    opts.Deadline,
+		Cancel:      opts.Cancel,
 		MaxFeatures: opts.MaxFeatures,
 		Workers:     workers,
 	})
@@ -83,12 +84,13 @@ func (e *ivcFV) IndexMemory() int64 {
 // and VerifyTime then aggregate per-graph work across workers (total CPU
 // work, like the parallel CFQL engine), while wall-clock latency is the
 // caller-observable duration.
-func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
-	if res, done := degenerate(q); done {
-		return res
+func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	if r, done := degenerate(q); done {
+		return r
 	}
-	res := &Result{}
+	res = &Result{}
 	o := opts.Observer
+	defer queryGuard(e.name, o, res)
 	ex := opts.Explain
 	ex.SetEngine(e.name)
 
@@ -108,14 +110,19 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		r              matching.Result
 		mem            int64
 		aborted, pass  bool
+		qe             *QueryError
 	}
 	fold := func(gid int, g2 graphResult) {
 		res.FilterTime += g2.filter
 		res.VerifyTime += g2.verify
+		if g2.qe != nil {
+			recordGraphError(res, g2.qe)
+			return
+		}
 		if g2.aborted {
-			// Deadline hit mid-filter: the sets prove nothing about this
-			// graph, so the answer set is a lower bound.
-			res.TimedOut = true
+			// Deadline or cancellation hit mid-filter: the sets prove
+			// nothing about this graph, so the answer set is a lower bound.
+			noteAbort(&opts, res)
 		}
 		if g2.pass {
 			res.Candidates++
@@ -124,7 +131,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			}
 			res.VerifySteps += g2.r.Steps
 			if g2.r.Aborted {
-				res.TimedOut = true
+				noteAbort(&opts, res)
 			}
 			if g2.r.Found() {
 				res.Answers = append(res.Answers, gid)
@@ -134,12 +141,25 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 
 	// process runs the fused level-2 filter + verification for one index
 	// survivor using the caller's arena, and reports the time spent in each
-	// phase. The Candidates and order it builds are owned by s.
+	// phase. The Candidates and order it builds are owned by s. A panic
+	// while processing the graph is recovered into g2.qe (the graph is
+	// skipped, the query continues).
 	process := func(gid int, s *matching.Scratch) (g2 graphResult) {
+		defer graphGuard(e.name, gid, o, &g2.qe)
 		g := e.db.Graph(gid)
 		t1 := time.Now()
-		cand := matching.CFLFilter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex, Scratch: s})
+		cand := matching.CFLFilter(q, g, matching.FilterOptions{
+			Deadline:     opts.Deadline,
+			Cancel:       opts.Cancel,
+			MemoryBudget: opts.MemoryBudget,
+			Explain:      ex,
+			Scratch:      s,
+		})
 		g2.filter = time.Since(t1)
+		if cand.BudgetExceeded {
+			g2.qe = newBudgetError(e.name, gid, opts.MemoryBudget)
+			return g2
+		}
 		if cand.Aborted {
 			g2.aborted = true
 			return g2
@@ -155,6 +175,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		r, err := matching.Enumerate(q, g, cand, order, matching.Options{
 			Limit:      1,
 			Deadline:   opts.Deadline,
+			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
 			Scratch:    s,
 		})
@@ -183,8 +204,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		s := matching.AcquireScratch()
 		defer matching.ReleaseScratch(s)
 		for _, gid := range indexCand {
-			if expired(opts.Deadline) {
-				res.TimedOut = true
+			if halt(&opts, res) {
 				break
 			}
 			g2 := process(gid, s)
@@ -201,6 +221,24 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					// Per-worker boundary for panics that escape the
+					// per-graph guard: record a query-level error and keep
+					// draining so the producer never blocks on a dead pool.
+					if v := recover(); v != nil {
+						obs.Panics.Inc()
+						if o != nil {
+							o.ObservePanic(-1)
+						}
+						mu.Lock()
+						if res.Err == nil {
+							res.Err = newPanicError(e.name, -1, v)
+						}
+						mu.Unlock()
+						for range jobs { //nolint — drain
+						}
+					}
+				}()
 				// One arena per worker, reused across every survivor this
 				// worker draws from the job channel.
 				s := matching.AcquireScratch()
@@ -214,8 +252,10 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 			}()
 		}
 		for _, gid := range indexCand {
-			if expired(opts.Deadline) {
-				res.TimedOut = true
+			mu.Lock()
+			stop := halt(&opts, res)
+			mu.Unlock()
+			if stop {
 				break
 			}
 			jobs <- gid

@@ -20,6 +20,7 @@ type countingObserver struct {
 	eventGraphs map[int]bool
 	hits, miss  int
 	workers     int
+	panics      int
 }
 
 func newCountingObserver() *countingObserver {
@@ -45,6 +46,12 @@ func (c *countingObserver) ObserveVerify(graphID int, steps uint64, d time.Durat
 func (c *countingObserver) ObserveWorkers(n int) {
 	c.mu.Lock()
 	c.workers = n
+	c.mu.Unlock()
+}
+
+func (c *countingObserver) ObservePanic(int) {
+	c.mu.Lock()
+	c.panics++
 	c.mu.Unlock()
 }
 

@@ -51,17 +51,18 @@ func (e *parallelVcFV) Build(db *graph.Database, _ BuildOptions) error {
 func (*parallelVcFV) IndexMemory() int64 { return 0 }
 
 // Query implements Engine.
-func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
-	if res, done := degenerate(q); done {
-		return res
+func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	if r, done := degenerate(q); done {
+		return r
 	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = e.workers
 	}
 	workers = clampWorkers(workers)
-	res := &Result{}
+	res = &Result{}
 	o := opts.Observer
+	defer queryGuard(e.name, o, res)
 	ex := opts.Explain
 	ex.SetEngine(e.name)
 	if o != nil {
@@ -71,65 +72,107 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 
+	// step runs the fused filter/verify pipeline for one data graph behind
+	// its own panic boundary: a panicking graph yields a non-nil qe and
+	// the worker moves on — a panic escaping a worker goroutine would kill
+	// the process, not just the query.
+	step := func(gid int, s *matching.Scratch) (qe *QueryError) {
+		defer graphGuard(e.name, gid, o, &qe)
+		g := e.db.Graph(gid)
+
+		t0 := time.Now()
+		cand := matching.CFLFilter(q, g, matching.FilterOptions{
+			Deadline:     opts.Deadline,
+			Cancel:       opts.Cancel,
+			MemoryBudget: opts.MemoryBudget,
+			Explain:      ex,
+			Scratch:      s,
+		})
+		pass := !cand.Aborted && q.NumVertices() > 0 && !cand.AnyEmpty()
+		filterTime := time.Since(t0)
+
+		var verifyTime time.Duration
+		var r matching.Result
+		if pass {
+			t1 := time.Now()
+			order := matching.GraphQLOrderScratch(q, cand, s)
+			observeOrder(ex, order, cand)
+			var err error
+			r, err = matching.Enumerate(q, g, cand, order, matching.Options{
+				Limit:      1,
+				Deadline:   opts.Deadline,
+				Cancel:     opts.Cancel,
+				StepBudget: opts.StepBudgetPerGraph,
+				Scratch:    s,
+			})
+			if err != nil {
+				panic(err)
+			}
+			verifyTime = time.Since(t1)
+			if o != nil {
+				o.ObserveVerify(gid, r.Steps, verifyTime, r.Found())
+			}
+		}
+
+		mu.Lock()
+		res.FilterTime += filterTime
+		res.VerifyTime += verifyTime
+		if cand.BudgetExceeded {
+			qe = newBudgetError(e.name, gid, opts.MemoryBudget)
+		} else if cand.Aborted {
+			// Deadline or cancellation hit mid-filter: the sets prove
+			// nothing about this graph, so the answer set is a lower bound.
+			noteAbort(&opts, res)
+		}
+		if pass {
+			res.Candidates++
+			if m := cand.MemoryFootprint(); m > res.AuxMemory {
+				res.AuxMemory = m
+			}
+			res.VerifySteps += r.Steps
+			if r.Aborted {
+				noteAbort(&opts, res)
+			}
+			if r.Found() {
+				res.Answers = append(res.Answers, gid)
+			}
+		}
+		mu.Unlock()
+		return qe
+	}
+
 	worker := func() {
 		defer wg.Done()
+		defer func() {
+			// Per-worker boundary for panics that escape the per-graph
+			// guard (e.g. in arena bookkeeping): record a query-level
+			// error and keep draining so the producer never blocks on a
+			// dead pool.
+			if v := recover(); v != nil {
+				obs.Panics.Inc()
+				if o != nil {
+					o.ObservePanic(-1)
+				}
+				mu.Lock()
+				if res.Err == nil {
+					res.Err = newPanicError(e.name, -1, v)
+				}
+				mu.Unlock()
+				for range jobs { //nolint — drain
+				}
+			}
+		}()
 		// One arena per worker, reused across every data graph this worker
 		// draws from the job channel — the parallel analogue of the
 		// sequential engine's per-query scratch.
 		s := matching.AcquireScratch()
 		defer matching.ReleaseScratch(s)
 		for gid := range jobs {
-			g := e.db.Graph(gid)
-
-			t0 := time.Now()
-			cand := matching.CFLFilter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex, Scratch: s})
-			pass := !cand.Aborted && q.NumVertices() > 0 && !cand.AnyEmpty()
-			filterTime := time.Since(t0)
-
-			var verifyTime time.Duration
-			var r matching.Result
-			if pass {
-				t1 := time.Now()
-				order := matching.GraphQLOrderScratch(q, cand, s)
-				observeOrder(ex, order, cand)
-				var err error
-				r, err = matching.Enumerate(q, g, cand, order, matching.Options{
-					Limit:      1,
-					Deadline:   opts.Deadline,
-					StepBudget: opts.StepBudgetPerGraph,
-					Scratch:    s,
-				})
-				if err != nil {
-					panic(err)
-				}
-				verifyTime = time.Since(t1)
-				if o != nil {
-					o.ObserveVerify(gid, r.Steps, verifyTime, r.Found())
-				}
+			if qe := step(gid, s); qe != nil {
+				mu.Lock()
+				recordGraphError(res, qe)
+				mu.Unlock()
 			}
-
-			mu.Lock()
-			res.FilterTime += filterTime
-			res.VerifyTime += verifyTime
-			if cand.Aborted {
-				// Deadline hit mid-filter: the sets prove nothing about
-				// this graph, so the answer set is a lower bound.
-				res.TimedOut = true
-			}
-			if pass {
-				res.Candidates++
-				if m := cand.MemoryFootprint(); m > res.AuxMemory {
-					res.AuxMemory = m
-				}
-				res.VerifySteps += r.Steps
-				if r.Aborted {
-					res.TimedOut = true
-				}
-				if r.Found() {
-					res.Answers = append(res.Answers, gid)
-				}
-			}
-			mu.Unlock()
 		}
 	}
 
@@ -138,8 +181,10 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		go worker()
 	}
 	for gid := 0; gid < e.db.Len(); gid++ {
-		if expired(opts.Deadline) {
-			res.TimedOut = true
+		mu.Lock()
+		stop := halt(&opts, res)
+		mu.Unlock()
+		if stop {
 			break
 		}
 		jobs <- gid

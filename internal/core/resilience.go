@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"subgraphquery/internal/budget"
+	"subgraphquery/internal/obs"
+)
+
+// This file is the panic-isolation and cancellation layer of the query
+// engines (DESIGN.md, "Resilience"). The contract:
+//
+//   - Every Engine.Query recovers its own panics. A panic while processing
+//     one data graph is converted into a *QueryError, the graph is counted
+//     in Result.Skipped, and the query continues — one poisoned graph
+//     never takes down the query, let alone the process. A panic outside
+//     any per-graph section becomes Result.Err and the query returns what
+//     it had.
+//   - Worker goroutines of the parallel engines recover per graph; a
+//     worker never escapes a panic to the runtime (which would kill the
+//     whole process, not just the query — goroutine panics cannot be
+//     caught by the spawner).
+//   - Recovered panics increment obs.Panics, fire Observer.ObservePanic,
+//     and carry the stack of the panicking goroutine for diagnosis.
+//
+// Correctness of skip-and-continue: the per-query scratch arena is reset
+// per data graph (Candidates.reset, epoch-stamped bitsets), so state a
+// panicking pass left behind cannot leak into the next graph's results.
+
+// maxGraphErrors caps Result.GraphErrors; further failures are counted in
+// Skipped but not retained, so a pathological database cannot balloon the
+// result.
+const maxGraphErrors = 16
+
+// QueryError is the structured form of a failure inside query processing.
+// It is JSON-marshalable so the server can return it verbatim.
+type QueryError struct {
+	// Engine is the engine configuration that failed (e.g. "CFQL").
+	Engine string `json:"engine"`
+	// Kind classifies the failure: KindPanic or KindBudget.
+	Kind string `json:"kind"`
+	// GraphID is the data graph whose processing failed, -1 when the
+	// failure was not attributable to one graph.
+	GraphID int `json:"graph_id"`
+	// Message describes the failure (the panic value, or the budget that
+	// was exceeded).
+	Message string `json:"message"`
+	// Stack is the stack of the panicking goroutine (empty for budget
+	// errors).
+	Stack string `json:"stack,omitempty"`
+
+	value any // recovered panic value, for errors.As/Is via Unwrap
+}
+
+// QueryError kinds.
+const (
+	// KindPanic marks a recovered panic.
+	KindPanic = "panic"
+	// KindBudget marks a memory-budget abort (Candidates.BudgetExceeded).
+	KindBudget = "budget"
+)
+
+// Error implements error.
+func (e *QueryError) Error() string {
+	if e.GraphID >= 0 {
+		return fmt.Sprintf("core: %s %s on graph %d: %s", e.Engine, e.Kind, e.GraphID, e.Message)
+	}
+	return fmt.Sprintf("core: %s %s: %s", e.Engine, e.Kind, e.Message)
+}
+
+// Unwrap exposes the recovered value when it was an error (e.g.
+// *fault.InjectedPanic), so errors.As sees through the boundary.
+func (e *QueryError) Unwrap() error {
+	if err, ok := e.value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// newPanicError builds the QueryError for a value recovered at a
+// resilience boundary, capturing the current goroutine's stack.
+func newPanicError(engine string, gid int, v any) *QueryError {
+	return &QueryError{
+		Engine:  engine,
+		Kind:    KindPanic,
+		GraphID: gid,
+		Message: fmt.Sprint(v),
+		Stack:   string(debug.Stack()),
+		value:   v,
+	}
+}
+
+// newBudgetError builds the QueryError for a data graph skipped because
+// the candidate structure outgrew QueryOptions.MemoryBudget.
+func newBudgetError(engine string, gid int, limit int64) *QueryError {
+	return &QueryError{
+		Engine:  engine,
+		Kind:    KindBudget,
+		GraphID: gid,
+		Message: fmt.Sprintf("candidate structure exceeded memory budget of %d bytes", limit),
+	}
+}
+
+// graphGuard is deferred around the processing of one data graph: it
+// recovers a panic into *qe so the caller can skip the graph and keep the
+// query going. Counted in obs.Panics and reported to the observer (which
+// must tolerate calls from worker goroutines).
+func graphGuard(engine string, gid int, o obs.Observer, qe **QueryError) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	*qe = newPanicError(engine, gid, v)
+	obs.Panics.Inc()
+	if o != nil {
+		o.ObservePanic(gid)
+	}
+}
+
+// queryGuard is deferred at the top of every Engine.Query: it recovers a
+// panic that escaped the per-graph guards (or occurred outside any
+// per-graph section) into res.Err, so the caller receives a structured
+// partial result instead of an unwinding stack.
+func queryGuard(engine string, o obs.Observer, res *Result) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	res.Err = newPanicError(engine, -1, v)
+	obs.Panics.Inc()
+	if o != nil {
+		o.ObservePanic(-1)
+	}
+}
+
+// recordGraphError folds one skipped graph's error into res (callers in
+// worker pools hold the result mutex).
+func recordGraphError(res *Result, qe *QueryError) {
+	res.Skipped++
+	if len(res.GraphErrors) < maxGraphErrors {
+		res.GraphErrors = append(res.GraphErrors, qe)
+	}
+}
+
+// halt reports whether the query loop must stop before taking on the next
+// data graph, recording why on res: Cancelled (and TimedOut — the answer
+// set is a lower bound either way) for cooperative cancellation, TimedOut
+// alone for a passed deadline.
+func halt(opts *QueryOptions, res *Result) bool {
+	if budget.Cancelled(opts.Cancel) {
+		res.Cancelled = true
+		res.TimedOut = true
+		return true
+	}
+	if expired(opts.Deadline) {
+		res.TimedOut = true
+		return true
+	}
+	return false
+}
+
+// noteAbort records a filter/enumeration abort: cancellation refines the
+// timeout the same way halt does.
+func noteAbort(opts *QueryOptions, res *Result) {
+	res.TimedOut = true
+	if budget.Cancelled(opts.Cancel) {
+		res.Cancelled = true
+	}
+}

@@ -32,34 +32,44 @@ func (e *scan) Build(db *graph.Database, _ BuildOptions) error {
 func (*scan) IndexMemory() int64 { return 0 }
 
 // Query implements Engine: every data graph is a candidate.
-func (e *scan) Query(q *graph.Graph, opts QueryOptions) *Result {
-	if res, done := degenerate(q); done {
-		return res
+func (e *scan) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	if r, done := degenerate(q); done {
+		return r
 	}
-	res := &Result{Candidates: e.db.Len()}
+	res = &Result{Candidates: e.db.Len()}
 	o := opts.Observer
+	defer queryGuard("Scan-VF2", o, res)
 	opts.Explain.SetEngine("Scan-VF2")
 	vf2 := &matching.VF2{}
-	t0 := time.Now()
-	for gid := 0; gid < e.db.Len(); gid++ {
-		if expired(opts.Deadline) {
-			res.TimedOut = true
-			break
-		}
+	step := func(gid int) (r matching.Result, qe *QueryError) {
+		defer graphGuard("Scan-VF2", gid, o, &qe)
 		var tv time.Time
 		if o != nil {
 			tv = time.Now()
 		}
-		r := vf2.FindFirst(q, e.db.Graph(gid), matching.Options{
+		r = vf2.FindFirst(q, e.db.Graph(gid), matching.Options{
 			Deadline:   opts.Deadline,
+			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
 		})
 		if o != nil {
 			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
 		}
+		return r, nil
+	}
+	t0 := time.Now()
+	for gid := 0; gid < e.db.Len(); gid++ {
+		if halt(&opts, res) {
+			break
+		}
+		r, qe := step(gid)
+		if qe != nil {
+			recordGraphError(res, qe)
+			continue
+		}
 		res.VerifySteps += r.Steps
 		if r.Aborted {
-			res.TimedOut = true
+			noteAbort(&opts, res)
 		}
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)

@@ -35,35 +35,45 @@ func (e *turboIso) Build(db *graph.Database, _ BuildOptions) error {
 func (*turboIso) IndexMemory() int64 { return 0 }
 
 // Query implements Engine.
-func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) *Result {
-	if res, done := degenerate(q); done {
-		return res
+func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	if r, done := degenerate(q); done {
+		return r
 	}
-	res := &Result{}
+	res = &Result{}
 	o := opts.Observer
+	defer queryGuard("TurboIso", o, res)
 	opts.Explain.SetEngine("TurboIso")
 	var m matching.TurboIso
-	t0 := time.Now()
-	for gid := 0; gid < e.db.Len(); gid++ {
-		if expired(opts.Deadline) {
-			res.TimedOut = true
-			break
-		}
-		res.Candidates++
+	step := func(gid int) (r matching.Result, qe *QueryError) {
+		defer graphGuard("TurboIso", gid, o, &qe)
 		var tv time.Time
 		if o != nil {
 			tv = time.Now()
 		}
-		r := m.FindFirst(q, e.db.Graph(gid), matching.Options{
+		r = m.FindFirst(q, e.db.Graph(gid), matching.Options{
 			Deadline:   opts.Deadline,
+			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
 		})
 		if o != nil {
 			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
 		}
+		return r, nil
+	}
+	t0 := time.Now()
+	for gid := 0; gid < e.db.Len(); gid++ {
+		if halt(&opts, res) {
+			break
+		}
+		res.Candidates++
+		r, qe := step(gid)
+		if qe != nil {
+			recordGraphError(res, qe)
+			continue
+		}
 		res.VerifySteps += r.Steps
 		if r.Aborted {
-			res.TimedOut = true
+			noteAbort(&opts, res)
 		}
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)

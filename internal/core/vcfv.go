@@ -74,12 +74,13 @@ func (e *vcFV) Build(db *graph.Database, _ BuildOptions) error {
 func (e *vcFV) IndexMemory() int64 { return 0 }
 
 // Query implements Engine.
-func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
-	if res, done := degenerate(q); done {
-		return res
+func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	if r, done := degenerate(q); done {
+		return r
 	}
-	res := &Result{}
+	res = &Result{}
 	o := opts.Observer
+	defer queryGuard(e.name, o, res)
 	ex := opts.Explain
 	ex.SetEngine(e.name)
 	// One arena for the whole query: candidate storage, filter scratch and
@@ -87,25 +88,39 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 	// body below allocates nothing in steady state.
 	s := matching.AcquireScratch()
 	defer matching.ReleaseScratch(s)
-	for gid := 0; gid < e.db.Len(); gid++ {
-		if expired(opts.Deadline) {
-			res.TimedOut = true
-			break
-		}
+
+	// step runs the fused filter/verify pipeline for one data graph behind
+	// its own panic boundary: a panicking graph is skipped (qe non-nil)
+	// and the query continues; stop halts the whole query (deadline or
+	// cancellation hit mid-pass).
+	step := func(gid int) (qe *QueryError, stop bool) {
+		defer graphGuard(e.name, gid, o, &qe)
 		g := e.db.Graph(gid)
 
 		t0 := time.Now()
-		cand := e.filter(q, g, matching.FilterOptions{Deadline: opts.Deadline, Explain: ex, Scratch: s})
+		cand := e.filter(q, g, matching.FilterOptions{
+			Deadline:     opts.Deadline,
+			Cancel:       opts.Cancel,
+			MemoryBudget: opts.MemoryBudget,
+			Explain:      ex,
+			Scratch:      s,
+		})
 		res.FilterTime += time.Since(t0)
+		if cand.BudgetExceeded {
+			// Skip this graph with a budget error; the remaining graphs
+			// may still fit.
+			return newBudgetError(e.name, gid, opts.MemoryBudget), false
+		}
 		if cand.Aborted {
-			// The filter hit the query deadline mid-pass; its sets prove
-			// nothing about this graph, so stop with a partial answer set.
-			res.TimedOut = true
-			break
+			// The filter hit the query deadline (or cancellation) mid-pass;
+			// its sets prove nothing about this graph, so stop with a
+			// partial answer set.
+			noteAbort(&opts, res)
+			return nil, true
 		}
 		pass := q.NumVertices() > 0 && !cand.AnyEmpty()
 		if !pass {
-			continue
+			return nil, false
 		}
 		res.Candidates++
 		if m := cand.MemoryFootprint(); m > res.AuxMemory {
@@ -118,6 +133,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		r, err := matching.Enumerate(q, g, cand, order, matching.Options{
 			Limit:      1,
 			Deadline:   opts.Deadline,
+			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
 			Scratch:    s,
 		})
@@ -133,10 +149,24 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) *Result {
 		}
 		res.VerifySteps += r.Steps
 		if r.Aborted {
-			res.TimedOut = true
+			noteAbort(&opts, res)
 		}
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)
+		}
+		return nil, false
+	}
+
+	for gid := 0; gid < e.db.Len(); gid++ {
+		if halt(&opts, res) {
+			break
+		}
+		qe, stop := step(gid)
+		if qe != nil {
+			recordGraphError(res, qe)
+		}
+		if stop {
+			break
 		}
 	}
 	if o != nil {

@@ -1,0 +1,48 @@
+// Package fault is the fault-injection substrate behind the `sqchaos`
+// build tag, mirroring the sqdebug invariant pattern: in normal builds
+// every entry point is an empty function the compiler inlines away, so
+// the injection points in the filter, ordering, enumeration and
+// index-probe hot paths cost nothing (the bench gate asserts it). With
+// `-tags sqchaos` the points become live and fire four fault kinds at
+// configured rates:
+//
+//   - panic: a recoverable *InjectedPanic, exercising the engine and
+//     server panic-isolation boundaries;
+//   - latency: a sleep, exercising deadlines, admission queues and load
+//     shedding;
+//   - alloc: a transient allocation spike, exercising memory-budget
+//     abort paths and GC pressure behavior;
+//   - abort: a spurious budget-exhausted signal, exercising the
+//     timed-out/cancelled bookkeeping without waiting for a real
+//     deadline.
+//
+// The chaos test suites (make test-sqchaos) drive the points through
+// whole engines and through sqserver, asserting every injected fault
+// surfaces as a structured error with no crash, no goroutine leak and no
+// stranded scratch arena.
+package fault
+
+// Injection point names. Each names the hot-path stage the fault fires
+// in, so per-point filtering and the fired-fault counters stay readable.
+const (
+	// PointFilter fires at the entry of a vertex-connectivity filtering
+	// pass (CFL or GraphQL preprocessing of one data graph).
+	PointFilter = "matching.filter"
+	// PointOrder fires at the entry of a matching-order computation.
+	PointOrder = "matching.order"
+	// PointEnumerate fires at the entry of a backtracking enumeration.
+	PointEnumerate = "matching.enumerate"
+	// PointIndexProbe fires at the entry of an index Filter probe.
+	PointIndexProbe = "index.probe"
+)
+
+// InjectedPanic is the value an injected panic carries, so recovery
+// boundaries and chaos assertions can tell deliberate faults from real
+// bugs.
+type InjectedPanic struct {
+	Point string
+}
+
+func (p *InjectedPanic) Error() string {
+	return "fault: injected panic at " + p.Point
+}

@@ -1,0 +1,16 @@
+//go:build !sqchaos
+
+package fault
+
+// Enabled reports whether fault injection is compiled in. In normal
+// builds it is constant false and both entry points are empty functions:
+// the calls inline to nothing, so the injection points are free.
+const Enabled = false
+
+// Inject fires the side-effect faults (panic, latency, alloc) configured
+// for the point. No-op without the sqchaos build tag.
+func Inject(point string) {}
+
+// Abort reports whether a spurious budget-exhausted fault fires at the
+// point. Always false without the sqchaos build tag.
+func Abort(point string) bool { return false }

@@ -1,0 +1,205 @@
+//go:build sqchaos
+
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether fault injection is compiled in.
+const Enabled = true
+
+// Config sets the fault rates and shapes. The zero value injects nothing,
+// so building with -tags sqchaos is inert until a test (or the SQCHAOS
+// environment variable, read at process start) turns faults on.
+type Config struct {
+	// PanicRate, LatencyRate, AllocRate and AbortRate are per-call firing
+	// probabilities in [0, 1].
+	PanicRate   float64
+	LatencyRate float64
+	AllocRate   float64
+	AbortRate   float64
+
+	// Latency is the injected sleep; 0 selects 1ms.
+	Latency time.Duration
+	// AllocBytes is the transient allocation spike size; 0 selects 1MiB.
+	AllocBytes int
+
+	// Points restricts injection to the named points; nil means all.
+	Points map[string]bool
+
+	// Seed makes the fault sequence deterministic for a given interleaving
+	// of calls.
+	Seed uint64
+}
+
+var (
+	mu  sync.RWMutex
+	cfg Config
+
+	seq atomic.Uint64
+
+	// Fired-fault counters, one per kind, for chaos-test assertions.
+	panics    atomic.Uint64
+	latencies atomic.Uint64
+	allocs    atomic.Uint64
+	aborts    atomic.Uint64
+
+	// allocSink keeps injected spikes reachable for one round so the
+	// allocation is real, then drops them.
+	allocSink atomic.Pointer[[]byte]
+)
+
+func init() {
+	if env := os.Getenv("SQCHAOS"); env != "" {
+		c, err := parseEnv(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault: ignoring malformed SQCHAOS=%q: %v\n", env, err)
+			return
+		}
+		Set(c)
+	}
+}
+
+// Set replaces the active configuration and resets the fired counters.
+func Set(c Config) {
+	mu.Lock()
+	cfg = c
+	mu.Unlock()
+	seq.Store(0)
+	panics.Store(0)
+	latencies.Store(0)
+	allocs.Store(0)
+	aborts.Store(0)
+}
+
+// Counts reports how many faults of each kind have fired since the last
+// Set.
+func Counts() (panicCount, latencyCount, allocCount, abortCount uint64) {
+	return panics.Load(), latencies.Load(), allocs.Load(), aborts.Load()
+}
+
+// Inject fires the side-effect faults (latency, alloc, panic — in that
+// order, so a panicking call still exercises the cheaper faults)
+// configured for the point.
+func Inject(point string) {
+	mu.RLock()
+	c := cfg
+	mu.RUnlock()
+	if !c.applies(point) {
+		return
+	}
+	if c.LatencyRate > 0 && roll(c.Seed) < c.LatencyRate {
+		latencies.Add(1)
+		d := c.Latency
+		if d == 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+	if c.AllocRate > 0 && roll(c.Seed) < c.AllocRate {
+		allocs.Add(1)
+		n := c.AllocBytes
+		if n == 0 {
+			n = 1 << 20
+		}
+		spike := make([]byte, n)
+		spike[0], spike[n-1] = 1, 1
+		allocSink.Store(&spike) // previous spike becomes garbage
+	}
+	if c.PanicRate > 0 && roll(c.Seed) < c.PanicRate {
+		panics.Add(1)
+		panic(&InjectedPanic{Point: point})
+	}
+}
+
+// Abort reports whether a spurious budget-exhausted fault fires at the
+// point.
+func Abort(point string) bool {
+	mu.RLock()
+	c := cfg
+	mu.RUnlock()
+	if !c.applies(point) || c.AbortRate == 0 {
+		return false
+	}
+	if roll(c.Seed) < c.AbortRate {
+		aborts.Add(1)
+		return true
+	}
+	return false
+}
+
+func (c *Config) applies(point string) bool {
+	if c.Points == nil {
+		return true
+	}
+	return c.Points[point]
+}
+
+// roll draws a deterministic pseudo-random float in [0, 1) from the
+// global call sequence: splitmix64 over seed+sequence, so runs with the
+// same seed and call interleaving replay the same faults without any
+// locked RNG state.
+func roll(seed uint64) float64 {
+	z := seed + seq.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// parseEnv reads "panic=0.01,latency=0.02,latency_ms=5,alloc=0.01,
+// abort=0.01,alloc_bytes=1048576,seed=42" into a Config.
+func parseEnv(s string) (Config, error) {
+	var c Config
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("missing '=' in %q", kv)
+		}
+		switch key {
+		case "panic", "latency", "alloc", "abort":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("rate %q: %w", kv, err)
+			}
+			switch key {
+			case "panic":
+				c.PanicRate = rate
+			case "latency":
+				c.LatencyRate = rate
+			case "alloc":
+				c.AllocRate = rate
+			case "abort":
+				c.AbortRate = rate
+			}
+		case "latency_ms":
+			ms, err := strconv.Atoi(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("latency_ms %q: %w", kv, err)
+			}
+			c.Latency = time.Duration(ms) * time.Millisecond
+		case "alloc_bytes":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("alloc_bytes %q: %w", kv, err)
+			}
+			c.AllocBytes = n
+		case "seed":
+			seed, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("seed %q: %w", kv, err)
+			}
+			c.Seed = seed
+		default:
+			return Config{}, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	return c, nil
+}

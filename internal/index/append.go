@@ -1,6 +1,7 @@
 package index
 
 import (
+	"subgraphquery/internal/budget"
 	"subgraphquery/internal/graph"
 )
 
@@ -71,8 +72,9 @@ func (ix *CTIndex) InsertGraph(g *graph.Graph, gid int) error {
 	if ix.words == 0 {
 		ix.words = (ix.bits() + 63) / 64
 	}
-	var budget int64
-	fp, err := ix.fingerprint(g, &budget, BuildOptions{})
+	var spent int64
+	var check budget.Checkpoint
+	fp, err := ix.fingerprint(g, &spent, &check, BuildOptions{})
 	if err != nil {
 		return err
 	}

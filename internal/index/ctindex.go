@@ -1,13 +1,16 @@
 package index
 
 import (
+	"time"
+
 	"hash/fnv"
 	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
+	"subgraphquery/internal/budget"
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
 )
@@ -62,9 +65,10 @@ func (ix *CTIndex) bits() int {
 func (ix *CTIndex) Build(db *graph.Database, opts BuildOptions) error {
 	ix.words = (ix.bits() + 63) / 64
 	ix.fingerprints = make([][]uint64, db.Len())
-	var budget int64
+	var spent int64
+	check := opts.checkpoint()
 	for gid := 0; gid < db.Len(); gid++ {
-		fp, err := ix.fingerprint(db.Graph(gid), &budget, opts)
+		fp, err := ix.fingerprint(db.Graph(gid), &spent, &check, opts)
 		if err != nil {
 			ix.fingerprints = nil
 			return err
@@ -75,18 +79,16 @@ func (ix *CTIndex) Build(db *graph.Database, opts BuildOptions) error {
 }
 
 // fingerprint enumerates g's tree and cycle features into a fresh bit
-// fingerprint, spending from the shared budget.
-func (ix *CTIndex) fingerprint(g *graph.Graph, budget *int64, opts BuildOptions) ([]uint64, error) {
+// fingerprint, spending from the shared feature budget and ticking the
+// shared deadline/cancellation checkpoint.
+func (ix *CTIndex) fingerprint(g *graph.Graph, spent *int64, check *budget.Checkpoint, opts BuildOptions) ([]uint64, error) {
 	fp := make([]uint64, ix.words)
 	spend := func() bool {
-		*budget++
-		if opts.MaxFeatures > 0 && *budget > opts.MaxFeatures {
+		*spent++
+		if opts.MaxFeatures > 0 && *spent > opts.MaxFeatures {
 			return false
 		}
-		if !opts.Deadline.IsZero() && *budget%4096 == 0 && time.Now().After(opts.Deadline) {
-			return false
-		}
-		return true
+		return !check.Tick()
 	}
 	if !ix.enumerateTrees(g, fp, spend) {
 		return nil, ErrBudget
@@ -305,6 +307,7 @@ func (ix *CTIndex) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget prob
 // the query fingerprint density (features enumerated, bits set) and the
 // bitmask-subset survivors.
 func (ix *CTIndex) FilterExplain(q *graph.Graph, ex *obs.Explain) []int {
+	fault.Inject(fault.PointIndexProbe)
 	var t0 time.Time
 	if ex != nil {
 		t0 = time.Now()
@@ -314,14 +317,15 @@ func (ix *CTIndex) FilterExplain(q *graph.Graph, ex *obs.Explain) []int {
 		finishProbe(ex, &probe, t0)
 		return nil
 	}
-	var budget int64
-	fq, err := ix.fingerprint(q, &budget, BuildOptions{})
+	var spent int64
+	var check budget.Checkpoint
+	fq, err := ix.fingerprint(q, &spent, &check, BuildOptions{})
 	if err != nil {
 		finishProbe(ex, &probe, t0)
 		return nil
 	}
 	// budget counted every tree and cycle feature the query enumerated.
-	probe.Features = int(budget)
+	probe.Features = int(spent)
 	for _, w := range fq {
 		probe.FingerprintBits += bits.OnesCount64(w)
 	}

@@ -4,8 +4,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 )
 
@@ -54,11 +54,12 @@ func (ix *FGIndexLite) Build(db *graph.Database, opts BuildOptions) error {
 	ix.numGraphs = db.Len()
 	postings := make(map[string][]int32)
 	var features int64
+	check := opts.checkpoint()
 	for gid := 0; gid < db.Len(); gid++ {
 		seen := make(map[string]bool)
 		ok := enumerateConnectedSubgraphs(db.Graph(gid), ix.maxEdges(), func(code string) bool {
 			features++
-			if features%8192 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			if check.Tick() {
 				return false
 			}
 			if opts.MaxFeatures > 0 && features > opts.MaxFeatures {
@@ -90,6 +91,7 @@ func (ix *FGIndexLite) Build(db *graph.Database, opts BuildOptions) error {
 // FilterExact returns the candidate ids and whether they are already the
 // exact answer set (the query matched an indexed feature verbatim).
 func (ix *FGIndexLite) FilterExact(q *graph.Graph) ([]int, bool) { //sqlint:ignore ctxbudget probe cost is bounded by the built feature table, not the data graphs
+	fault.Inject(fault.PointIndexProbe)
 	if ix.features == nil {
 		return nil, false
 	}

@@ -3,6 +3,7 @@ package index
 import (
 	"time"
 
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
 )
@@ -50,6 +51,7 @@ func (ix *GGSX) Build(db *graph.Database, opts BuildOptions) error {
 	ix.numGraphs = db.Len()
 
 	var features int64
+	check := opts.checkpoint()
 	for gid := 0; gid < db.Len(); gid++ {
 		g := db.Graph(gid)
 		ok := enumeratePaths(g, ix.maxLen(), func(labels []graph.Label) bool {
@@ -59,10 +61,8 @@ func (ix *GGSX) Build(db *graph.Database, opts BuildOptions) error {
 				ix.insert(labels[s:], int32(gid))
 			}
 			features++
-			if features%8192 == 0 {
-				if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-					return false
-				}
+			if check.Tick() {
+				return false
 			}
 			if opts.MaxFeatures > 0 && features > opts.MaxFeatures {
 				return false
@@ -106,6 +106,7 @@ func (ix *GGSX) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe c
 // FilterExplain implements Explainable: Filter plus a per-probe report of
 // suffix-tree nodes visited and the presence-set intersection trajectory.
 func (ix *GGSX) FilterExplain(q *graph.Graph, ex *obs.Explain) []int {
+	fault.Inject(fault.PointIndexProbe)
 	var t0 time.Time
 	if ex != nil {
 		t0 = time.Now()

@@ -2,8 +2,8 @@ package index
 
 import (
 	"sort"
-	"time"
 
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 )
 
@@ -69,6 +69,7 @@ func (ix *GIndexLite) Build(db *graph.Database, opts BuildOptions) error {
 	// postings: feature -> sorted ids of graphs containing it.
 	postings := make(map[string][]int32)
 	var features int64
+	check := opts.checkpoint()
 	for gid := 0; gid < db.Len(); gid++ {
 		seen := make(map[string]bool)
 		ok := enumeratePaths(db.Graph(gid), ix.maxLen(), func(labels []graph.Label) bool {
@@ -78,7 +79,7 @@ func (ix *GIndexLite) Build(db *graph.Database, opts BuildOptions) error {
 				postings[key] = append(postings[key], int32(gid))
 			}
 			features++
-			if features%8192 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			if check.Tick() {
 				return false
 			}
 			return opts.MaxFeatures <= 0 || features <= opts.MaxFeatures
@@ -163,6 +164,7 @@ func (ix *GIndexLite) lookupLongest(key string, trimBack bool) []int32 {
 // feature of q. Unindexed features (mined away) are skipped — that is the
 // precision the mining trades for index size.
 func (ix *GIndexLite) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the mined feature set, not the data graphs
+	fault.Inject(fault.PointIndexProbe)
 	if ix.features == nil {
 		return nil
 	}

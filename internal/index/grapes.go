@@ -1,11 +1,13 @@
 package index
 
 import (
+	"time"
+
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
 )
@@ -101,22 +103,21 @@ func (ix *Grapes) Build(db *graph.Database, opts BuildOptions) error {
 				}
 				counts := make(map[string]int32)
 				var local int64
+				check := opts.checkpoint()
 				ok := enumeratePaths(db.Graph(i), ix.maxLen(), func(labels []graph.Label) bool {
 					counts[pathKey(labels)]++
 					local++
-					if local%8192 == 0 {
-						if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+					if check.Tick() {
+						return false
+					}
+					if opts.MaxFeatures > 0 && local%8192 == 0 {
+						mu.Lock()
+						used += local
+						local = 0
+						over := used > opts.MaxFeatures
+						mu.Unlock()
+						if over {
 							return false
-						}
-						if opts.MaxFeatures > 0 {
-							mu.Lock()
-							used += local
-							local = 0
-							over := used > opts.MaxFeatures
-							mu.Unlock()
-							if over {
-								return false
-							}
 						}
 					}
 					return true
@@ -234,6 +235,7 @@ func (ix *Grapes) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe
 // FilterExplain implements Explainable: Filter plus a per-probe report of
 // trie nodes visited and the occurrence-list intersection trajectory.
 func (ix *Grapes) FilterExplain(q *graph.Graph, ex *obs.Explain) []int {
+	fault.Inject(fault.PointIndexProbe)
 	var t0 time.Time
 	if ex != nil {
 		t0 = time.Now()

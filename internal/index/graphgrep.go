@@ -2,8 +2,8 @@ package index
 
 import (
 	"hash/fnv"
-	"time"
 
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 )
 
@@ -45,12 +45,13 @@ func (ix *GraphGrep) buckets() uint32 {
 func (ix *GraphGrep) Build(db *graph.Database, opts BuildOptions) error {
 	ix.tables = make([]map[uint32]int32, db.Len())
 	var features int64
+	check := opts.checkpoint()
 	for gid := 0; gid < db.Len(); gid++ {
 		table := make(map[uint32]int32)
 		ok := enumeratePaths(db.Graph(gid), ix.maxLen(), func(labels []graph.Label) bool {
 			table[ix.bucket(labels)]++
 			features++
-			if features%8192 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			if check.Tick() {
 				return false
 			}
 			return opts.MaxFeatures <= 0 || features <= opts.MaxFeatures
@@ -76,6 +77,7 @@ func (ix *GraphGrep) bucket(labels []graph.Label) uint32 {
 
 // Filter implements Index.
 func (ix *GraphGrep) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the built hash tables, not the data graphs
+	fault.Inject(fault.PointIndexProbe)
 	if ix.tables == nil {
 		return nil
 	}

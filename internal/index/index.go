@@ -20,6 +20,7 @@ import (
 	"errors"
 	"time"
 
+	"subgraphquery/internal/budget"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
 )
@@ -50,6 +51,11 @@ type BuildOptions struct {
 	// zero means no deadline.
 	Deadline time.Time
 
+	// Cancel aborts construction cooperatively when closed
+	// (context-compatible: pass ctx.Done()); Build then returns ErrBudget
+	// like an exceeded Deadline. nil disables the check at no cost.
+	Cancel <-chan struct{}
+
 	// MaxFeatures aborts construction after this many enumerated feature
 	// instances, a deterministic out-of-time proxy for tests. 0 = no limit.
 	MaxFeatures int64
@@ -62,6 +68,13 @@ type BuildOptions struct {
 // ErrBudget is returned by Build when a Deadline or MaxFeatures budget was
 // exhausted; the harness reports the corresponding experiment cell as OOT.
 var ErrBudget = errors.New("index: construction budget exhausted")
+
+// checkpoint returns the deadline/cancellation poller a Build loop ticks
+// once per enumerated feature instance, at the shared feature-mining
+// stride.
+func (o *BuildOptions) checkpoint() budget.Checkpoint {
+	return budget.Checkpoint{Deadline: o.Deadline, Cancel: o.Cancel, Stride: budget.FeatureStride}
+}
 
 // ExactFilter is implemented by indexes that can sometimes answer a query
 // outright — FG-Index's "verification-free query processing": when the

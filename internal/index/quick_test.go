@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"subgraphquery/internal/budget"
 	"subgraphquery/internal/graph"
 )
 
@@ -107,8 +108,9 @@ func TestQuickFingerprintSubset(t *testing.T) {
 		if err := ix.Build(graph.NewDatabase([]*graph.Graph{g}), BuildOptions{}); err != nil {
 			return false
 		}
-		var budget int64
-		fq, err := ix.fingerprint(q, &budget, BuildOptions{})
+		var spent int64
+		var check budget.Checkpoint
+		fq, err := ix.fingerprint(q, &spent, &check, BuildOptions{})
 		if err != nil {
 			return false
 		}

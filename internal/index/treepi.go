@@ -1,8 +1,7 @@
 package index
 
 import (
-	"time"
-
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 )
 
@@ -49,11 +48,12 @@ func (ix *TreePiLite) Build(db *graph.Database, opts BuildOptions) error {
 	ix.numGraphs = db.Len()
 	postings := make(map[string][]int32)
 	var features int64
+	check := opts.checkpoint()
 	for gid := 0; gid < db.Len(); gid++ {
 		seen := make(map[string]bool)
 		ok := enumerateTreeCodes(db.Graph(gid), ix.maxTree(), func(code string) bool {
 			features++
-			if features%8192 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			if check.Tick() {
 				return false
 			}
 			if opts.MaxFeatures > 0 && features > opts.MaxFeatures {
@@ -91,6 +91,7 @@ func isSingleVertexCode(code string) bool {
 
 // Filter implements Index.
 func (ix *TreePiLite) Filter(q *graph.Graph) []int { //sqlint:ignore ctxbudget probe cost is bounded by the built tree-feature table, not the data graphs
+	fault.Inject(fault.PointIndexProbe)
 	if ix.features == nil {
 		return nil
 	}

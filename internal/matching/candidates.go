@@ -31,10 +31,17 @@ type Candidates struct {
 	Sets [][]graph.VertexID
 
 	// Aborted reports that the filtering pass hit its FilterOptions
-	// deadline before completing. The sets are then incomplete and prove
-	// nothing: a caller must treat the data graph as timed out rather than
-	// pruned (AnyEmpty on an aborted filter is not a filtering condition).
+	// deadline (or cancellation, or memory budget) before completing. The
+	// sets are then incomplete and prove nothing: a caller must treat the
+	// data graph as timed out rather than pruned (AnyEmpty on an aborted
+	// filter is not a filtering condition).
 	Aborted bool
+
+	// BudgetExceeded refines Aborted: the pass stopped because the
+	// structure outgrew FilterOptions.MemoryBudget, not because time ran
+	// out. Callers skip the data graph with a budget error and keep the
+	// query going, instead of reporting a timeout.
+	BudgetExceeded bool
 
 	// member[u] is a bitset over data vertices mirroring Sets[u], used for
 	// O(1) membership tests during refinement and enumeration.
@@ -56,6 +63,7 @@ func NewCandidates(numQuery, numData int) *Candidates {
 // bump. This is the per-data-graph entry point of the scratch arena.
 func (c *Candidates) reset(numQuery, numData int) {
 	c.Aborted = false
+	c.BudgetExceeded = false
 	c.nData = numData
 	if cap(c.Sets) < numQuery {
 		grownSets := make([][]graph.VertexID, numQuery)

@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sort"
 
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
 )
@@ -80,6 +81,7 @@ func emitLDFCounts(ex *obs.Explain, q, g *graph.Graph) {
 }
 
 func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates {
+	fault.Inject(fault.PointFilter)
 	ex := opts.Explain
 	s := opts.Scratch
 	if s == nil {
@@ -103,8 +105,7 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates
 	// neighbor u' of u, v is adjacent to some candidate of u' (backward
 	// pruning over both tree and non-tree edges).
 	for _, u := range order {
-		if opts.expired() {
-			cand.Aborted = true
+		if opts.stop(cand) {
 			return cand
 		}
 		qDeg := q.Degree(u)
@@ -187,8 +188,7 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates
 	// non-tree edges), N(v) ∩ Φ(u') ≠ ∅. The retention loop is written out
 	// (rather than via Retain's callback) to keep the hot path closure-free.
 	for i := nq - 1; i >= 0; i-- {
-		if opts.expired() {
-			cand.Aborted = true
+		if opts.stop(cand) {
 			return cand
 		}
 		u := order[i]
@@ -275,6 +275,7 @@ func CFLOrder(q, g *graph.Graph, cand *Candidates) []graph.VertexID {
 // owned by s and valid until its next ordering call. A nil s allocates a
 // private arena (identical to CFLOrder).
 func CFLOrderScratch(q, g *graph.Graph, cand *Candidates, s *Scratch) []graph.VertexID {
+	fault.Inject(fault.PointOrder)
 	n := q.NumVertices()
 	if n == 0 {
 		return nil

@@ -3,6 +3,7 @@ package matching
 import (
 	"fmt"
 
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/scratch"
 )
@@ -28,6 +29,7 @@ import (
 // backward-neighbor and intersection buffers) comes from the arena and the
 // call allocates nothing in steady state.
 func Enumerate(q, g *graph.Graph, cand *Candidates, order []graph.VertexID, opts Options) (Result, error) {
+	fault.Inject(fault.PointEnumerate)
 	n := q.NumVertices()
 	if len(order) != n {
 		return Result{}, fmt.Errorf("matching: order covers %d of %d query vertices", len(order), n)
@@ -101,7 +103,7 @@ type enumerator struct {
 	backward [][]graph.VertexID
 	isect    [][]graph.VertexID // per-depth Φ(u) ∩ N(pivot) buffers
 	opts     Options            // by value: storing &opts would heap-allocate it per call
-	budget   budget
+	budget   searchBudget
 
 	mapping []graph.VertexID
 	used    *scratch.Bits

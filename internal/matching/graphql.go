@@ -3,6 +3,7 @@ package matching
 import (
 	"sort"
 
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
 )
@@ -53,6 +54,7 @@ func GraphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 }
 
 func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
+	fault.Inject(fault.PointFilter)
 	ex := opts.Explain
 	s := opts.Scratch
 	if s == nil {
@@ -75,8 +77,7 @@ func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 	// Step 1: candidates by neighborhood profile, in ascending id order.
 	// LabeledVertices is ascending, so every set is born sorted.
 	for u := 0; u < nq; u++ {
-		if opts.expired() {
-			cand.Aborted = true
+		if opts.stop(cand) {
 			return cand
 		}
 		uu := graph.VertexID(u)
@@ -106,8 +107,7 @@ func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 		executed = r + 1
 		changed := false
 		for u := 0; u < nq; u++ {
-			if opts.expired() {
-				cand.Aborted = true
+			if opts.stop(cand) {
 				emitRefineStats(ex, cand, executed, rejected)
 				return cand
 			}
@@ -188,6 +188,7 @@ func GraphQLOrder(q *graph.Graph, cand *Candidates) []graph.VertexID {
 // order is owned by s and valid until its next ordering call. A nil s
 // allocates a private arena (identical to GraphQLOrder).
 func GraphQLOrderScratch(q *graph.Graph, cand *Candidates, s *Scratch) []graph.VertexID {
+	fault.Inject(fault.PointOrder)
 	if s == nil {
 		s = NewScratch()
 	}

@@ -13,6 +13,8 @@ package matching
 import (
 	"time"
 
+	"subgraphquery/internal/budget"
+	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
 )
@@ -31,6 +33,12 @@ type Options struct {
 	// deadline. The deadline is checked every few thousand recursion steps,
 	// so overshoot is bounded and cheap.
 	Deadline time.Time
+
+	// Cancel aborts the enumeration cooperatively when closed
+	// (context-compatible: pass ctx.Done()). It is polled at the same
+	// stride as Deadline, so a cancelled search returns promptly with
+	// Aborted set. nil disables the check at no cost.
+	Cancel <-chan struct{}
 
 	// StepBudget aborts after this many recursion steps, a deterministic
 	// alternative to Deadline for tests. 0 means unlimited.
@@ -60,6 +68,19 @@ type FilterOptions struct {
 	// disables the check.
 	Deadline time.Time
 
+	// Cancel aborts the filtering pass cooperatively when closed
+	// (context-compatible: pass ctx.Done()), with the same Aborted
+	// semantics as Deadline. nil disables the check at no cost.
+	Cancel <-chan struct{}
+
+	// MemoryBudget bounds the live byte footprint of the candidate
+	// structure under construction (Candidates.MemoryFootprint). When a
+	// stage boundary finds the structure over budget, the pass stops with
+	// both Aborted and BudgetExceeded set on the returned Candidates:
+	// callers must skip the data graph with a budget error rather than
+	// treat it as timed out or filtered out. 0 disables the check.
+	MemoryBudget int64
+
 	// Rounds bounds GraphQL's pseudo-isomorphism refinement: 0 selects
 	// DefaultRefinementRounds, negative disables refinement (the
 	// profile-only ablation). CFL's filter ignores it.
@@ -78,11 +99,40 @@ type FilterOptions struct {
 	Scratch *Scratch
 }
 
-// expired reports whether the filtering deadline has passed. It is called
-// once per query vertex per stage, so the time syscall cost is bounded by
-// |V(q)|, not by the data graph.
+// expired reports whether the filtering deadline has passed or the pass
+// was cancelled. It is called once per query vertex per stage, so the
+// time syscall and channel poll cost is bounded by |V(q)|, not by the
+// data graph.
 func (o *FilterOptions) expired() bool {
+	if budget.Cancelled(o.Cancel) {
+		return true
+	}
 	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+}
+
+// overBudget marks cand budget-exceeded (and aborted) when its live
+// footprint passed MemoryBudget, and reports whether the pass must stop.
+// Called at stage boundaries, where the structure just grew.
+func (o *FilterOptions) overBudget(cand *Candidates) bool {
+	if o.MemoryBudget <= 0 || cand.MemoryFootprint() <= o.MemoryBudget {
+		return false
+	}
+	cand.Aborted = true
+	cand.BudgetExceeded = true
+	return true
+}
+
+// stop is the stage-boundary check of a filtering pass: deadline or
+// cancellation expiry (and, under sqchaos, an injected spurious abort)
+// stops the pass with Aborted set; a blown memory budget stops it with
+// BudgetExceeded set as well. Returns true when the pass must return
+// cand as-is.
+func (o *FilterOptions) stop(cand *Candidates) bool {
+	if o.expired() || fault.Abort(fault.PointFilter) {
+		cand.Aborted = true
+		return true
+	}
+	return o.overBudget(cand)
 }
 
 // Result reports the outcome of an enumeration.
@@ -106,28 +156,31 @@ type Result struct {
 // Found reports whether at least one embedding was discovered.
 func (r Result) Found() bool { return r.Embeddings > 0 }
 
-const deadlineCheckInterval = 4096
-
-// budget tracks steps against Options during a recursive search.
-type budget struct {
+// searchBudget tracks steps against Options during a recursive search;
+// deadline and cancellation polling runs through the shared
+// budget.Checkpoint at its step stride.
+type searchBudget struct {
 	steps      uint64
 	stepBudget uint64
-	deadline   time.Time
+	check      budget.Checkpoint
 	aborted    bool
 }
 
-func newBudget(opts *Options) budget {
-	return budget{stepBudget: opts.StepBudget, deadline: opts.Deadline}
+func newBudget(opts *Options) searchBudget {
+	return searchBudget{
+		stepBudget: opts.StepBudget,
+		check:      budget.Checkpoint{Deadline: opts.Deadline, Cancel: opts.Cancel, Stride: budget.StepStride},
+	}
 }
 
 // spend consumes one step and reports whether the search must abort.
-func (b *budget) spend() bool {
+func (b *searchBudget) spend() bool {
 	b.steps++
 	if b.stepBudget != 0 && b.steps > b.stepBudget {
 		b.aborted = true
 		return true
 	}
-	if !b.deadline.IsZero() && b.steps%deadlineCheckInterval == 0 && time.Now().After(b.deadline) {
+	if b.check.Tick() {
 		b.aborted = true
 		return true
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"subgraphquery/internal/budget"
 	"subgraphquery/internal/graph"
 )
 
@@ -73,9 +74,9 @@ func TestBudgetStepLimit(t *testing.T) {
 func TestBudgetDeadline(t *testing.T) {
 	opts := Options{Deadline: time.Now().Add(-time.Second)}
 	b := newBudget(&opts)
-	// The deadline is polled every deadlineCheckInterval steps.
+	// The deadline is polled every budget.StepStride steps.
 	aborted := false
-	for i := 0; i < deadlineCheckInterval+1; i++ {
+	for i := 0; i < budget.StepStride+1; i++ {
 		if b.spend() {
 			aborted = true
 			break

@@ -2,6 +2,7 @@ package matching
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/scratch"
@@ -100,14 +101,28 @@ func NewScratch() *Scratch { return &Scratch{} }
 
 var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 
+// scratchLive counts arenas acquired but not yet released. The leak
+// checks in the chaos and panic-recovery tests assert it returns to its
+// pre-test value — a scratch stranded by a panic path would show here.
+var scratchLive atomic.Int64
+
+// ScratchLive reports how many pooled arenas are currently checked out.
+func ScratchLive() int64 { return scratchLive.Load() }
+
 // AcquireScratch takes a warmed arena from the process-wide pool. Pair
 // with ReleaseScratch once no Candidates or order obtained from it is
 // still in use.
-func AcquireScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+func AcquireScratch() *Scratch {
+	scratchLive.Add(1)
+	return scratchPool.Get().(*Scratch)
+}
 
 // ReleaseScratch returns s to the pool. The caller must not retain any
 // pointer obtained from s (its Candidates, orders, profiles).
-func ReleaseScratch(s *Scratch) { scratchPool.Put(s) }
+func ReleaseScratch(s *Scratch) {
+	scratchLive.Add(-1)
+	scratchPool.Put(s)
+}
 
 // candidates resets and returns the arena's candidate structure, shaped
 // for nq query vertices over nd data vertices.

@@ -2,8 +2,8 @@ package matching
 
 import (
 	"slices"
-	"time"
 
+	"subgraphquery/internal/budget"
 	"subgraphquery/internal/graph"
 )
 
@@ -36,15 +36,16 @@ func (a TurboIso) Run(q, g *graph.Graph, opts Options) Result {
 	tree := graph.NewBFSTree(q, start)
 
 	var total Result
-	budget := newBudget(&opts)
+	sb := newBudget(&opts)
+	// Region enumerations can be individually tiny; check the deadline and
+	// cancellation between regions too, not only inside the search.
+	regionCheck := budget.Checkpoint{Deadline: opts.Deadline, Cancel: opts.Cancel, Stride: budget.GraphStride}
 	prof := graph.NLFOf(q, start)
 	remaining := opts.Limit
 
 	for v := 0; v < g.NumVertices(); v++ {
 		vs := graph.VertexID(v)
-		// Region enumerations can be individually tiny; check the deadline
-		// between regions too, not only inside the search.
-		if !opts.Deadline.IsZero() && v%256 == 0 && time.Now().After(opts.Deadline) {
+		if regionCheck.Tick() {
 			total.Aborted = true
 			break
 		}
@@ -65,19 +66,19 @@ func (a TurboIso) Run(q, g *graph.Graph, opts Options) Result {
 		sub.Deadline = opts.Deadline
 		// Thread the global step budget through regions.
 		if opts.StepBudget != 0 {
-			if budget.steps >= opts.StepBudget {
+			if sb.steps >= opts.StepBudget {
 				total.Aborted = true
 				break
 			}
-			sub.StepBudget = opts.StepBudget - budget.steps
+			sub.StepBudget = opts.StepBudget - sb.steps
 		}
 		r, err := Enumerate(q, g, region, order, sub)
 		if err != nil {
 			panic(err) // BFS-tree orders are connected for connected queries
 		}
 		total.Embeddings += r.Embeddings
-		budget.steps += r.Steps
-		total.Steps = budget.steps
+		sb.steps += r.Steps
+		total.Steps = sb.steps
 		if r.Stopped {
 			total.Stopped = true
 			break
@@ -93,7 +94,7 @@ func (a TurboIso) Run(q, g *graph.Graph, opts Options) Result {
 			remaining -= r.Embeddings
 		}
 	}
-	total.Steps = budget.steps
+	total.Steps = sb.steps
 	return total
 }
 

@@ -56,7 +56,7 @@ func (a *VF2) FindFirst(q, g *graph.Graph, opts Options) Result {
 type vf2state struct {
 	q, g   *graph.Graph
 	opts   *Options
-	budget budget
+	budget searchBudget
 
 	core1 []int32 // query -> data mapping, -1 if unmapped
 	core2 []int32 // data -> query mapping, -1 if unmapped

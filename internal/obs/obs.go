@@ -189,16 +189,27 @@ func (r *Registry) Names() (counters, gauges, histograms []string) {
 //   - ObserveCache once per result-cache probe (hit or miss);
 //   - ObserveWorkers once per query by the parallel engines, with the
 //     effective worker-pool size after clamping to runtime.GOMAXPROCS(0) —
-//     so oversubscribed configurations are visible in traces.
+//     so oversubscribed configurations are visible in traces;
+//   - ObservePanic once per panic recovered at a resilience boundary, with
+//     the data graph id whose processing panicked (-1 when the panic was
+//     not attributable to one graph). The engine has already converted the
+//     panic into a structured error by the time this fires.
 //
 // Implementations must be safe for concurrent use: parallel engines emit
-// ObserveVerify from worker goroutines.
+// ObserveVerify and ObservePanic from worker goroutines.
 type Observer interface {
 	ObservePhase(name string, d time.Duration)
 	ObserveVerify(graphID int, steps uint64, d time.Duration, found bool)
 	ObserveCache(hit bool)
 	ObserveWorkers(n int)
+	ObservePanic(graphID int)
 }
+
+// Panics counts every panic recovered at a query-engine resilience
+// boundary process-wide, regardless of whether the query carried an
+// Observer. Exposed by the server's /metrics and checked by the chaos
+// suite.
+var Panics Counter
 
 // Phase names emitted by the engines.
 const (
@@ -253,5 +264,11 @@ func (m multiObserver) ObserveCache(hit bool) {
 func (m multiObserver) ObserveWorkers(n int) {
 	for _, o := range m {
 		o.ObserveWorkers(n)
+	}
+}
+
+func (m multiObserver) ObservePanic(graphID int) {
+	for _, o := range m {
+		o.ObservePanic(graphID)
 	}
 }

@@ -213,8 +213,8 @@ func TestRegistrySnapshotJSON(t *testing.T) {
 
 // recordingObserver counts events for Tee tests.
 type recordingObserver struct {
-	mu                     sync.Mutex
-	phases, verifies, hits int
+	mu                             sync.Mutex
+	phases, verifies, hits, panics int
 }
 
 func (r *recordingObserver) ObservePhase(string, time.Duration) {
@@ -236,6 +236,12 @@ func (r *recordingObserver) ObserveCache(bool) {
 }
 
 func (r *recordingObserver) ObserveWorkers(int) {}
+
+func (r *recordingObserver) ObservePanic(int) {
+	r.mu.Lock()
+	r.panics++
+	r.mu.Unlock()
+}
 
 func TestTee(t *testing.T) {
 	if Tee() != nil {

@@ -24,6 +24,7 @@ type Trace struct {
 	cacheHits   int
 	cacheMisses int
 	workers     int
+	panics      int
 	maxEvents   int
 }
 
@@ -106,6 +107,17 @@ func (t *Trace) ObserveWorkers(n int) {
 	t.mu.Unlock()
 }
 
+// ObservePanic implements Observer: it counts panics recovered at the
+// engine's resilience boundaries while this query executed.
+func (t *Trace) ObservePanic(int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.panics++
+	t.mu.Unlock()
+}
+
 // TraceSnapshot is the JSON-marshalable view of a Trace, inlined into the
 // /query response under ?trace=1.
 type TraceSnapshot struct {
@@ -130,6 +142,10 @@ type TraceSnapshot struct {
 	// Workers is the effective worker-pool size of a parallel engine
 	// (after clamping to GOMAXPROCS); 0 for sequential engines.
 	Workers int `json:"workers,omitempty"`
+	// Panics counts panics recovered at the engine's resilience boundaries
+	// during this query; each corresponds to a skipped data graph or a
+	// structured query error, never a crash.
+	Panics int `json:"panics,omitempty"`
 }
 
 // Snapshot copies the trace's current contents.
@@ -148,6 +164,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		CacheHits:            t.cacheHits,
 		CacheMisses:          t.cacheMisses,
 		Workers:              t.workers,
+		Panics:               t.panics,
 	}
 }
 

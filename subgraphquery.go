@@ -68,6 +68,19 @@ type (
 	QueryOptions = core.QueryOptions
 	// Result reports a query's answers and per-phase metrics.
 	Result = core.Result
+	// QueryError is the structured form of a failure inside query
+	// processing: a panic recovered at an engine's resilience boundary or a
+	// graph skipped for exceeding QueryOptions.MemoryBudget. Found on
+	// Result.Err and Result.GraphErrors.
+	QueryError = core.QueryError
+)
+
+// QueryError kinds, for matching on QueryError.Kind.
+const (
+	// ErrKindPanic marks a recovered panic.
+	ErrKindPanic = core.KindPanic
+	// ErrKindBudget marks a graph skipped for exceeding the memory budget.
+	ErrKindBudget = core.KindBudget
 )
 
 // Re-exported observability types (see internal/obs): set
