@@ -28,7 +28,7 @@ var hotallocAnalyzer = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "forbid per-iteration heap allocation (make/new/arena constructors/append into fresh slices) in hot-path loops",
 	Applies: func(path string) bool {
-		return pathMatchesAny(path, "internal/matching", "internal/core")
+		return pathMatchesAny(path, "internal/matching", "internal/core", "internal/telemetry")
 	},
 	Run: runHotalloc,
 }
@@ -52,6 +52,15 @@ var hotallocFiles = map[string]bool{
 	"vcfv.go":     true,
 	"parallel.go": true,
 	"ivcfv.go":    true,
+	// internal/telemetry: the per-query fast path — fingerprinting
+	// (refinement loops over pooled buffers), event construction, the
+	// sampling decision in Emit, and Profile.Record's eviction scan — must
+	// stay allocation-free so telemetry never taxes the queries it
+	// measures.
+	"fingerprint.go": true,
+	"event.go":       true,
+	"export.go":      true,
+	"profile.go":     true,
 }
 
 // hotallocConstructors are the arena constructors that must never run per

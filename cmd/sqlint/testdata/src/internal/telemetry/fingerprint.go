@@ -1,0 +1,38 @@
+// Package telemetry holds hotalloc fixtures for the workload-telemetry
+// fast path; its import path ends in internal/telemetry so the path-scoped
+// analyzers apply, and the file is named fingerprint.go so the hotalloc
+// named-file list covers it.
+package telemetry
+
+// computeHot trips the hotalloc rules the way a naive fingerprint
+// implementation would: allocating refinement buffers per round instead of
+// reusing pooled scratch.
+func computeHot(colors [][]uint64) uint64 {
+	var h uint64
+	for _, round := range colors {
+		buf := make([]uint64, len(round)) // want: make inside a hot-path loop
+		copy(buf, round)
+		var fresh []uint64
+		fresh = append(fresh[:0], round...)
+		_ = fresh
+		tmp := append([]uint64(nil), round...) // want: append onto a fresh slice
+		for _, c := range tmp {
+			h ^= c
+		}
+	}
+	return h
+}
+
+// computeScratch is the compliant form: buffers come from a caller-owned
+// scratch and are truncated, never reallocated, per iteration.
+func computeScratch(colors [][]uint64, scratch []uint64) uint64 {
+	var h uint64
+	for _, round := range colors {
+		buf := scratch[:0]
+		buf = append(buf, round...) // scratch-owned backing: ok
+		for _, c := range buf {
+			h ^= c
+		}
+	}
+	return h
+}

@@ -130,8 +130,10 @@ func run(opts runOptions) error {
 			if res.TimedOut {
 				status = " TIMEOUT"
 			}
-			fmt.Fprintf(out, "query %3d: |C|=%d |A|=%d filter=%v verify=%v%s\n",
-				i, res.Candidates, len(res.Answers),
+			// The fingerprint lets a slow line here be matched against
+			// /debug/top, sqtop and BENCH_*.json shape breakdowns.
+			fmt.Fprintf(out, "query %3d: fp=%s |C|=%d |A|=%d filter=%v verify=%v%s\n",
+				i, res.Fingerprint, res.Candidates, len(res.Answers),
 				res.FilterTime.Round(time.Microsecond), res.VerifyTime.Round(time.Microsecond), status)
 		}
 		if ex != nil {

@@ -3,11 +3,15 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -18,6 +22,7 @@ import (
 	sq "subgraphquery"
 	"subgraphquery/internal/fault"
 	"subgraphquery/internal/matching"
+	"subgraphquery/internal/telemetry"
 )
 
 // TestChaosServerSurvives is the acceptance run from the issue: 500 queries
@@ -207,5 +212,170 @@ func TestChaosServerSurvives(t *testing.T) {
 	}
 	if len(out.Answers) == 0 {
 		t.Error("clean query after chaos returned no answers")
+	}
+}
+
+// TestChaosTelemetryRetainsAnomalies drives the chaos storm through a
+// server with wide-event export enabled and closes the loop on the tail
+// sampler's contract: every anomalous outcome a client observed — shed
+// (429), abandoned queue wait (408), engine failure (500), or a 200 whose
+// body admits a timeout, cancellation or skipped graphs — has exactly one
+// matching anomalous event in the export stream, and the healthy keep-rate
+// matches -export-sample deterministically (minus counted backpressure
+// drops).
+func TestChaosTelemetryRetainsAnomalies(t *testing.T) {
+	db, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: 20, NumVertices: 24, NumLabels: 3, Degree: 4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exportPath := filepath.Join(t.TempDir(), "chaos.ndjson")
+	fault.Set(fault.Config{}) // engine build stays fault-free
+	// Looser admission than TestChaosServerSurvives: this storm needs both
+	// populations — anomalous outcomes to prove 100% retention AND healthy
+	// completions to prove the sampler's exact 1-in-4 keep-rate.
+	srv, err := newServer(db, sq.NewVcGrapesEngine(), serverConfig{
+		cacheEntries:  16,
+		budget:        250 * time.Millisecond,
+		slowThreshold: -1,
+		memBudget:     8 << 20,
+		maxInflight:   4,
+		maxQueue:      16,
+		queueWait:     250 * time.Millisecond,
+		exportDest:    exportPath,
+		exportSample:  0.25,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	queries, err := sq.GenerateQuerySet(db, sq.QuerySetConfig{
+		Count: 10, Edges: 3, Method: sq.QueryRandomWalk, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := make([]string, len(queries))
+	for i, q := range queries {
+		bodies[i] = graphText(t, q)
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	defer client.CloseIdleConnections()
+
+	fault.Set(fault.Config{
+		PanicRate:   0.01,
+		LatencyRate: 0.1,
+		AllocRate:   0.01,
+		AbortRate:   0.01,
+		Latency:     time.Millisecond,
+		AllocBytes:  1 << 16,
+		Seed:        3,
+	})
+	defer fault.Set(fault.Config{})
+
+	const totalQueries = 500
+	const clients = 8
+	var anomalousResponses, healthyResponses, transportErrors atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= totalQueries {
+					return
+				}
+				resp, err := client.Post(ts.URL+"/query", "text/plain",
+					strings.NewReader(bodies[i%int64(len(bodies))]))
+				if err != nil {
+					transportErrors.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var out queryResponse
+					if json.Unmarshal(body, &out) != nil {
+						transportErrors.Add(1)
+						continue
+					}
+					if out.TimedOut || out.Cancelled || out.Skipped > 0 {
+						anomalousResponses.Add(1)
+					} else {
+						healthyResponses.Add(1)
+					}
+				case http.StatusTooManyRequests, http.StatusRequestTimeout,
+					http.StatusInternalServerError:
+					anomalousResponses.Add(1)
+					if resp.StatusCode == http.StatusTooManyRequests {
+						time.Sleep(2 * time.Millisecond)
+					}
+				default:
+					transportErrors.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fault.Set(fault.Config{})
+
+	if transportErrors.Load() != 0 {
+		t.Fatalf("%d transport errors; retention accounting needs every response", transportErrors.Load())
+	}
+	if anomalousResponses.Load() == 0 {
+		t.Fatal("chaos produced no anomalous responses; rates are dead")
+	}
+	if healthyResponses.Load() == 0 {
+		t.Fatal("chaos produced no healthy responses; the sampling assertion is vacuous")
+	}
+
+	// Drain the export and tally the stream.
+	st := srv.exporter.Stats()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(exportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anomalousEvents, healthyEvents int64
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var ev telemetry.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad export line %q: %v", sc.Text(), err)
+		}
+		if ev.Anomalous() {
+			anomalousEvents++
+		} else {
+			healthyEvents++
+		}
+	}
+
+	t.Logf("responses: %d anomalous, %d healthy; export: %d anomalous, %d healthy; stats %+v",
+		anomalousResponses.Load(), healthyResponses.Load(), anomalousEvents, healthyEvents, st)
+
+	// 100% of anomalous outcomes survive — the acceptance criterion.
+	if anomalousEvents != anomalousResponses.Load() {
+		t.Errorf("export retained %d anomalous events, clients observed %d anomalous responses",
+			anomalousEvents, anomalousResponses.Load())
+	}
+	// Healthy sampling is deterministic: 1-in-4 of the healthy emits pass
+	// the counter, minus any backpressure drops (counted, healthy-only).
+	wantHealthy := healthyResponses.Load()/4 - st.Dropped
+	if healthyEvents != wantHealthy {
+		t.Errorf("export kept %d healthy events, want %d (healthy=%d dropped=%d)",
+			healthyEvents, wantHealthy, healthyResponses.Load(), st.Dropped)
+	}
+	// The profile saw every query, executed or shed.
+	if _, seen, _ := srv.profile.Stats(); seen != totalQueries {
+		t.Errorf("profile saw %d queries, want %d", seen, totalQueries)
 	}
 }

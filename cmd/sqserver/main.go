@@ -17,8 +17,21 @@
 //	               ?format=prom switches to the Prometheus text exposition
 //	GET  /debug/slowlog  JSON ring of recent slow queries (latency over
 //	               -slowlog-threshold), each with its full Trace and Explain
+//	GET  /debug/top      workload profile: top query shapes by fingerprint
+//	               with counts, error bounds, failure tallies and latency
+//	               quantiles; ?k=N bounds rows, ?format=text renders a table
+//	GET  /debug/events   bounded ring of operational incidents: admission
+//	               sheds (429/408) and recovered panics, newest first
 //	GET  /healthz  readiness probe: 200 "ok", or 503 "shedding" while
 //	               admission control is saturated
+//
+// Workload telemetry: every query is fingerprinted (a canonical hash of
+// the query's labeled structure, invariant under vertex renumbering) and
+// folded into a heavy-hitter profile behind /debug/top. With -export, one
+// wide event per query streams to an NDJSON file or HTTP collector,
+// tail-sampled: queries that erred, timed out, were cancelled, skipped
+// graphs, panicked or were shed are always exported; healthy queries are
+// sampled at -export-sample. `sqtop` renders either source.
 //
 // Admission control bounds concurrently executing queries (-max-inflight)
 // with a bounded wait queue (-max-queue, -queue-wait); excess load is shed
@@ -40,6 +53,8 @@
 //	         [-budget 10m] [-mem-budget 268435456]
 //	         [-max-inflight 16] [-max-queue 64] [-queue-wait 1s]
 //	         [-slowlog-threshold 100ms] [-slowlog-size 64]
+//	         [-top-k 20] [-export events.ndjson] [-export-sample 0.01]
+//	         [-export-buffer 1024] [-events-size 128]
 //	         [-debug-addr :6060] [-log-json]
 package main
 
@@ -58,6 +73,7 @@ import (
 	sq "subgraphquery"
 	"subgraphquery/internal/bench"
 	"subgraphquery/internal/obs"
+	"subgraphquery/internal/telemetry"
 )
 
 func main() {
@@ -77,6 +93,15 @@ func main() {
 	slowThreshold := flag.Duration("slowlog-threshold", 100*time.Millisecond,
 		"slow-query log latency threshold (0 retains every query, negative disables the log)")
 	slowSize := flag.Int("slowlog-size", obs.DefaultSlowLogSize, "slow-query log ring capacity")
+	topK := flag.Int("top-k", 20, "default number of shapes GET /debug/top returns")
+	exportDest := flag.String("export", "",
+		"wide-event NDJSON destination: file path or http(s):// URL (empty disables export)")
+	exportSample := flag.Float64("export-sample", 0.01,
+		"fraction of healthy queries exported (anomalous queries always export)")
+	exportBuffer := flag.Int("export-buffer", telemetry.DefaultExportBuffer,
+		"wide-event ring capacity between queries and the export writer")
+	eventsSize := flag.Int("events-size", telemetry.DefaultDebugRingSize,
+		"GET /debug/events incident ring capacity")
 	debugAddr := flag.String("debug-addr", "", "pprof debug listen address (empty disables)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -120,6 +145,11 @@ func main() {
 		queueWait:     *queueWait,
 		slowThreshold: *slowThreshold,
 		slowSize:      *slowSize,
+		topK:          *topK,
+		exportDest:    *exportDest,
+		exportSample:  *exportSample,
+		exportBuffer:  *exportBuffer,
+		eventsSize:    *eventsSize,
 	}, logger)
 	if err != nil {
 		logger.Error("building engine", "err", err)
@@ -166,6 +196,10 @@ func main() {
 		if err := hs.Shutdown(shCtx); err != nil {
 			logger.Error("graceful shutdown timed out, closing", "err", err)
 			hs.Close()
+		}
+		// Flush buffered wide events after in-flight queries have drained.
+		if err := srv.Close(); err != nil {
+			logger.Error("closing wide-event exporter", "err", err)
 		}
 		logger.Info("bye")
 	}

@@ -15,6 +15,7 @@ import (
 	sq "subgraphquery"
 	"subgraphquery/internal/core"
 	"subgraphquery/internal/obs"
+	"subgraphquery/internal/telemetry"
 )
 
 // server holds the database and engine behind the HTTP handlers. A RWMutex
@@ -60,6 +61,15 @@ type server struct {
 	// the query's wall-clock latency meets the configured threshold.
 	slow *obs.SlowLog
 
+	// Workload telemetry. profile is the per-fingerprint heavy-hitter
+	// sketch behind GET /debug/top; exporter ships one tail-sampled wide
+	// event per query (nil = export disabled); events is the bounded
+	// incident ring behind GET /debug/events (sheds, recovered panics).
+	profile  *telemetry.Profile
+	exporter *telemetry.Exporter
+	events   *telemetry.DebugRing
+	topK     int
+
 	// statsCache memoizes the /stats response; ComputeStats walks every
 	// graph, so recomputing per request is wasteful on a static database.
 	// Appends invalidate it.
@@ -91,17 +101,41 @@ type serverConfig struct {
 	// queueWait is how long a queued request may wait for a slot before
 	// being shed (0 selects 1s).
 	queueWait time.Duration
+	// topK is the default row count of GET /debug/top (0 selects 20).
+	topK int
+	// profileCapacity sizes the heavy-hitter sketch (0 selects the
+	// telemetry default).
+	profileCapacity int
+	// exportDest is the wide-event NDJSON destination — a file path or an
+	// http(s):// URL; empty disables export.
+	exportDest string
+	// exportSample is the fraction of healthy (non-anomalous) queries
+	// exported; anomalous queries are always exported.
+	exportSample float64
+	// exportBuffer sizes the export ring (0 selects the default).
+	exportBuffer int
+	// eventsSize sizes the /debug/events incident ring (0 selects the
+	// default).
+	eventsSize int
 }
 
 func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog.Logger) (*server, error) {
 	if cfg.cacheEntries > 0 {
 		engine = sq.NewCachedEngine(engine, cfg.cacheEntries)
 	}
-	if err := engine.Build(db, sq.BuildOptions{}); err != nil {
-		return nil, err
-	}
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	topK := cfg.topK
+	if topK <= 0 {
+		topK = 20
+	}
+	exporter, err := telemetry.NewExporter(cfg.exportDest, telemetry.ExportConfig{
+		HealthyFraction: cfg.exportSample,
+		Buffer:          cfg.exportBuffer,
+	})
+	if err != nil {
+		return nil, err
 	}
 	s := &server{
 		db:        db,
@@ -112,6 +146,10 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 		start:     time.Now(),
 		reg:       obs.NewRegistry(),
 		adm:       newAdmission(cfg.maxInflight, cfg.maxQueue, cfg.queueWait),
+		profile:   telemetry.NewProfile(cfg.profileCapacity),
+		exporter:  exporter,
+		events:    telemetry.NewDebugRing(cfg.eventsSize),
+		topK:      topK,
 	}
 	if cfg.slowThreshold >= 0 {
 		s.slow = obs.NewSlowLog(cfg.slowSize, cfg.slowThreshold)
@@ -132,8 +170,23 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 	s.filterLat = s.reg.Histogram("filter_latency/" + en)
 	s.verifyLat = s.reg.Histogram("verify_latency/" + en)
 	s.siLat = s.reg.Histogram("si_test_latency/" + en)
+
+	// Index construction runs after the registry exists so its cost is a
+	// first-class metric: the multi-second index builds (CT-Index ~14s on
+	// the paper's datasets) were previously invisible to /metrics.
+	t0 := time.Now()
+	if err := engine.Build(db, sq.BuildOptions{}); err != nil {
+		s.exporter.Close()
+		return nil, err
+	}
+	s.reg.Histogram("index_build/" + en).Record(time.Since(t0))
+	s.reg.Gauge("index_bytes/" + en).Set(engine.IndexMemory())
 	return s, nil
 }
+
+// Close flushes and stops the wide-event exporter; the server is not
+// usable afterwards. Safe when export is disabled.
+func (s *server) Close() error { return s.exporter.Close() }
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
@@ -142,6 +195,8 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("/stats", s.recovered(s.handleStats))
 	m.HandleFunc("/metrics", s.recovered(s.handleMetrics))
 	m.HandleFunc("/debug/slowlog", s.recovered(s.handleSlowLog))
+	m.HandleFunc("/debug/top", s.recovered(s.handleTop))
+	m.HandleFunc("/debug/events", s.recovered(s.handleEvents))
 	m.HandleFunc("/healthz", s.recovered(s.handleHealthz))
 	return m
 }
@@ -158,6 +213,11 @@ func (s *server) recovered(h http.HandlerFunc) http.HandlerFunc {
 			if v := recover(); v != nil {
 				s.panics.Inc()
 				obs.Panics.Inc()
+				s.events.Offer(telemetry.DebugEvent{
+					Kind:    "handler_panic",
+					Status:  http.StatusInternalServerError,
+					Message: r.URL.Path + ": " + fmt.Sprint(v),
+				})
 				s.log.Error("handler panic",
 					"path", r.URL.Path, "panic", fmt.Sprint(v),
 					"stack", string(debug.Stack()))
@@ -180,22 +240,39 @@ func (s *server) handler() http.Handler {
 		t0 := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		mux.ServeHTTP(rec, r)
-		s.log.Info("request",
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
 			"bytes", rec.bytes,
 			"dur_ms", time.Since(t0).Milliseconds(),
 			"remote", r.RemoteAddr,
-		)
+		}
+		// Query annotations (set by handleQuery) join the flat log against
+		// /debug/top and the wide-event export.
+		if rec.fingerprint != "" {
+			attrs = append(attrs, "fingerprint", rec.fingerprint)
+		}
+		if rec.verdict != "" {
+			attrs = append(attrs, "admission_verdict", rec.verdict)
+		}
+		if rec.skipped > 0 {
+			attrs = append(attrs, "skipped", rec.skipped)
+		}
+		s.log.Info("request", attrs...)
 	})
 }
 
-// statusRecorder captures the response status and size for the log line.
+// statusRecorder captures the response status and size for the log line,
+// plus the query annotations handleQuery back-fills.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+
+	fingerprint string
+	verdict     string
+	skipped     int
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -243,6 +320,11 @@ func (o registryObserver) ObservePanic(int) {
 	o.s.panics.Inc()
 }
 
+// ObserveFingerprint implements obs.Observer. The registry aggregates
+// process-wide; per-shape aggregation happens in the workload profile, so
+// there is nothing to record here.
+func (o registryObserver) ObserveFingerprint(uint64) {}
+
 // queryResponse is the JSON body returned by POST /query.
 type queryResponse struct {
 	Answers    []int `json:"answers"`
@@ -277,18 +359,37 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Fingerprint before admission: a shed query never reaches the engine,
+	// but its shape must still aggregate in /debug/top and the export, so
+	// operators see *which* workload the shedding punishes. The engine sees
+	// the hash via opts and does not recompute.
+	fp := sq.ComputeFingerprint(q)
+	rec, _ := w.(*statusRecorder)
+	if rec != nil {
+		rec.fingerprint = fp.String()
+	}
+
 	// Admission control: bound concurrent query execution before any work.
+	verdict := ""
 	if s.adm != nil {
-		release, verdict := s.adm.acquire(r.Context().Done())
-		switch verdict {
+		verdict = telemetry.VerdictOK
+		release, av := s.adm.acquire(r.Context().Done())
+		switch av {
 		case admitOK:
 			defer release()
 		case admitShed, admitTimeout:
+			if av == admitShed {
+				verdict = telemetry.VerdictShed
+			} else {
+				verdict = telemetry.VerdictQueueTimeout
+			}
 			s.shed.Inc()
+			s.recordShed(rec, q, fp, verdict, http.StatusTooManyRequests)
 			w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
 			return
 		case admitCancelled:
+			s.recordShed(rec, q, fp, telemetry.VerdictClientGone, http.StatusRequestTimeout)
 			http.Error(w, "client gave up while queued", http.StatusRequestTimeout)
 			return
 		}
@@ -298,7 +399,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// channel carries both client disconnects and the budget to the
 	// engine's cooperative cancellation checks.
 	ctx := r.Context()
-	opts := sq.QueryOptions{MemoryBudget: s.memBudget}
+	opts := sq.QueryOptions{MemoryBudget: s.memBudget, Fingerprint: fp}
 	if s.budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.budget)
@@ -340,6 +441,60 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.timeouts.Inc()
 	}
 
+	var traceSnap *obs.TraceSnapshot
+	if trace != nil {
+		snap := trace.Snapshot()
+		traceSnap = &snap
+	}
+
+	// One wide event per executed query — built before the error path can
+	// return, so failures are exactly the queries the export never loses.
+	ev := telemetry.Event{
+		TimeUnixMS:    t0.UnixMilli(),
+		Fingerprint:   res.Fingerprint,
+		Engine:        s.engine.Name(),
+		QueryVertices: q.NumVertices(),
+		QueryEdges:    q.NumEdges(),
+		Verdict:       verdict,
+		DurationUS:    elapsed.Microseconds(),
+		FilterUS:      res.FilterTime.Microseconds(),
+		VerifyUS:      res.VerifyTime.Microseconds(),
+		Candidates:    res.Candidates,
+		Answers:       len(res.Answers),
+		Skipped:       res.Skipped,
+		TimedOut:      res.TimedOut,
+		Cancelled:     res.Cancelled,
+		Error:         res.Err != nil,
+	}
+	for _, ge := range res.GraphErrors {
+		switch ge.Kind {
+		case core.KindPanic:
+			ev.Panics++
+		case core.KindBudget:
+			ev.Budget++
+		}
+	}
+	if res.Err != nil && res.Err.Kind == core.KindPanic {
+		ev.Panics++
+	}
+	if traceSnap != nil && traceSnap.CacheHits > 0 {
+		ev.CacheHit = true
+	}
+	s.profile.Record(ev)
+	s.exporter.Emit(ev)
+	if rec != nil {
+		rec.verdict = verdict
+		rec.skipped = res.Skipped
+	}
+	if ev.Panics > 0 {
+		s.events.Offer(telemetry.DebugEvent{
+			Kind:        "query_panic",
+			Fingerprint: res.Fingerprint,
+			Engine:      s.engine.Name(),
+			Message:     fmt.Sprintf("%d panic(s) recovered during query", ev.Panics),
+		})
+	}
+
 	if res.Err != nil {
 		// The query itself failed (panic recovered at the engine boundary
 		// outside any per-graph section): structured 500, process intact.
@@ -359,12 +514,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		GraphErrors: res.GraphErrors,
 		Engine:      s.engine.Name(),
 	}
-	var traceSnap *obs.TraceSnapshot
 	var explainSnap *obs.ExplainSnapshot
-	if trace != nil {
-		snap := trace.Snapshot()
-		traceSnap = &snap
-	}
 	if explain != nil {
 		snap := explain.Snapshot()
 		explainSnap = &snap
@@ -377,18 +527,91 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.slow != nil {
 		s.slow.Offer(obs.SlowQuery{
-			Time:       t0,
-			DurationUS: elapsed.Microseconds(),
-			Engine:     s.engine.Name(),
-			Query:      fmt.Sprintf("%dv/%de", q.NumVertices(), q.NumEdges()),
-			Answers:    len(res.Answers),
-			Candidates: res.Candidates,
-			TimedOut:   res.TimedOut,
-			Trace:      traceSnap,
-			Explain:    explainSnap,
+			Time:        t0,
+			DurationUS:  elapsed.Microseconds(),
+			Engine:      s.engine.Name(),
+			Query:       fmt.Sprintf("%dv/%de", q.NumVertices(), q.NumEdges()),
+			Fingerprint: res.Fingerprint.String(),
+			Answers:     len(res.Answers),
+			Candidates:  res.Candidates,
+			TimedOut:    res.TimedOut,
+			Trace:       traceSnap,
+			Explain:     explainSnap,
 		})
 	}
 	writeJSON(w, resp)
+}
+
+// recordShed folds a query bounced by admission control into the workload
+// telemetry: the wide event (always anomalous, so the exporter keeps it),
+// the heavy-hitter profile, the /debug/events ring and the request log
+// annotations. The query never executed, so the event carries no phase
+// times or answer counts.
+func (s *server) recordShed(rec *statusRecorder, q *sq.Graph, fp sq.Fingerprint, verdict string, status int) {
+	if rec != nil {
+		rec.verdict = verdict
+	}
+	ev := telemetry.Event{
+		TimeUnixMS:    time.Now().UnixMilli(),
+		Fingerprint:   fp,
+		Engine:        s.engine.Name(),
+		QueryVertices: q.NumVertices(),
+		QueryEdges:    q.NumEdges(),
+		Verdict:       verdict,
+	}
+	s.profile.Record(ev)
+	s.exporter.Emit(ev)
+	s.events.Offer(telemetry.DebugEvent{
+		Kind:        verdict,
+		Fingerprint: fp,
+		Engine:      s.engine.Name(),
+		Status:      status,
+		Message:     "admission control: " + verdict,
+	})
+}
+
+// handleTop serves the workload profile: the top-K query shapes by count,
+// each with its space-saving error bound, failure tallies and latency
+// quantiles. ?k=N overrides the row count; ?format=text renders the
+// aligned table sqtop shows.
+func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	k := s.topK
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "k must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	snap := s.profile.Snapshot(k)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		telemetry.WriteTop(w, snap)
+		return
+	}
+	writeJSON(w, snap)
+}
+
+// handleEvents dumps the bounded incident ring (admission sheds, recovered
+// panics), newest first.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	events := s.events.Snapshot()
+	if events == nil {
+		events = []telemetry.DebugEvent{}
+	}
+	writeJSON(w, map[string]any{
+		"total":  s.events.Total(),
+		"events": events,
+	})
 }
 
 // handleSlowLog dumps the slow-query ring, newest first, with each retained
@@ -477,6 +700,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.adm != nil {
 		s.queueDepth.Set(s.adm.depth())
 	}
+	// Scrape-time gauges for the workload-telemetry components (refreshing
+	// at snapshot keeps their hot paths free of registry traffic).
+	tracked, seen, evictions := s.profile.Stats()
+	s.reg.Gauge("workload_shapes_tracked").Set(int64(tracked))
+	s.reg.Gauge("workload_queries_seen").Set(seen)
+	s.reg.Gauge("workload_evictions").Set(evictions)
+	s.reg.Gauge("debug_events_total").Set(s.events.Total())
+	if s.exporter != nil {
+		st := s.exporter.Stats()
+		s.reg.Gauge("export_events_exported").Set(st.Exported)
+		s.reg.Gauge("export_events_sampled_out").Set(st.SampledOut)
+		s.reg.Gauge("export_events_dropped").Set(st.Dropped)
+		s.reg.Gauge("export_sink_errors").Set(st.SinkErrors)
+	}
 	snap := s.reg.Snapshot()
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -489,6 +726,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"counters":   snap.Counters,
 		"gauges":     snap.Gauges,
 		"histograms": snap.Histograms,
+		// The workload's top shapes, inlined so one scrape answers "what is
+		// running and is it healthy" (full detail at /debug/top).
+		"workload_top": s.profile.Snapshot(5).Top,
 	})
 }
 

@@ -1,0 +1,161 @@
+// sqtop renders a workload profile: the top query shapes by fingerprint
+// with counts, latency quantiles (p50/p99) and failure tallies. It reads
+// either source of workload telemetry:
+//
+//   - a live sqserver: pass the /debug/top URL and sqtop fetches the
+//     server's heavy-hitter sketch;
+//   - a wide-event export: pass the NDJSON file written by
+//     sqserver -export (or "-" for stdin) and sqtop folds the events into
+//     its own sketch. Note the export stream is tail-sampled — anomalous
+//     queries are complete, healthy queries are a -export-sample fraction
+//     — so counts from an export skew toward trouble, which is the point.
+//
+// Usage:
+//
+//	sqtop http://localhost:8080/debug/top
+//	sqtop -k 10 events.ndjson
+//	sqtop -json events.ndjson | jq .top[0]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"subgraphquery/internal/telemetry"
+)
+
+func main() {
+	opts := runOptions{}
+	flag.IntVar(&opts.TopK, "k", 20, "number of shapes to show")
+	flag.IntVar(&opts.Capacity, "capacity", 0,
+		"sketch capacity when folding an event stream (0 = default)")
+	flag.BoolVar(&opts.JSON, "json", false, "emit the profile snapshot as JSON instead of a table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sqtop [-k N] [-json] <debug-top-url | events.ndjson | ->")
+		os.Exit(2)
+	}
+	opts.Source = flag.Arg(0)
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "sqtop:", err)
+		os.Exit(1)
+	}
+}
+
+// runOptions carries one sqtop invocation; the flag set in main populates
+// it, tests construct it directly.
+type runOptions struct {
+	Source   string // /debug/top URL, NDJSON path, or "-" for stdin
+	TopK     int
+	Capacity int
+	JSON     bool
+
+	// Out receives the report; nil selects os.Stdout. In receives stdin
+	// when Source is "-"; nil selects os.Stdin.
+	Out io.Writer
+	In  io.Reader
+}
+
+func run(opts runOptions) error {
+	out := opts.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	var snap telemetry.ProfileSnapshot
+	var err error
+	switch {
+	case strings.HasPrefix(opts.Source, "http://"), strings.HasPrefix(opts.Source, "https://"):
+		snap, err = fetchTop(opts.Source, opts.TopK)
+	default:
+		snap, err = foldEvents(opts)
+	}
+	if err != nil {
+		return err
+	}
+	if opts.TopK > 0 && len(snap.Top) > opts.TopK {
+		snap.Top = snap.Top[:opts.TopK]
+	}
+	if opts.JSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	return telemetry.WriteTop(out, snap)
+}
+
+// fetchTop pulls the server's own sketch from /debug/top, asking for k
+// rows so a large -k is not silently capped by the server default.
+func fetchTop(rawURL string, k int) (telemetry.ProfileSnapshot, error) {
+	var snap telemetry.ProfileSnapshot
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return snap, err
+	}
+	if k > 0 {
+		q := u.Query()
+		q.Set("k", strconv.Itoa(k))
+		u.RawQuery = q.Encode()
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return snap, fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decoding %s: %w", u, err)
+	}
+	return snap, nil
+}
+
+// foldEvents replays an NDJSON wide-event stream into a fresh sketch.
+func foldEvents(opts runOptions) (telemetry.ProfileSnapshot, error) {
+	var r io.Reader
+	switch {
+	case opts.Source == "-":
+		r = opts.In
+		if r == nil {
+			r = os.Stdin
+		}
+	default:
+		f, err := os.Open(opts.Source)
+		if err != nil {
+			return telemetry.ProfileSnapshot{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	prof := telemetry.NewProfile(opts.Capacity)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := strings.TrimSpace(sc.Text())
+		if b == "" {
+			continue
+		}
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(b), &ev); err != nil {
+			return telemetry.ProfileSnapshot{}, fmt.Errorf("%s:%d: %w", opts.Source, line, err)
+		}
+		prof.Record(ev)
+	}
+	if err := sc.Err(); err != nil {
+		return telemetry.ProfileSnapshot{}, err
+	}
+	return prof.Snapshot(0), nil
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"subgraphquery/internal/telemetry"
+)
+
+// writeNDJSON writes events one-per-line and returns the file path.
+func writeNDJSON(t *testing.T, events []telemetry.Event) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleEvents() []telemetry.Event {
+	hot := telemetry.Fingerprint(0xabc123)
+	cold := telemetry.Fingerprint(0xdef456)
+	var evs []telemetry.Event
+	for i := 0; i < 9; i++ {
+		evs = append(evs, telemetry.Event{
+			Fingerprint: hot, QueryVertices: 8, QueryEdges: 10,
+			Verdict: telemetry.VerdictOK, DurationUS: 1500, Answers: 3,
+		})
+	}
+	evs = append(evs, telemetry.Event{
+		Fingerprint: hot, QueryVertices: 8, QueryEdges: 10,
+		Verdict: telemetry.VerdictOK, DurationUS: 90000, TimedOut: true,
+	})
+	evs = append(evs, telemetry.Event{
+		Fingerprint: cold, QueryVertices: 4, QueryEdges: 3,
+		Verdict: telemetry.VerdictShed,
+	})
+	return evs
+}
+
+func TestSqtopFoldsEventFile(t *testing.T) {
+	path := writeNDJSON(t, sampleEvents())
+	var out bytes.Buffer
+	if err := run(runOptions{Source: path, TopK: 20, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "workload profile: 2 shapes tracked") {
+		t.Errorf("missing profile header:\n%s", text)
+	}
+	if !strings.Contains(text, telemetry.Fingerprint(0xabc123).String()) {
+		t.Errorf("hot fingerprint missing:\n%s", text)
+	}
+	if !strings.Contains(text, "8v/10e") {
+		t.Errorf("shape column missing:\n%s", text)
+	}
+	// The hot shape (10 events) must rank above the cold one (1 shed).
+	hotIdx := strings.Index(text, telemetry.Fingerprint(0xabc123).String())
+	coldIdx := strings.Index(text, telemetry.Fingerprint(0xdef456).String())
+	if coldIdx < 0 || hotIdx < 0 || hotIdx > coldIdx {
+		t.Errorf("expected hot shape ranked first (hot@%d cold@%d):\n%s", hotIdx, coldIdx, text)
+	}
+}
+
+func TestSqtopJSONOutput(t *testing.T) {
+	path := writeNDJSON(t, sampleEvents())
+	var out bytes.Buffer
+	if err := run(runOptions{Source: path, TopK: 1, JSON: true, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.ProfileSnapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("output is not a ProfileSnapshot: %v\n%s", err, out.String())
+	}
+	if snap.Seen != 11 || snap.Tracked != 2 {
+		t.Errorf("seen=%d tracked=%d, want 11/2", snap.Seen, snap.Tracked)
+	}
+	if len(snap.Top) != 1 {
+		t.Fatalf("TopK=1 not applied: %d rows", len(snap.Top))
+	}
+	if snap.Top[0].Count != 10 || snap.Top[0].Timeouts != 1 {
+		t.Errorf("top row = %+v, want count 10 with 1 timeout", snap.Top[0])
+	}
+}
+
+func TestSqtopStdin(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range sampleEvents() {
+		enc.Encode(ev)
+	}
+	var out bytes.Buffer
+	if err := run(runOptions{Source: "-", TopK: 20, In: &buf, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 shapes tracked") {
+		t.Errorf("stdin fold failed:\n%s", out.String())
+	}
+}
+
+func TestSqtopFetchesDebugTop(t *testing.T) {
+	prof := telemetry.NewProfile(0)
+	for _, ev := range sampleEvents() {
+		prof.Record(ev)
+	}
+	var gotK string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotK = r.URL.Query().Get("k")
+		json.NewEncoder(w).Encode(prof.Snapshot(0))
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run(runOptions{Source: ts.URL + "/debug/top", TopK: 7, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if gotK != "7" {
+		t.Errorf("server asked for k=%q, want 7", gotK)
+	}
+	if !strings.Contains(out.String(), "2 shapes tracked") {
+		t.Errorf("fetched profile not rendered:\n%s", out.String())
+	}
+}
+
+func TestSqtopServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	err := run(runOptions{Source: ts.URL, Out: &bytes.Buffer{}})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("expected server error surfaced, got %v", err)
+	}
+}
+
+func TestSqtopMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(path, []byte("{\"fingerprint\":\"1\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(runOptions{Source: path, Out: &bytes.Buffer{}})
+	if err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Errorf("expected line-numbered parse error, got %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"subgraphquery/internal/gen"
+	"subgraphquery/internal/telemetry"
 )
 
 // BenchSchema versions the machine-readable bench output. Bump on
@@ -30,6 +31,11 @@ type SetMetricsJSON struct {
 	P50US      int64   `json:"query_p50_us"`
 	P90US      int64   `json:"query_p90_us"`
 	P99US      int64   `json:"query_p99_us"`
+
+	// Shapes is the per-fingerprint breakdown (top shapes by count). An
+	// additive field: the bench diff gate compares the scalar metrics and
+	// tolerates records without it.
+	Shapes []telemetry.ShapeSnapshot `json:"shapes,omitempty"`
 }
 
 // JSON converts the metrics to their serialized form.
@@ -48,6 +54,7 @@ func (m SetMetrics) JSON() SetMetricsJSON {
 		P50US:      m.QueryP50.Microseconds(),
 		P90US:      m.QueryP90.Microseconds(),
 		P99US:      m.QueryP99.Microseconds(),
+		Shapes:     m.Shapes,
 	}
 }
 

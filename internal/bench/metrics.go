@@ -6,6 +6,7 @@ import (
 	"subgraphquery/internal/core"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
+	"subgraphquery/internal/telemetry"
 )
 
 // SetMetrics aggregates one engine's behaviour over one query set — the
@@ -40,7 +41,17 @@ type SetMetrics struct {
 	QueryP50 time.Duration
 	QueryP90 time.Duration
 	QueryP99 time.Duration
+
+	// Shapes breaks the set down by query fingerprint (top shapes by
+	// count, descending): set-level means can hide one pathological shape
+	// dragging the tail, and the per-shape latency quantiles expose it.
+	Shapes []telemetry.ShapeSnapshot
 }
+
+// benchShapeTopK bounds the per-shape breakdown recorded in SetMetrics:
+// enough to cover the paper's query sets (which hold fewer distinct
+// shapes), small enough that BENCH_*.json stays reviewable.
+const benchShapeTopK = 16
 
 // RunQuerySet evaluates the engine on every query and aggregates metrics.
 // Per the paper, queries exceeding the budget are recorded at the budget
@@ -53,6 +64,7 @@ func RunQuerySet(e core.Engine, queries []*graph.Graph, cfg Config) SetMetrics {
 	perSICount := 0
 	var filterSum, verifySum time.Duration
 	hist := obs.NewHistogram()
+	shapes := telemetry.NewProfile(0)
 
 	for _, q := range queries {
 		res := e.Query(q, core.QueryOptions{
@@ -79,6 +91,20 @@ func RunQuerySet(e core.Engine, queries []*graph.Graph, cfg Config) SetMetrics {
 			}
 		}
 		hist.Record(res.QueryTime())
+		shapes.Record(telemetry.Event{
+			Fingerprint:   res.Fingerprint,
+			QueryVertices: q.NumVertices(),
+			QueryEdges:    q.NumEdges(),
+			DurationUS:    res.QueryTime().Microseconds(),
+			FilterUS:      res.FilterTime.Microseconds(),
+			VerifyUS:      res.VerifyTime.Microseconds(),
+			Candidates:    res.Candidates,
+			Answers:       len(res.Answers),
+			Skipped:       res.Skipped,
+			TimedOut:      res.TimedOut,
+			Cancelled:     res.Cancelled,
+			Error:         res.Err != nil,
+		})
 		filterSum += res.FilterTime
 		verifySum += res.VerifyTime
 		m.Candidates += float64(res.Candidates)
@@ -108,6 +134,7 @@ func RunQuerySet(e core.Engine, queries []*graph.Graph, cfg Config) SetMetrics {
 	m.QueryP50 = hist.Quantile(0.50)
 	m.QueryP90 = hist.Quantile(0.90)
 	m.QueryP99 = hist.Quantile(0.99)
+	m.Shapes = shapes.Snapshot(benchShapeTopK).Top
 	return m
 }
 

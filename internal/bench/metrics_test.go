@@ -10,6 +10,7 @@ import (
 	"subgraphquery/internal/core"
 	"subgraphquery/internal/gen"
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/telemetry"
 )
 
 // stubEngine returns a canned Result regardless of the query, letting
@@ -104,6 +105,63 @@ func TestQueryPercentiles(t *testing.T) {
 	// containing bucket (4ms, 8ms].
 	if m.QueryP99 < 4*time.Millisecond || m.QueryP99 > 8*time.Millisecond {
 		t.Errorf("QueryP99 = %v, want within (4ms, 8ms]", m.QueryP99)
+	}
+}
+
+// fpStubEngine is stubEngine with real fingerprints: the canned Result is
+// stamped with the query's canonical hash, like every production engine.
+type fpStubEngine struct{ stubEngine }
+
+func (s *fpStubEngine) Query(q *graph.Graph, _ core.QueryOptions) *core.Result {
+	r := s.res
+	r.Fingerprint = telemetry.Compute(q)
+	return &r
+}
+
+// TestShapeBreakdown: RunQuerySet groups queries by fingerprint and the
+// breakdown survives the JSON round trip.
+func TestShapeBreakdown(t *testing.T) {
+	cfg := tinyConfig()
+	path, err := graph.FromEdges([]graph.Label{0, 1}, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := graph.FromEdges([]graph.Label{0, 0, 0},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &fpStubEngine{stubEngine{res: core.Result{
+		FilterTime: time.Millisecond,
+		VerifyTime: time.Millisecond,
+		Answers:    []int{1, 2},
+	}}}
+	m := RunQuerySet(e, []*graph.Graph{path, tri, path, path, tri}, cfg)
+	if len(m.Shapes) != 2 {
+		t.Fatalf("Shapes = %d entries, want 2: %+v", len(m.Shapes), m.Shapes)
+	}
+	top := m.Shapes[0]
+	if top.Count != 3 || top.Shape != "2v/1e" {
+		t.Errorf("top shape = %+v, want the path counted 3x as 2v/1e", top)
+	}
+	if top.Fingerprint != telemetry.Compute(path).String() {
+		t.Errorf("top fingerprint = %s, want %s", top.Fingerprint, telemetry.Compute(path))
+	}
+	if top.Latency.P50US <= 0 {
+		t.Errorf("top shape has no latency quantiles: %+v", top.Latency)
+	}
+
+	j := m.JSON()
+	data, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SetMetricsJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Shapes) != 2 || back.Shapes[0].Count != 3 {
+		t.Errorf("shapes lost in JSON round trip: %+v", back.Shapes)
 	}
 }
 

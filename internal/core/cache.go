@@ -73,7 +73,12 @@ func (e *Cached) IndexMemory() int64 {
 
 // Query implements Engine.
 func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
+	// Fingerprint before probing so hit and miss paths report the same
+	// hash, and the inner engine (which sees it already set in opts) does
+	// not recompute it.
+	fp := fingerprintQuery(q, &opts)
 	if res, done := degenerate(q); done {
+		res.Fingerprint = fp
 		return res
 	}
 
@@ -115,7 +120,9 @@ func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
 		}
 		res = e.verifyPool(q, pool, confirmed, opts)
 	}
-	// After delegating: the outermost engine name wins in the report.
+	// After delegating: the outermost engine name wins in the report, and
+	// the hit path (verifyPool, no engine entry) stamps the fingerprint.
+	res.Fingerprint = fp
 	opts.Explain.SetEngine(e.Name())
 	// Only complete answer sets are cacheable: a timed-out, cancelled,
 	// failed or partially-skipped query yields a lower bound that would

@@ -21,6 +21,7 @@ import (
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
+	"subgraphquery/internal/telemetry"
 )
 
 // Engine answers subgraph queries over one graph database.
@@ -98,6 +99,14 @@ type QueryOptions struct {
 	// recording from parallel workers. nil disables collection at zero
 	// allocation cost on the hot path.
 	Explain *obs.Explain
+	// Fingerprint is the query's canonical shape hash (telemetry.Compute).
+	// Zero — the common case — means "compute it for me": every engine
+	// fingerprints the query at entry and reports it on the Result and via
+	// Observer.ObserveFingerprint. Callers that already computed it (the
+	// server's admission path does, so shed queries are attributed before
+	// they execute) pass it here to avoid recomputing; wrappers (Cached)
+	// pass it down so the inner engine agrees.
+	Fingerprint telemetry.Fingerprint
 }
 
 // Result reports a query's answers and the metrics of §IV-A.
@@ -147,6 +156,11 @@ type Result struct {
 	// engine boundary outside any per-graph section. The rest of the
 	// Result holds whatever was computed before the failure.
 	Err *QueryError
+
+	// Fingerprint is the query's canonical shape hash, echoed from
+	// QueryOptions.Fingerprint or computed at engine entry. Never zero on a
+	// Result returned by an engine.
+	Fingerprint telemetry.Fingerprint
 }
 
 // QueryTime returns the paper's "query time" metric: filtering plus
@@ -184,6 +198,23 @@ func clampWorkers(n int) int {
 		return 1
 	}
 	return n
+}
+
+// fingerprintQuery resolves the query's fingerprint at engine entry: the
+// caller-provided hash when set (so wrappers and the server's admission
+// path agree with the engine), telemetry.Compute otherwise. The resolved
+// value is written back into opts (callees and wrapped engines inherit
+// it), announced to the Observer, and returned for the Result. Engines
+// call this first, before degenerate() — even an empty query gets a
+// fingerprint so shed/degenerate events aggregate.
+func fingerprintQuery(q *graph.Graph, opts *QueryOptions) telemetry.Fingerprint {
+	if opts.Fingerprint == 0 {
+		opts.Fingerprint = telemetry.Compute(q)
+	}
+	if opts.Observer != nil {
+		opts.Observer.ObserveFingerprint(uint64(opts.Fingerprint))
+	}
+	return opts.Fingerprint
 }
 
 // degenerate handles the empty query uniformly across engines: a query

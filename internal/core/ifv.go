@@ -107,10 +107,12 @@ func (e *ifv) IndexMemory() int64 {
 
 // Query implements Engine.
 func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	fp := fingerprintQuery(q, &opts)
 	if r, done := degenerate(q); done {
+		r.Fingerprint = fp
 		return r
 	}
-	res = &Result{}
+	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard(e.name, o, res)
 	if halt(&opts, res) {

@@ -85,10 +85,12 @@ func (e *ivcFV) IndexMemory() int64 {
 // work, like the parallel CFQL engine), while wall-clock latency is the
 // caller-observable duration.
 func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	fp := fingerprintQuery(q, &opts)
 	if r, done := degenerate(q); done {
+		r.Fingerprint = fp
 		return r
 	}
-	res = &Result{}
+	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard(e.name, o, res)
 	ex := opts.Explain

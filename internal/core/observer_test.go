@@ -21,6 +21,7 @@ type countingObserver struct {
 	hits, miss  int
 	workers     int
 	panics      int
+	fingerprint uint64
 }
 
 func newCountingObserver() *countingObserver {
@@ -46,6 +47,12 @@ func (c *countingObserver) ObserveVerify(graphID int, steps uint64, d time.Durat
 func (c *countingObserver) ObserveWorkers(n int) {
 	c.mu.Lock()
 	c.workers = n
+	c.mu.Unlock()
+}
+
+func (c *countingObserver) ObserveFingerprint(fp uint64) {
+	c.mu.Lock()
+	c.fingerprint = fp
 	c.mu.Unlock()
 }
 

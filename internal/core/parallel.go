@@ -52,7 +52,9 @@ func (*parallelVcFV) IndexMemory() int64 { return 0 }
 
 // Query implements Engine.
 func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	fp := fingerprintQuery(q, &opts)
 	if r, done := degenerate(q); done {
+		r.Fingerprint = fp
 		return r
 	}
 	workers := opts.Workers
@@ -60,7 +62,7 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		workers = e.workers
 	}
 	workers = clampWorkers(workers)
-	res = &Result{}
+	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard(e.name, o, res)
 	ex := opts.Explain

@@ -33,10 +33,12 @@ func (*scan) IndexMemory() int64 { return 0 }
 
 // Query implements Engine: every data graph is a candidate.
 func (e *scan) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	fp := fingerprintQuery(q, &opts)
 	if r, done := degenerate(q); done {
+		r.Fingerprint = fp
 		return r
 	}
-	res = &Result{Candidates: e.db.Len()}
+	res = &Result{Candidates: e.db.Len(), Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard("Scan-VF2", o, res)
 	opts.Explain.SetEngine("Scan-VF2")

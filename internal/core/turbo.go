@@ -36,10 +36,12 @@ func (*turboIso) IndexMemory() int64 { return 0 }
 
 // Query implements Engine.
 func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	fp := fingerprintQuery(q, &opts)
 	if r, done := degenerate(q); done {
+		r.Fingerprint = fp
 		return r
 	}
-	res = &Result{}
+	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard("TurboIso", o, res)
 	opts.Explain.SetEngine("TurboIso")

@@ -75,10 +75,12 @@ func (e *vcFV) IndexMemory() int64 { return 0 }
 
 // Query implements Engine.
 func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
+	fp := fingerprintQuery(q, &opts)
 	if r, done := degenerate(q); done {
+		r.Fingerprint = fp
 		return r
 	}
-	res = &Result{}
+	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard(e.name, o, res)
 	ex := opts.Explain

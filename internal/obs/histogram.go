@@ -52,6 +52,18 @@ func (h *Histogram) Record(d time.Duration) {
 	h.sum.Add(int64(d))
 }
 
+// Reset zeroes the histogram so its storage can be reused (the workload
+// profile recycles per-shape histograms when a sketch slot is evicted).
+// Concurrent Record calls may land on either side of the reset; callers
+// that need a clean cut serialize externally, as the profile does.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

@@ -193,7 +193,11 @@ func (r *Registry) Names() (counters, gauges, histograms []string) {
 //   - ObservePanic once per panic recovered at a resilience boundary, with
 //     the data graph id whose processing panicked (-1 when the panic was
 //     not attributable to one graph). The engine has already converted the
-//     panic into a structured error by the time this fires.
+//     panic into a structured error by the time this fires;
+//   - ObserveFingerprint once per query at engine entry, with the query's
+//     canonical shape hash (telemetry.Fingerprint, passed as a raw uint64
+//     so this package stays dependency-free). It is the join key between a
+//     trace, the slow log, /debug/top and the wide-event export.
 //
 // Implementations must be safe for concurrent use: parallel engines emit
 // ObserveVerify and ObservePanic from worker goroutines.
@@ -203,6 +207,7 @@ type Observer interface {
 	ObserveCache(hit bool)
 	ObserveWorkers(n int)
 	ObservePanic(graphID int)
+	ObserveFingerprint(fp uint64)
 }
 
 // Panics counts every panic recovered at a query-engine resilience
@@ -270,5 +275,11 @@ func (m multiObserver) ObserveWorkers(n int) {
 func (m multiObserver) ObservePanic(graphID int) {
 	for _, o := range m {
 		o.ObservePanic(graphID)
+	}
+}
+
+func (m multiObserver) ObserveFingerprint(fp uint64) {
+	for _, o := range m {
+		o.ObserveFingerprint(fp)
 	}
 }

@@ -237,6 +237,8 @@ func (r *recordingObserver) ObserveCache(bool) {
 
 func (r *recordingObserver) ObserveWorkers(int) {}
 
+func (r *recordingObserver) ObserveFingerprint(uint64) {}
+
 func (r *recordingObserver) ObservePanic(int) {
 	r.mu.Lock()
 	r.panics++

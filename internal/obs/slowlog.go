@@ -12,12 +12,15 @@ type SlowQuery struct {
 	DurationUS int64     `json:"duration_us"`
 	Engine     string    `json:"engine,omitempty"`
 	// Query is a short shape description ("8v/10e"), not the graph itself.
-	Query      string           `json:"query,omitempty"`
-	Answers    int              `json:"answers"`
-	Candidates int              `json:"candidates"`
-	TimedOut   bool             `json:"timed_out,omitempty"`
-	Trace      *TraceSnapshot   `json:"trace,omitempty"`
-	Explain    *ExplainSnapshot `json:"explain,omitempty"`
+	Query string `json:"query,omitempty"`
+	// Fingerprint is the query's canonical shape hash (16 hex digits), the
+	// join key against /debug/top and the wide-event export.
+	Fingerprint string           `json:"fingerprint,omitempty"`
+	Answers     int              `json:"answers"`
+	Candidates  int              `json:"candidates"`
+	TimedOut    bool             `json:"timed_out,omitempty"`
+	Trace       *TraceSnapshot   `json:"trace,omitempty"`
+	Explain     *ExplainSnapshot `json:"explain,omitempty"`
 }
 
 // SlowLog is a bounded ring buffer of the most recent queries whose

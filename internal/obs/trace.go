@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -25,6 +26,7 @@ type Trace struct {
 	cacheMisses int
 	workers     int
 	panics      int
+	fingerprint uint64
 	maxEvents   int
 }
 
@@ -118,6 +120,18 @@ func (t *Trace) ObservePanic(int) {
 	t.mu.Unlock()
 }
 
+// ObserveFingerprint implements Observer: it stores the query's canonical
+// shape hash so the trace can be joined against /debug/top and the
+// wide-event export.
+func (t *Trace) ObserveFingerprint(fp uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.fingerprint = fp
+	t.mu.Unlock()
+}
+
 // TraceSnapshot is the JSON-marshalable view of a Trace, inlined into the
 // /query response under ?trace=1.
 type TraceSnapshot struct {
@@ -146,6 +160,10 @@ type TraceSnapshot struct {
 	// during this query; each corresponds to a skipped data graph or a
 	// structured query error, never a crash.
 	Panics int `json:"panics,omitempty"`
+	// Fingerprint is the query's canonical shape hash (16 hex digits), the
+	// join key against /debug/top and the wide-event export. Empty when the
+	// engine did not fingerprint the query.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // Snapshot copies the trace's current contents.
@@ -155,7 +173,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return TraceSnapshot{
+	s := TraceSnapshot{
 		Phases:               append([]PhaseSpan(nil), t.spans...),
 		Verifications:        append([]VerifyEvent(nil), t.events...),
 		VerificationsTotal:   len(t.events) + t.dropped,
@@ -166,6 +184,10 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		Workers:              t.workers,
 		Panics:               t.panics,
 	}
+	if t.fingerprint != 0 {
+		s.Fingerprint = fmt.Sprintf("%016x", t.fingerprint)
+	}
+	return s
 }
 
 // PhaseTotal sums the durations of spans with exactly the given name.

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"testing"
+
+	"subgraphquery/internal/graph"
+)
+
+// TestComputeZeroAlloc: fingerprinting is on every query's path, so after
+// the pooled scratch warms up it must not allocate.
+func TestComputeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector; zero-alloc contract is for production builds")
+	}
+	q := graph.MustFromEdges(
+		[]graph.Label{0, 1, 2, 1, 0, 3},
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 0}, {U: 1, V: 4}},
+	)
+	Compute(q) // warm the pool
+	if allocs := testing.AllocsPerRun(100, func() { Compute(q) }); allocs != 0 {
+		t.Fatalf("Compute allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestRecordFastPathZeroAlloc: with export disabled (nil exporter) and
+// the shape already tracked, the full per-query telemetry fast path —
+// build an Event, Profile.Record, Exporter.Emit — must be allocation-free.
+func TestRecordFastPathZeroAlloc(t *testing.T) {
+	p := NewProfile(8)
+	var x *Exporter // export disabled
+	ev := Event{Fingerprint: 42, QueryVertices: 4, QueryEdges: 5, DurationUS: 123, Verdict: VerdictOK}
+	p.Record(ev) // warm: slot + shape string allocated once here
+	if allocs := testing.AllocsPerRun(100, func() {
+		e := Event{
+			Fingerprint:   42,
+			QueryVertices: 4,
+			QueryEdges:    5,
+			DurationUS:    123,
+			Verdict:       VerdictOK,
+			Candidates:    10,
+			Answers:       2,
+		}
+		p.Record(e)
+		x.Emit(e)
+	}); allocs != 0 {
+		t.Fatalf("record fast path allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestEmitSampledOutZeroAlloc: even with export enabled, a healthy event
+// that the sampler discards must cost nothing.
+func TestEmitSampledOutZeroAlloc(t *testing.T) {
+	var buf syncBuffer
+	x := NewWriterExporter(&buf, ExportConfig{HealthyFraction: 0, Buffer: 4})
+	defer x.Close()
+	ev := Event{Fingerprint: 7, DurationUS: 9, Verdict: VerdictOK}
+	if allocs := testing.AllocsPerRun(100, func() { x.Emit(ev) }); allocs != 0 {
+		t.Fatalf("sampled-out Emit allocated %v times per run, want 0", allocs)
+	}
+}

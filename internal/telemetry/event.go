@@ -1,0 +1,88 @@
+package telemetry
+
+// Admission verdicts recorded on wide events. An empty Verdict means
+// admission control was disabled for the request (treated as admitted).
+const (
+	// VerdictOK: the query was admitted and executed.
+	VerdictOK = "ok"
+	// VerdictShed: the wait queue was full on arrival — shed with 429.
+	VerdictShed = "shed"
+	// VerdictQueueTimeout: queued, but no slot freed in time — shed with
+	// 429.
+	VerdictQueueTimeout = "queue_timeout"
+	// VerdictClientGone: the client disconnected while queued — 408.
+	VerdictClientGone = "client_gone"
+)
+
+// Event is the wide-event record of one query: everything the serving
+// layer knows about it, flattened into one bounded, pointer-free struct.
+// Building one is a stack operation — no allocation — so the fast path
+// can construct an Event per query unconditionally and let the tail
+// sampler decide whether anyone pays to keep it.
+//
+// Field semantics follow core.Result and the admission verdicts; zero
+// values marshal away (omitempty) so healthy events stay small on the
+// wire.
+type Event struct {
+	// TimeUnixMS is the query's start time.
+	TimeUnixMS int64 `json:"time_unix_ms"`
+	// Fingerprint is the canonical query-shape hash (hex-encoded in JSON).
+	Fingerprint Fingerprint `json:"fingerprint"`
+	// Engine is the engine configuration that ran (or would have run) the
+	// query.
+	Engine string `json:"engine,omitempty"`
+	// QueryVertices/QueryEdges describe the query's size (the slow log's
+	// "8v/10e" shape, split so aggregators need not parse strings).
+	QueryVertices int `json:"query_vertices,omitempty"`
+	QueryEdges    int `json:"query_edges,omitempty"`
+
+	// Verdict is the admission outcome (VerdictOK, VerdictShed, ...);
+	// empty when admission control is disabled.
+	Verdict string `json:"verdict,omitempty"`
+
+	// DurationUS is wall-clock latency; FilterUS/VerifyUS are the engine's
+	// phase times (zero for shed queries, which never execute).
+	DurationUS int64 `json:"duration_us"`
+	FilterUS   int64 `json:"filter_us,omitempty"`
+	VerifyUS   int64 `json:"verify_us,omitempty"`
+
+	// Candidates and Answers are |C(q)| and |A(q)| from the Result.
+	Candidates int `json:"candidates,omitempty"`
+	Answers    int `json:"answers,omitempty"`
+
+	// Skipped counts data graphs abandoned mid-query (panic or memory
+	// budget); Panics counts the panic-kind subset plus any engine-level
+	// panic; Budget counts the memory-budget subset.
+	Skipped int `json:"skipped,omitempty"`
+	Panics  int `json:"panics,omitempty"`
+	Budget  int `json:"budget,omitempty"`
+
+	// TimedOut/Cancelled mirror the Result flags; Error marks an
+	// engine-level failure (Result.Err != nil).
+	TimedOut  bool `json:"timed_out,omitempty"`
+	Cancelled bool `json:"cancelled,omitempty"`
+	Error     bool `json:"error,omitempty"`
+
+	// CacheHit marks a result-cache hit (informational, not anomalous).
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// Shed reports whether the event records a query bounced by admission
+// control rather than executed.
+func (e Event) Shed() bool {
+	switch e.Verdict {
+	case VerdictShed, VerdictQueueTimeout, VerdictClientGone:
+		return true
+	}
+	return false
+}
+
+// Anomalous classifies the event for tail sampling: anomalous events are
+// always retained by the exporter and tallied as failures by the profile.
+// A query is anomalous when anything other than a clean, complete answer
+// happened: engine error, timeout, cancellation, skipped graphs, panics,
+// or an admission shed.
+func (e Event) Anomalous() bool {
+	return e.Error || e.TimedOut || e.Cancelled ||
+		e.Skipped > 0 || e.Panics > 0 || e.Shed()
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"subgraphquery/internal/obs"
+)
+
+// Profile is a fixed-capacity heavy-hitter sketch over query
+// fingerprints: the space-saving algorithm (Metwally, Agrawal, El Abbadi,
+// "Efficient Computation of Frequent and Top-k Elements in Data
+// Streams"). Each tracked shape holds its count, failure tallies and a
+// latency histogram; when a new shape arrives at capacity, the
+// minimum-count slot is recycled and the newcomer inherits its count as
+// an error bound. The guarantees that matter operationally:
+//
+//   - any shape with true frequency above Seen/Capacity is tracked;
+//   - a slot's true count lies in [Count-ErrorBound, Count].
+//
+// Record is O(1) on a tracked shape (one map hit, a few adds, one
+// histogram record — no allocation) and O(capacity) only when an
+// untracked shape evicts, which a stable workload stops doing once its
+// heavy hitters are resident. All methods are safe for concurrent use
+// and on a nil *Profile (no-ops).
+type Profile struct {
+	mu        sync.Mutex
+	capacity  int
+	slots     map[Fingerprint]*shapeSlot
+	seen      int64
+	evictions int64
+}
+
+// shapeSlot is one tracked shape. The latency histogram is embedded by
+// value so a slot is a single allocation, recycled on eviction.
+type shapeSlot struct {
+	fp    Fingerprint
+	shape string // "8v/10e", set when first observed with a size
+
+	count    int64
+	errBound int64 // space-saving overestimation bound
+
+	errors    int64 // engine-level failures (Event.Error)
+	sheds     int64 // admission bounces (Event.Shed)
+	timeouts  int64 // TimedOut && !Cancelled
+	cancelled int64
+	skipped   int64 // sum of skipped graphs
+	panics    int64 // sum of panic counts
+
+	lat obs.Histogram // executed queries only (sheds never ran)
+}
+
+func (s *shapeSlot) recycle(fp Fingerprint, bound int64) {
+	s.fp = fp
+	s.shape = ""
+	s.count = bound
+	s.errBound = bound
+	s.errors, s.sheds, s.timeouts, s.cancelled, s.skipped, s.panics = 0, 0, 0, 0, 0, 0
+	s.lat.Reset()
+}
+
+// DefaultProfileCapacity is the sketch capacity when none is given: big
+// enough that every query set of the paper's workloads is resident, small
+// enough that a scan of the slots (eviction, snapshot) is trivial.
+const DefaultProfileCapacity = 64
+
+// NewProfile returns a sketch tracking at most capacity shapes
+// (<= 0 selects DefaultProfileCapacity).
+func NewProfile(capacity int) *Profile {
+	if capacity <= 0 {
+		capacity = DefaultProfileCapacity
+	}
+	return &Profile{
+		capacity: capacity,
+		slots:    make(map[Fingerprint]*shapeSlot, capacity),
+	}
+}
+
+// Record folds one query's wide event into the sketch.
+func (p *Profile) Record(ev Event) {
+	if p == nil || ev.Fingerprint == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seen++
+	s, ok := p.slots[ev.Fingerprint]
+	if !ok {
+		if len(p.slots) < p.capacity {
+			s = &shapeSlot{fp: ev.Fingerprint}
+		} else {
+			// Space-saving replacement: evict the minimum-count slot; the
+			// newcomer inherits its count as the overestimation bound.
+			var min *shapeSlot
+			for _, c := range p.slots {
+				if min == nil || c.count < min.count {
+					min = c
+				}
+			}
+			delete(p.slots, min.fp)
+			p.evictions++
+			min.recycle(ev.Fingerprint, min.count)
+			s = min
+		}
+		p.slots[ev.Fingerprint] = s
+	}
+	s.count++
+	if s.shape == "" && ev.QueryVertices > 0 {
+		// One formatting allocation per newly tracked shape, never per
+		// query.
+		s.shape = fmt.Sprintf("%dv/%de", ev.QueryVertices, ev.QueryEdges)
+	}
+	if ev.Error {
+		s.errors++
+	}
+	switch {
+	case ev.Shed():
+		s.sheds++
+	default:
+		s.lat.Record(time.Duration(ev.DurationUS) * time.Microsecond)
+	}
+	if ev.TimedOut && !ev.Cancelled {
+		s.timeouts++
+	}
+	if ev.Cancelled {
+		s.cancelled++
+	}
+	s.skipped += int64(ev.Skipped)
+	s.panics += int64(ev.Panics)
+}
+
+// ShapeSnapshot is one tracked shape in a profile snapshot, ordered by
+// count.
+type ShapeSnapshot struct {
+	Fingerprint string `json:"fingerprint"`
+	Shape       string `json:"shape,omitempty"`
+	// Count is the space-saving estimate; the true count lies within
+	// [Count-ErrorBound, Count].
+	Count      int64 `json:"count"`
+	ErrorBound int64 `json:"error_bound,omitempty"`
+
+	Errors    int64 `json:"errors,omitempty"`
+	Sheds     int64 `json:"sheds,omitempty"`
+	Timeouts  int64 `json:"timeouts,omitempty"`
+	Cancelled int64 `json:"cancelled,omitempty"`
+	Skipped   int64 `json:"skipped,omitempty"`
+	Panics    int64 `json:"panics,omitempty"`
+
+	Latency obs.HistogramSnapshot `json:"latency"`
+}
+
+// ProfileSnapshot is the JSON body of /debug/top.
+type ProfileSnapshot struct {
+	Capacity int `json:"capacity"`
+	// Tracked is the number of resident shapes; Seen counts every event
+	// folded in; Evictions counts space-saving replacements (0 means every
+	// shape ever seen is still resident and all counts are exact).
+	Tracked   int   `json:"tracked"`
+	Seen      int64 `json:"seen"`
+	Evictions int64 `json:"evictions"`
+	// Top lists the k highest-count shapes, descending.
+	Top []ShapeSnapshot `json:"top"`
+}
+
+// Snapshot returns the k highest-count shapes (k <= 0 means all tracked).
+func (p *Profile) Snapshot(k int) ProfileSnapshot {
+	if p == nil {
+		return ProfileSnapshot{}
+	}
+	p.mu.Lock()
+	snap := ProfileSnapshot{
+		Capacity:  p.capacity,
+		Tracked:   len(p.slots),
+		Seen:      p.seen,
+		Evictions: p.evictions,
+		Top:       make([]ShapeSnapshot, 0, len(p.slots)),
+	}
+	for _, s := range p.slots {
+		snap.Top = append(snap.Top, ShapeSnapshot{
+			Fingerprint: s.fp.String(),
+			Shape:       s.shape,
+			Count:       s.count,
+			ErrorBound:  s.errBound,
+			Errors:      s.errors,
+			Sheds:       s.sheds,
+			Timeouts:    s.timeouts,
+			Cancelled:   s.cancelled,
+			Skipped:     s.skipped,
+			Panics:      s.panics,
+			Latency:     s.lat.Snapshot(),
+		})
+	}
+	p.mu.Unlock()
+	sort.Slice(snap.Top, func(i, j int) bool {
+		if snap.Top[i].Count != snap.Top[j].Count {
+			return snap.Top[i].Count > snap.Top[j].Count
+		}
+		return snap.Top[i].Fingerprint < snap.Top[j].Fingerprint
+	})
+	if k > 0 && len(snap.Top) > k {
+		snap.Top = snap.Top[:k]
+	}
+	return snap
+}
+
+// Stats returns the sketch's occupancy counters for /metrics folding.
+func (p *Profile) Stats() (tracked int, seen, evictions int64) {
+	if p == nil {
+		return 0, 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.slots), p.seen, p.evictions
+}

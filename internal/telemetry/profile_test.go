@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func healthyEvent(fp Fingerprint, durUS int64) Event {
+	return Event{Fingerprint: fp, QueryVertices: 4, QueryEdges: 5, DurationUS: durUS, Verdict: VerdictOK}
+}
+
+func TestProfileBasics(t *testing.T) {
+	p := NewProfile(8)
+	for i := 0; i < 10; i++ {
+		p.Record(healthyEvent(1, 100))
+	}
+	for i := 0; i < 3; i++ {
+		p.Record(healthyEvent(2, 200))
+	}
+	p.Record(Event{Fingerprint: 2, DurationUS: 50, Error: true})
+	p.Record(Event{Fingerprint: 3, Verdict: VerdictShed})
+	p.Record(Event{}) // fingerprint 0 ignored
+
+	snap := p.Snapshot(0)
+	if snap.Seen != 15 {
+		t.Fatalf("seen = %d, want 15", snap.Seen)
+	}
+	if snap.Tracked != 3 {
+		t.Fatalf("tracked = %d, want 3", snap.Tracked)
+	}
+	if snap.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", snap.Evictions)
+	}
+	top := snap.Top
+	if top[0].Fingerprint != Fingerprint(1).String() || top[0].Count != 10 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Count != 4 || top[1].Errors != 1 {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+	if top[0].Shape != "4v/5e" {
+		t.Fatalf("shape = %q", top[0].Shape)
+	}
+	if top[0].Latency.Count != 10 {
+		t.Fatalf("latency count = %d", top[0].Latency.Count)
+	}
+	// Shed-only shape: tallied, but no latency samples (it never ran).
+	if top[2].Sheds != 1 || top[2].Latency.Count != 0 {
+		t.Fatalf("shed slot = %+v", top[2])
+	}
+
+	// k truncation.
+	if got := len(p.Snapshot(2).Top); got != 2 {
+		t.Fatalf("Snapshot(2) returned %d rows", got)
+	}
+}
+
+// TestProfileSpaceSavingBounds drives a skewed workload through an
+// undersized sketch and checks the algorithm's guarantees: every heavy
+// hitter is tracked, and each slot's true count lies within
+// [Count-ErrorBound, Count].
+func TestProfileSpaceSavingBounds(t *testing.T) {
+	const capacity = 16
+	p := NewProfile(capacity)
+	rng := rand.New(rand.NewSource(7))
+	truth := map[Fingerprint]int64{}
+	const total = 20000
+	for i := 0; i < total; i++ {
+		// Zipf-ish: shape k with probability ~ 1/(k+1).
+		var fp Fingerprint
+		r := rng.Float64()
+		switch {
+		case r < 0.30:
+			fp = 1
+		case r < 0.50:
+			fp = 2
+		case r < 0.62:
+			fp = 3
+		case r < 0.70:
+			fp = 4
+		default:
+			fp = Fingerprint(5 + rng.Intn(200)) // long tail
+		}
+		truth[fp]++
+		p.Record(healthyEvent(fp, 100))
+	}
+	snap := p.Snapshot(0)
+	if snap.Tracked != capacity {
+		t.Fatalf("tracked = %d, want %d", snap.Tracked, capacity)
+	}
+	if snap.Evictions == 0 {
+		t.Fatal("expected evictions with 200+ shapes in a 16-slot sketch")
+	}
+	// Any shape with frequency > Seen/capacity must be resident.
+	resident := map[string]ShapeSnapshot{}
+	for _, s := range snap.Top {
+		resident[s.Fingerprint] = s
+	}
+	threshold := total / capacity
+	for fp, n := range truth {
+		if n > int64(threshold) {
+			if _, ok := resident[fp.String()]; !ok {
+				t.Fatalf("heavy hitter %s (count %d > %d) not tracked", fp, n, threshold)
+			}
+		}
+	}
+	// Error bounds: truth in [Count-ErrorBound, Count].
+	for _, s := range snap.Top {
+		fp, err := ParseFingerprint(s.Fingerprint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := truth[fp]
+		if n > s.Count || n < s.Count-s.ErrorBound {
+			t.Fatalf("shape %s: true count %d outside [%d, %d]",
+				s.Fingerprint, n, s.Count-s.ErrorBound, s.Count)
+		}
+	}
+	// The dominant shapes' counts must be exact-ish and ordered first.
+	if snap.Top[0].Fingerprint != Fingerprint(1).String() {
+		t.Fatalf("top shape = %s, want %s", snap.Top[0].Fingerprint, Fingerprint(1))
+	}
+}
+
+func TestProfileNilSafe(t *testing.T) {
+	var p *Profile
+	p.Record(healthyEvent(1, 1)) // must not panic
+	if s := p.Snapshot(5); s.Tracked != 0 || len(s.Top) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	tracked, seen, ev := p.Stats()
+	if tracked != 0 || seen != 0 || ev != 0 {
+		t.Fatal("nil stats must be zero")
+	}
+}
+
+func TestProfileConcurrent(t *testing.T) {
+	p := NewProfile(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Record(healthyEvent(Fingerprint(1+(w+i)%20), int64(i%500)))
+				if i%64 == 0 {
+					p.Snapshot(4)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, seen, _ := p.Stats(); seen != 8000 {
+		t.Fatalf("seen = %d, want 8000", seen)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// race, sync.Pool deliberately drops items at random, so pool-backed
+// zero-alloc assertions only hold in production builds.
+const raceEnabled = false

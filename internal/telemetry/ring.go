@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DebugEvent is one operational incident worth keeping for /debug/events:
+// an admission shed, a recovered panic — the things an operator greps for
+// first when a dashboard spikes.
+type DebugEvent struct {
+	// Time is when the incident happened.
+	Time time.Time `json:"time"`
+	// Kind classifies the incident ("shed", "queue_timeout", "client_gone",
+	// "handler_panic", "query_panic", ...).
+	Kind string `json:"kind"`
+	// Fingerprint identifies the query shape involved, when known.
+	Fingerprint Fingerprint `json:"fingerprint,omitempty"`
+	// Engine is the engine configuration involved, when known.
+	Engine string `json:"engine,omitempty"`
+	// Status is the HTTP status returned to the client, when the incident
+	// maps to a request (429 for sheds, 408 for abandoned queue waits).
+	Status int `json:"status,omitempty"`
+	// Message carries incident detail (panic values, shed reasons).
+	Message string `json:"message,omitempty"`
+}
+
+// DebugRing is a bounded, concurrency-safe ring of recent DebugEvents —
+// the same shape as the slow-query log: cheap to append, newest-first to
+// read, old entries silently displaced. A nil *DebugRing is a no-op.
+type DebugRing struct {
+	mu      sync.Mutex
+	entries []DebugEvent
+	next    int
+	full    bool
+	total   int64
+}
+
+// DefaultDebugRingSize is the ring capacity when none is given.
+const DefaultDebugRingSize = 128
+
+// NewDebugRing returns a ring keeping the most recent size events
+// (<= 0 selects DefaultDebugRingSize).
+func NewDebugRing(size int) *DebugRing {
+	if size <= 0 {
+		size = DefaultDebugRingSize
+	}
+	return &DebugRing{entries: make([]DebugEvent, size)}
+}
+
+// Offer appends one event, displacing the oldest when full. Safe on nil.
+func (r *DebugRing) Offer(ev DebugEvent) {
+	if r == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	r.mu.Lock()
+	r.entries[r.next] = ev
+	r.next++
+	if r.next == len(r.entries) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events, newest first.
+func (r *DebugRing) Snapshot() []DebugEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.entries)
+	}
+	out := make([]DebugEvent, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.entries)
+		}
+		out = append(out, r.entries[idx])
+	}
+	return out
+}
+
+// Total returns how many events were ever offered (retained or displaced).
+func (r *DebugRing) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

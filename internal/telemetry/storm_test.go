@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestExporterStormRetainsAllAnomalous hammers one exporter from many
+// goroutines with a mixed healthy/anomalous stream through a deliberately
+// tiny ring, then asserts the tail-sampling contract end to end:
+//
+//   - every anomalous event is in the output, exactly once (keyed by a
+//     unique fingerprint per anomalous emit);
+//   - the healthy keep-rate matches the configured fraction exactly
+//     (counter-based sampling is deterministic in aggregate);
+//   - drops are only ever healthy events.
+//
+// Run under -race this is also the exporter's concurrency test.
+func TestExporterStormRetainsAllAnomalous(t *testing.T) {
+	const (
+		workers          = 16
+		perWorker        = 500
+		anomalousEveryth = 5 // every 5th emit per worker is anomalous
+	)
+	var buf syncBuffer
+	x := NewWriterExporter(&buf, ExportConfig{HealthyFraction: 0.25, Buffer: 8})
+
+	var anomalousSent atomic.Int64
+	var healthySent atomic.Int64
+	var nextFP atomic.Uint64
+	nextFP.Store(1 << 32) // anomalous fingerprints: unique, high range
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%anomalousEveryth == 0 {
+					fp := Fingerprint(nextFP.Add(1))
+					ev := Event{Fingerprint: fp, DurationUS: int64(i)}
+					// Rotate through the anomaly kinds.
+					switch i % 4 {
+					case 0:
+						ev.TimedOut = true
+					case 1:
+						ev.Error = true
+					case 2:
+						ev.Skipped = 1
+						ev.Panics = 1
+					case 3:
+						ev.Verdict = VerdictShed
+					}
+					anomalousSent.Add(1)
+					x.Emit(ev)
+				} else {
+					healthySent.Add(1)
+					x.Emit(Event{Fingerprint: Fingerprint(1 + w), DurationUS: int64(i), Verdict: VerdictOK})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := decodeEvents(t, buf.String())
+	seenAnomalous := map[Fingerprint]int{}
+	var healthyKept int64
+	for _, ev := range evs {
+		if ev.Anomalous() {
+			seenAnomalous[ev.Fingerprint]++
+		} else {
+			healthyKept++
+		}
+	}
+
+	// 1. Retention: 100% of anomalous events survive the storm.
+	if int64(len(seenAnomalous)) != anomalousSent.Load() {
+		t.Fatalf("retained %d distinct anomalous events, sent %d",
+			len(seenAnomalous), anomalousSent.Load())
+	}
+	for fp, n := range seenAnomalous {
+		if n != 1 {
+			t.Fatalf("anomalous fingerprint %s appeared %d times", fp, n)
+		}
+	}
+
+	// 2. Healthy sampling: the shared counter keeps exactly 1-in-4 of the
+	// healthy emits (minus any backpressure drops, which are counted).
+	st := x.Stats()
+	wantKept := healthySent.Load()/4 - st.Dropped
+	if healthyKept != wantKept {
+		t.Fatalf("healthy kept = %d, want %d (sent %d, dropped %d)",
+			healthyKept, wantKept, healthySent.Load(), st.Dropped)
+	}
+	if st.SampledOut != healthySent.Load()-healthySent.Load()/4 {
+		t.Fatalf("sampled out = %d, want %d", st.SampledOut, healthySent.Load()-healthySent.Load()/4)
+	}
+
+	// 3. Accounting closes: every emit is exported, sampled out, or dropped.
+	totalSent := anomalousSent.Load() + healthySent.Load()
+	if st.Exported+st.SampledOut+st.Dropped != totalSent {
+		t.Fatalf("accounting leak: exported %d + sampled %d + dropped %d != sent %d",
+			st.Exported, st.SampledOut, st.Dropped, totalSent)
+	}
+}
+
+// TestProfileStormCountsAnomalies drives the same storm shape through a
+// Profile and checks the failure tallies survive concurrent recording.
+func TestProfileStormCountsAnomalies(t *testing.T) {
+	p := NewProfile(32)
+	const workers, perWorker = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ev := Event{Fingerprint: Fingerprint(1 + i%4), DurationUS: int64(i), Verdict: VerdictOK}
+				if i%10 == 0 {
+					ev.TimedOut = true
+				}
+				p.Record(ev)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := p.Snapshot(0)
+	if snap.Seen != workers*perWorker {
+		t.Fatalf("seen = %d, want %d", snap.Seen, workers*perWorker)
+	}
+	var timeouts int64
+	for _, s := range snap.Top {
+		timeouts += s.Timeouts
+	}
+	if want := int64(workers * perWorker / 10); timeouts != want {
+		t.Fatalf("timeouts = %d, want %d", timeouts, want)
+	}
+}

@@ -28,4 +28,8 @@ go run ./cmd/sqlint ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
 
+echo "== telemetry storm (tail-sampler retention under chaos, race)"
+go test -race -count=1 -run 'Storm' ./internal/telemetry
+go test -tags sqchaos -race -count=1 -run 'TestChaosTelemetryRetainsAnomalies' ./cmd/sqserver
+
 echo "ok"

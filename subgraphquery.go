@@ -38,6 +38,7 @@ import (
 	"subgraphquery/internal/core"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
+	"subgraphquery/internal/telemetry"
 )
 
 // Re-exported graph substrate types.
@@ -100,7 +101,18 @@ type (
 	Explain = obs.Explain
 	// ExplainSnapshot is the JSON-marshalable view of an Explain.
 	ExplainSnapshot = obs.ExplainSnapshot
+	// Fingerprint is a canonical, label-aware 64-bit hash of a query
+	// graph's structure, invariant under vertex renumbering — the
+	// aggregation key of all workload telemetry. Engines compute it at
+	// Query entry and report it on Result.Fingerprint.
+	Fingerprint = telemetry.Fingerprint
 )
+
+// ComputeFingerprint returns the canonical fingerprint of q. Engines call
+// this implicitly; it is exported for callers that want to pre-compute the
+// hash (e.g. to attribute load-shed queries) and pass it via
+// QueryOptions.Fingerprint.
+func ComputeFingerprint(q *Graph) Fingerprint { return telemetry.Compute(q) }
 
 // NewTrace returns an empty per-query trace.
 func NewTrace() *Trace { return obs.NewTrace() }
