@@ -28,7 +28,7 @@ var hotallocAnalyzer = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "forbid per-iteration heap allocation (make/new/arena constructors/append into fresh slices) in hot-path loops",
 	Applies: func(path string) bool {
-		return pathMatchesAny(path, "internal/matching", "internal/core", "internal/telemetry")
+		return pathMatchesAny(path, "internal/matching", "internal/core", "internal/telemetry", "internal/inflight")
 	},
 	Run: runHotalloc,
 }
@@ -61,6 +61,11 @@ var hotallocFiles = map[string]bool{
 	"event.go":       true,
 	"export.go":      true,
 	"profile.go":     true,
+	// internal/inflight: the live-handle fast path — progress ticks land on
+	// the handle's atomic counters from the enumeration loop, and the
+	// registry's slot claim runs per query. Snapshotting (snapshot.go) is the
+	// cold inspection path and may allocate freely.
+	"handle.go": true,
 }
 
 // hotallocConstructors are the arena constructors that must never run per

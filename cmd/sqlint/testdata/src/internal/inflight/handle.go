@@ -1,0 +1,33 @@
+// Package inflight holds hotalloc fixtures for the live-query registry
+// fast path; its import path ends in internal/inflight so the path-scoped
+// analyzers apply, and the file is named handle.go so the hotalloc
+// named-file list covers it.
+package inflight
+
+// Handle stands in for the live-query handle: progress ticks from the
+// enumeration loop must land on preallocated state, never allocate.
+type Handle struct {
+	steps   uint64
+	history []uint64
+}
+
+// tickNaive trips the hotalloc rules the way a naive progress recorder
+// would: buffering each stride's counters in a fresh slice per iteration.
+func tickNaive(h *Handle, strides []uint64) {
+	for _, s := range strides {
+		buf := make([]uint64, 1) // want: make inside a hot-path loop
+		buf[0] = s
+		h.history = append([]uint64(nil), buf...) // want: append onto a fresh slice
+		h.steps += s
+	}
+}
+
+// tickAtomic is the compliant form: the stride lands on counters owned by
+// the handle, and history reuses its own backing array.
+func tickAtomic(h *Handle, strides []uint64) {
+	h.history = h.history[:0]
+	for _, s := range strides {
+		h.steps += s
+		h.history = append(h.history, s)
+	}
+}

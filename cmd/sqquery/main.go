@@ -6,6 +6,7 @@
 //	sqquery -db db.graph -queries q8s.graph -engine CFQL [-budget 10m] [-v]
 //	sqquery -db db.graph -queries q8s.graph -explain   # per-query EXPLAIN
 //	sqquery -db db.graph -queries q8s.graph -trace     # phase spans + slow SI tests
+//	sqquery -db db.graph -queries q8s.graph -progress  # live per-query progress on stderr
 //
 // Engines: CT-Index, Grapes, GGSX (IFV); CFL, GraphQL, CFQL (vcFV);
 // vcGrapes, vcGGSX (IvcFV); Scan-VF2 (no filtering).
@@ -38,6 +39,8 @@ func main() {
 		"print a per-query EXPLAIN report: filter-stage candidate counts, index probe stats, matching order")
 	flag.BoolVar(&opts.Trace, "trace", false,
 		"print per-query phase spans and the slowest subgraph isomorphism tests")
+	flag.BoolVar(&opts.Progress, "progress", false,
+		"report live phase and graphs-done progress per query on stderr while it runs")
 	flag.Parse()
 
 	if err := run(opts); err != nil {
@@ -58,9 +61,12 @@ type runOptions struct {
 	Verbose     bool
 	Explain     bool
 	Trace       bool
+	Progress    bool
 
-	// Out receives the report; nil selects os.Stdout.
+	// Out receives the report; nil selects os.Stdout. Err receives the
+	// -progress live line; nil selects os.Stderr.
 	Out io.Writer
+	Err io.Writer
 }
 
 func run(opts runOptions) error {
@@ -99,6 +105,17 @@ func run(opts runOptions) error {
 	}
 
 	perQuery := opts.Verbose || opts.Explain || opts.Trace
+	// -progress registers each query in a private in-flight registry (the
+	// same handle the server path uses) and polls its snapshot onto stderr
+	// while the engine runs.
+	var reg *sq.InflightRegistry
+	if opts.Progress {
+		reg = sq.NewInflightRegistry(4)
+	}
+	errw := opts.Err
+	if errw == nil {
+		errw = os.Stderr
+	}
 	var filter, verify time.Duration
 	var cands, answers, timeouts int
 	for i := 0; i < queryDB.Len(); i++ {
@@ -106,6 +123,7 @@ func run(opts runOptions) error {
 		qopts := core.QueryOptions{
 			Deadline: time.Now().Add(opts.Budget),
 			Workers:  opts.Workers,
+			Inflight: reg,
 		}
 		var ex *obs.Explain
 		if opts.Explain {
@@ -117,7 +135,12 @@ func run(opts runOptions) error {
 			trace = obs.NewTrace()
 			qopts.Observer = trace
 		}
+		stopProgress := func() {}
+		if opts.Progress {
+			stopProgress = watchProgress(errw, reg, i)
+		}
 		res := engine.Query(q, qopts)
+		stopProgress()
 		filter += res.FilterTime
 		verify += res.VerifyTime
 		cands += res.Candidates
@@ -154,6 +177,49 @@ func run(opts runOptions) error {
 	}
 	fmt.Fprintf(out, "  timeouts          %d\n", timeouts)
 	return nil
+}
+
+// progressPeriod is how often -progress redraws the live line (a var so
+// tests can tighten it against fast queries).
+var progressPeriod = 200 * time.Millisecond
+
+// watchProgress polls the registry while query qi runs, redrawing one
+// stderr line in place (phase, graphs done/total, candidates, answers,
+// enumeration steps). The returned stop function clears the line and
+// waits for the poller to exit; the engine itself registers and
+// deregisters the handle the poller reads.
+func watchProgress(w io.Writer, reg *sq.InflightRegistry, qi int) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(progressPeriod)
+		defer t.Stop()
+		drew := false
+		for {
+			select {
+			case <-done:
+				if drew {
+					fmt.Fprintf(w, "\r\x1b[2K") // clear the live line
+				}
+				return
+			case <-t.C:
+				snaps := reg.Snapshot()
+				if len(snaps) == 0 {
+					continue // engine not yet registered, or already done
+				}
+				s := snaps[0]
+				total := fmt.Sprintf("%d", s.GraphsTotal)
+				if s.GraphsTotal == 0 {
+					total = "?"
+				}
+				fmt.Fprintf(w, "\r\x1b[2Kquery %d: %s graphs=%d/%s cand=%d ans=%d steps=%d",
+					qi, s.Phase, s.GraphsDone, total, s.Candidates, s.Answers, s.Steps)
+				drew = true
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
 }
 
 // maxTraceSlowest bounds the slowest-SI-test listing of -trace.

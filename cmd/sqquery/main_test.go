@@ -130,6 +130,72 @@ func TestRunTrace(t *testing.T) {
 	}
 }
 
+// TestRunProgress is the acceptance gate for `sqquery -progress`: while a
+// query runs, a live line with phase and graphs-done must appear on the
+// Err stream, and it must be cleared when the query finishes. The
+// workload is the odd-cycle-vs-bipartite wall: the query cannot finish
+// before its budget, so the poller is guaranteed draws.
+func TestRunProgress(t *testing.T) {
+	old := progressPeriod
+	progressPeriod = 2 * time.Millisecond
+	defer func() { progressPeriod = old }()
+
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "wall.graph")
+	qPath := filepath.Join(dir, "c9.graph")
+
+	// K_{12,12}, all labels 0: bipartite, so an odd cycle never matches,
+	// but the dense symmetric structure makes the search astronomically
+	// large — the query always runs out its budget.
+	const m = 12
+	labels := make([]sq.Label, 2*m)
+	var edges []sq.Edge
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			edges = append(edges, sq.Edge{U: sq.VertexID(i), V: sq.VertexID(m + j)})
+		}
+	}
+	wall, err := sq.FromEdges(labels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeTestDB(t, dbPath, sq.NewDatabase([]*sq.Graph{wall}))
+
+	const n = 9
+	cycLabels := make([]sq.Label, n)
+	cycEdges := make([]sq.Edge, n)
+	for i := 0; i < n; i++ {
+		cycEdges[i] = sq.Edge{U: sq.VertexID(i), V: sq.VertexID((i + 1) % n)}
+	}
+	cyc, err := sq.FromEdges(cycLabels, cycEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeTestDB(t, qPath, sq.NewDatabase([]*sq.Graph{cyc}))
+
+	var out, errOut strings.Builder
+	err = run(runOptions{
+		DBPath: dbPath, QueryPath: qPath, Engine: "CFQL",
+		Budget: 300 * time.Millisecond, IndexBudget: time.Minute, Workers: 1,
+		Progress: true, Out: &out, Err: &errOut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := errOut.String()
+	for _, want := range []string{"query 0:", "filter+verify", "graphs=0/1", "steps="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-progress stderr missing %q:\n%q", want, got)
+		}
+	}
+	if !strings.HasSuffix(got, "\r\x1b[2K") {
+		t.Errorf("-progress did not clear its live line at query end:\n%q", got)
+	}
+	if !strings.Contains(out.String(), "timeouts          1") {
+		t.Errorf("wall query should have timed out:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	dbPath := filepath.Join(dir, "db.graph")

@@ -1,0 +1,290 @@
+//go:build sqchaos
+
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	sq "subgraphquery"
+	"subgraphquery/internal/fault"
+	"subgraphquery/internal/inflight"
+	"subgraphquery/internal/telemetry"
+)
+
+// TestInflightStormUnderChaos is the live-inspection storm from the issue,
+// meant to run under -race: 500 concurrent queries with sqchaos latency
+// injection in the engine hot paths, a mixed workload where every 40th
+// query is the unfinishable odd-cycle-vs-bipartite wall, concurrent
+// /debug/inflight polls, and remote cancels delivered mid-flight. The
+// contract proved here:
+//
+//   - every remotely cancelled query returns a response with
+//     cancelled=true to its own client (wall queries cannot end any other
+//     way, so a non-cancelled wall response means the cancel was lost);
+//   - the registry is empty once the storm drains — no leaked handles;
+//   - the stuck-query watchdog captured exactly one stack dump per
+//     flagged query, even though flagged queries stayed stuck across many
+//     scan intervals.
+func TestInflightStormUnderChaos(t *testing.T) {
+	synth, err := sq.GenerateSynthetic(sq.SyntheticConfig{
+		NumGraphs: 20, NumVertices: 24, NumLabels: 3, Degree: 4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The database carries the synthetic graphs plus the wall: K_{16,16},
+	// all labels 0. An odd-cycle query can only end by cancellation.
+	graphs := make([]*sq.Graph, 0, synth.Len()+1)
+	for i := 0; i < synth.Len(); i++ {
+		graphs = append(graphs, synth.Graph(i))
+	}
+	graphs = append(graphs, wallDB(t, 16).Graph(0))
+	db := sq.NewDatabase(graphs)
+
+	fault.Set(fault.Config{}) // build stays fault-free
+	srv, err := newServer(db, sq.NewCFQLEngine(), serverConfig{
+		slowThreshold: -1,
+		// The budget is a backstop only: wall queries are flagged at
+		// ~150ms and cancelled within a scan interval, far below it.
+		budget:           5 * time.Second,
+		maxInflight:      32,
+		maxQueue:         64,
+		queueWait:        time.Second,
+		eventsSize:       4096, // nothing may displace the watchdog entries we tally
+		watchdogInterval: 20 * time.Millisecond,
+		watchdogFloor:    150 * time.Millisecond,
+		// A vanishing multiple pins the threshold to the floor: the storm's
+		// own slow queries would otherwise inflate the rolling p99 and push
+		// the flag age past the wall queries' lifetime nondeterministically.
+		watchdogMultiple: 0.001,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	queries, err := sq.GenerateQuerySet(synth, sq.QuerySetConfig{
+		Count: 10, Edges: 3, Method: sq.QueryRandomWalk, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := make([]string, len(queries))
+	for i, q := range queries {
+		bodies[i] = graphText(t, q)
+	}
+	wall := oddCycle(t, 9)
+	wallBody := graphText(t, wall)
+	wallFP := sq.ComputeFingerprint(wall).String()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	defer client.CloseIdleConnections()
+	baselineG := runtime.NumGoroutine()
+
+	fault.Set(fault.Config{
+		LatencyRate: 0.05,
+		Latency:     time.Millisecond,
+		Seed:        3,
+	})
+	defer fault.Set(fault.Config{})
+
+	const totalQueries = 500
+	const wallEvery = 40 // queries 0, 40, 80, ... are wall queries
+	const clients = 8
+
+	// responses maps inflight_id -> cancelled, for every 200 the clients
+	// saw; cancelledIDs is every id the cancel endpoint confirmed.
+	var mu sync.Mutex
+	responses := map[uint64]bool{}
+	var wallSent, wallCancelled int64
+	cancelledIDs := map[uint64]bool{}
+
+	var badStatus, transportErrors atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= totalQueries {
+					return
+				}
+				body := bodies[i%int64(len(bodies))]
+				isWall := i%wallEvery == 0
+				if isWall {
+					atomic.AddInt64(&wallSent, 1)
+					body = wallBody
+				}
+				resp, err := client.Post(ts.URL+"/query", "text/plain", strings.NewReader(body))
+				if err != nil {
+					transportErrors.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					badStatus.Add(1)
+					continue
+				}
+				var qr queryResponse
+				if json.Unmarshal(raw, &qr) != nil {
+					transportErrors.Add(1)
+					continue
+				}
+				mu.Lock()
+				responses[qr.InflightID] = qr.Cancelled
+				if isWall && qr.Cancelled {
+					wallCancelled++
+				}
+				mu.Unlock()
+				if isWall && !qr.Cancelled {
+					t.Errorf("wall query %d returned without cancelled=true (id %d)", i, qr.InflightID)
+				}
+			}
+		}()
+	}
+
+	// The inspector: concurrent /debug/inflight polls, cancelling every
+	// wall query the watchdog has flagged. Wall queries cannot finish, so
+	// each one is eventually flagged (age > floor) and cancelled here.
+	stopPoll := make(chan struct{})
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+			}
+			resp, err := client.Get(ts.URL + "/debug/inflight")
+			if err != nil {
+				continue
+			}
+			var body struct {
+				Queries []inflight.HandleSnapshot `json:"queries"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			for _, s := range body.Queries {
+				if s.Fingerprint != wallFP || !s.Flagged || s.Cancelled {
+					continue
+				}
+				cr, err := client.Post(fmt.Sprintf("%s/debug/inflight/%d/cancel", ts.URL, s.ID), "", nil)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, cr.Body)
+				cr.Body.Close()
+				if cr.StatusCode == http.StatusOK {
+					mu.Lock()
+					cancelledIDs[s.ID] = true
+					mu.Unlock()
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stopPoll)
+	<-pollDone
+	fault.Set(fault.Config{})
+
+	if transportErrors.Load() != 0 || badStatus.Load() != 0 {
+		t.Errorf("%d transport errors, %d non-200 responses; storm expected clean 200s",
+			transportErrors.Load(), badStatus.Load())
+	}
+	if wallSent == 0 {
+		t.Fatal("storm sent no wall queries; the cancel path went unexercised")
+	}
+	t.Logf("storm: %d queries (%d wall, %d cancelled), %d confirmed remote cancels, %d watchdog flags",
+		totalQueries, wallSent, wallCancelled, len(cancelledIDs), srv.stuck.Value())
+
+	// Every confirmed remote cancel reached its client as cancelled=true.
+	for id := range cancelledIDs {
+		cancelled, ok := responses[id]
+		if !ok {
+			t.Errorf("cancelled query %d produced no client response", id)
+			continue
+		}
+		if !cancelled {
+			t.Errorf("query %d was remotely cancelled but its response says cancelled=false", id)
+		}
+	}
+	if int64(len(cancelledIDs)) != wallSent {
+		t.Errorf("confirmed %d remote cancels, want %d (one per wall query)", len(cancelledIDs), wallSent)
+	}
+
+	// No handle outlives its query.
+	awaitEmptyRegistry(t, srv.live)
+
+	// Exactly one stack dump per flagged query: tally the watchdog_stuck
+	// incidents by handle id — no id may appear twice, every cancelled
+	// wall query must appear once, and the counter agrees with the tally.
+	resp, err := client.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events struct {
+		Events []telemetry.DebugEvent `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&events)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaggedIDs := map[uint64]int{}
+	for _, ev := range events.Events {
+		if ev.Kind != "watchdog_stuck" {
+			continue
+		}
+		var id uint64
+		if _, err := fmt.Sscanf(ev.Message, "query %d stuck:", &id); err != nil {
+			t.Errorf("unparseable watchdog_stuck message %q", ev.Message)
+			continue
+		}
+		flaggedIDs[id]++
+	}
+	for id, n := range flaggedIDs {
+		if n != 1 {
+			t.Errorf("query %d has %d watchdog stack dumps, want exactly 1", id, n)
+		}
+	}
+	for id := range cancelledIDs {
+		if flaggedIDs[id] != 1 {
+			t.Errorf("cancelled wall query %d has %d watchdog dumps, want 1", id, flaggedIDs[id])
+		}
+	}
+	if got := srv.stuck.Value(); got != int64(len(flaggedIDs)) {
+		t.Errorf("watchdog_flagged_total = %d, but %d distinct queries were flagged", got, len(flaggedIDs))
+	}
+
+	// The storm leaves no goroutines behind.
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baselineG {
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: have %d, want <= %d", runtime.NumGoroutine(), baselineG)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

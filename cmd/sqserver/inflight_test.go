@@ -1,0 +1,401 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	sq "subgraphquery"
+	"subgraphquery/internal/inflight"
+	"subgraphquery/internal/telemetry"
+)
+
+// wallDB returns a database holding only the odd-cycle "wall": the
+// complete bipartite K_{m,m} with every vertex labeled 0. It is bipartite
+// (no odd cycle can match), yet dense enough that an odd-cycle query
+// searches effectively forever — so a query against it ends only by
+// cancellation, deterministically.
+func wallDB(t *testing.T, m int) *sq.Database {
+	t.Helper()
+	labels := make([]sq.Label, 2*m)
+	var edges []sq.Edge
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			edges = append(edges, sq.Edge{U: sq.VertexID(i), V: sq.VertexID(m + j)})
+		}
+	}
+	g, err := sq.FromEdges(labels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sq.NewDatabase([]*sq.Graph{g})
+}
+
+// oddCycle returns C_n (n odd), all labels 0 — unmatchable in any
+// bipartite graph.
+func oddCycle(t *testing.T, n int) *sq.Graph {
+	t.Helper()
+	labels := make([]sq.Label, n)
+	edges := make([]sq.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = sq.Edge{U: sq.VertexID(i), V: sq.VertexID((i + 1) % n)}
+	}
+	g, err := sq.FromEdges(labels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// fetchInflightJSON decodes one GET /debug/inflight body.
+func fetchInflightJSON(t *testing.T, ts *httptest.Server) (snaps []inflight.HandleSnapshot) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/debug/inflight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/inflight: %s", resp.Status)
+	}
+	var body struct {
+		Queries []inflight.HandleSnapshot `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Queries
+}
+
+// awaitLiveQuery polls the endpoint until exactly one query is live with
+// enumeration progress, and returns its snapshot.
+func awaitLiveQuery(t *testing.T, ts *httptest.Server) inflight.HandleSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if snaps := fetchInflightJSON(t, ts); len(snaps) == 1 && snaps[0].Steps > 0 {
+			return snaps[0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query never became visible in /debug/inflight with progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// awaitEmptyRegistry waits for every handle to deregister (the handler's
+// deferred Deregister runs after the response is written, so a client that
+// just read its response may be a beat ahead of the registry).
+func awaitEmptyRegistry(t *testing.T, reg *inflight.Registry) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d handles still live, want 0", reg.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestInflightEndpointAndRemoteCancel is the tentpole's acceptance test at
+// the HTTP level: a running query is visible in GET /debug/inflight (JSON
+// and text) with moving progress counters, POST /debug/inflight/{id}/cancel
+// demonstrably halts it — its own client receives a cancelled result whose
+// inflight_id matches — and the registry is empty afterwards.
+func TestInflightEndpointAndRemoteCancel(t *testing.T) {
+	srv, err := newServer(wallDB(t, 16), sq.NewCFQLEngine(), serverConfig{
+		slowThreshold: -1,
+		maxInflight:   4, // admission on, so the handle records verdict "ok"
+		maxQueue:      4,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	body := graphText(t, oddCycle(t, 9))
+	type answer struct {
+		status int
+		resp   queryResponse
+	}
+	done := make(chan answer, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(body))
+		if err != nil {
+			done <- answer{status: -1}
+			return
+		}
+		defer resp.Body.Close()
+		var qr queryResponse
+		json.NewDecoder(resp.Body).Decode(&qr)
+		done <- answer{status: resp.StatusCode, resp: qr}
+	}()
+
+	snap := awaitLiveQuery(t, ts)
+	if snap.Engine != "CFQL" || snap.Verdict != "ok" || snap.Phase != "filter+verify" {
+		t.Errorf("snapshot identity: engine=%q verdict=%q phase=%q", snap.Engine, snap.Verdict, snap.Phase)
+	}
+	if snap.GraphsTotal != 1 {
+		t.Errorf("graphs_total = %d, want 1", snap.GraphsTotal)
+	}
+
+	// The text rendering carries the same row.
+	textResp, err := http.Get(ts.URL + "/debug/inflight?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(textResp.Body)
+	textResp.Body.Close()
+	for _, want := range []string{"FINGERPRINT", snap.Fingerprint, "CFQL", "filter+verify"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("?format=text missing %q:\n%s", want, text)
+		}
+	}
+
+	// Bad cancel requests first, while the query still runs.
+	if st := postStatus(t, ts, "/debug/inflight/999999/cancel"); st != http.StatusNotFound {
+		t.Errorf("cancel of dead id: %d, want 404", st)
+	}
+	if st := postStatus(t, ts, "/debug/inflight/notanumber/cancel"); st != http.StatusBadRequest {
+		t.Errorf("cancel of malformed id: %d, want 400", st)
+	}
+
+	// The real cancel halts the query.
+	resp, err := http.Post(fmt.Sprintf("%s/debug/inflight/%d/cancel", ts.URL, snap.ID), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr struct {
+		Cancelled bool   `json:"cancelled"`
+		ID        uint64 `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !cr.Cancelled || cr.ID != snap.ID {
+		t.Fatalf("cancel response: status=%d body=%+v", resp.StatusCode, cr)
+	}
+
+	select {
+	case a := <-done:
+		if a.status != http.StatusOK {
+			t.Fatalf("cancelled query status = %d, want 200", a.status)
+		}
+		if !a.resp.Cancelled {
+			t.Fatal("cancelled query response does not report cancelled")
+		}
+		if a.resp.InflightID != snap.ID {
+			t.Errorf("response inflight_id = %d, want %d", a.resp.InflightID, snap.ID)
+		}
+		if len(a.resp.Answers) != 0 {
+			t.Errorf("odd cycle matched in a bipartite graph: %v", a.resp.Answers)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query did not halt after remote cancellation")
+	}
+	awaitEmptyRegistry(t, srv.live)
+
+	// The incident ring recorded the delivery; the registry counters moved.
+	if !hasEventKind(t, ts, "remote_cancel") {
+		t.Error("/debug/events has no remote_cancel entry")
+	}
+	if _, _, cancels := srv.live.Stats(); cancels != 1 {
+		t.Errorf("registry cancels = %d, want 1", cancels)
+	}
+}
+
+func postStatus(t *testing.T, ts *httptest.Server, path string) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func hasEventKind(t *testing.T, ts *httptest.Server, kind string) bool {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Events []telemetry.DebugEvent `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range body.Events {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWatchdogFlagsStuckServerQuery: a query running past the watchdog
+// floor is flagged exactly once — visible as flagged=true in the
+// endpoint, one watchdog_flagged_total tick, one watchdog_stuck incident
+// — even though the watchdog keeps scanning while it stays stuck.
+func TestWatchdogFlagsStuckServerQuery(t *testing.T) {
+	srv, err := newServer(wallDB(t, 16), sq.NewCFQLEngine(), serverConfig{
+		slowThreshold:    -1,
+		watchdogInterval: 10 * time.Millisecond,
+		watchdogFloor:    30 * time.Millisecond,
+	}, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	body := graphText(t, oddCycle(t, 9))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	snap := awaitLiveQuery(t, ts)
+	deadline := time.Now().Add(30 * time.Second)
+	for !snap.Flagged {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never flagged the stuck query")
+		}
+		time.Sleep(5 * time.Millisecond)
+		snap = awaitLiveQuery(t, ts)
+	}
+
+	// Stays flagged exactly once across many further scans.
+	time.Sleep(100 * time.Millisecond)
+	if got := srv.stuck.Value(); got != 1 {
+		t.Errorf("watchdog_flagged_total = %d after repeated scans, want 1", got)
+	}
+	if !hasEventKind(t, ts, "watchdog_stuck") {
+		t.Error("/debug/events has no watchdog_stuck entry")
+	}
+
+	if st := postStatus(t, ts, fmt.Sprintf("/debug/inflight/%d/cancel", snap.ID)); st != http.StatusOK {
+		t.Fatalf("cancel: %d", st)
+	}
+	<-done
+	awaitEmptyRegistry(t, srv.live)
+}
+
+// TestMetricsRuntimeHealth: /metrics carries the Go runtime vitals and the
+// live-registry gauges.
+func TestMetricsRuntimeHealth(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	postQuery(t, ts, graphText(t, testQuery(t, srv)))
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Gauges map[string]int64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Gauges["go_goroutines"] <= 0 {
+		t.Errorf("go_goroutines = %d, want > 0", body.Gauges["go_goroutines"])
+	}
+	if body.Gauges["go_heap_inuse_bytes"] <= 0 {
+		t.Errorf("go_heap_inuse_bytes = %d, want > 0", body.Gauges["go_heap_inuse_bytes"])
+	}
+	if _, ok := body.Gauges["go_gc_pause_p99_us"]; !ok {
+		t.Error("go_gc_pause_p99_us gauge missing")
+	}
+	if body.Gauges["inflight_tracked"] != 0 {
+		t.Errorf("inflight_tracked = %d after queries returned, want 0", body.Gauges["inflight_tracked"])
+	}
+	if body.Gauges["inflight_registered"] != 1 {
+		t.Errorf("inflight_registered = %d, want 1", body.Gauges["inflight_registered"])
+	}
+}
+
+// TestShutdownCancelsInflightQueries: graceful shutdown that exhausts its
+// drain deadline cancels the still-running queries through the live
+// registry — the client gets a complete, cancelled response rather than a
+// severed connection — and no handle leaks.
+func TestShutdownCancelsInflightQueries(t *testing.T) {
+	srv, err := newServer(wallDB(t, 16), sq.NewCFQLEngine(), serverConfig{
+		slowThreshold: -1,
+	}, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	go hs.Serve(l)
+	base := "http://" + l.Addr().String()
+
+	type answer struct {
+		status    int
+		cancelled bool
+	}
+	done := make(chan answer, 1)
+	go func() {
+		resp, err := http.Post(base+"/query", "text/plain",
+			strings.NewReader(graphText(t, oddCycle(t, 9))))
+		if err != nil {
+			done <- answer{status: -1}
+			return
+		}
+		defer resp.Body.Close()
+		var qr queryResponse
+		json.NewDecoder(resp.Body).Decode(&qr)
+		done <- answer{status: resp.StatusCode, cancelled: qr.Cancelled}
+	}()
+
+	// Wait until the wall query is live, then shut down with a drain
+	// deadline it is guaranteed to outlive.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.live.Len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shutdown(hs, srv, 50*time.Millisecond, 20*time.Second,
+		slog.New(slog.NewTextHandler(io.Discard, nil)))
+
+	select {
+	case a := <-done:
+		if a.status != http.StatusOK || !a.cancelled {
+			t.Fatalf("drained query: status=%d cancelled=%v, want 200 + cancelled", a.status, a.cancelled)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("client never got a response through graceful shutdown")
+	}
+	if n := srv.live.Len(); n != 0 {
+		t.Fatalf("%d handles leaked through shutdown, want 0", n)
+	}
+	if _, _, cancels := srv.live.Stats(); cancels != 1 {
+		t.Errorf("shutdown delivered %d cancels, want 1", cancels)
+	}
+}

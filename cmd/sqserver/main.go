@@ -21,7 +21,14 @@
 //	               with counts, error bounds, failure tallies and latency
 //	               quantiles; ?k=N bounds rows, ?format=text renders a table
 //	GET  /debug/events   bounded ring of operational incidents: admission
-//	               sheds (429/408) and recovered panics, newest first
+//	               sheds (429/408), recovered panics and watchdog flags,
+//	               newest first
+//	GET  /debug/inflight the queries executing right now, oldest first,
+//	               each with phase, graphs done/total, candidates, answers,
+//	               enumeration steps and memory high-water mark;
+//	               ?format=text renders the table `sqwatch` shows
+//	POST /debug/inflight/{id}/cancel  deliver cooperative cancellation to
+//	               one live query; its own client gets a cancelled result
 //	GET  /healthz  readiness probe: 200 "ok", or 503 "shedding" while
 //	               admission control is saturated
 //
@@ -44,8 +51,18 @@
 // (/debug/pprof/) for CPU and heap investigation, kept off the public
 // address on purpose.
 //
+// Live inspection: every executing query registers a handle in the
+// in-flight registry (GET /debug/inflight, `sqwatch`) with atomic progress
+// counters updated by the engines. A stuck-query watchdog scans the
+// registry every -watchdog-interval and flags queries running longer than
+// -watchdog-multiple × the rolling p99 latency (never before
+// -watchdog-floor), capturing one goroutine stack dump per flagged query
+// and emitting an always-exported wide event plus a /debug/events entry.
+//
 // The server drains gracefully: SIGINT/SIGTERM stops accepting new
-// connections and waits for in-flight queries before exiting.
+// connections and waits up to -drain-wait for in-flight queries; queries
+// still running then are cancelled through the registry so they unwind
+// with cancelled results instead of being cut off.
 //
 // Usage:
 //
@@ -55,7 +72,9 @@
 //	         [-slowlog-threshold 100ms] [-slowlog-size 64]
 //	         [-top-k 20] [-export events.ndjson] [-export-sample 0.01]
 //	         [-export-buffer 1024] [-events-size 128]
-//	         [-debug-addr :6060] [-log-json]
+//	         [-inflight-slots 256] [-watchdog-interval 2s]
+//	         [-watchdog-multiple 5] [-watchdog-floor 5s]
+//	         [-drain-wait 30s] [-debug-addr :6060] [-log-json]
 package main
 
 import (
@@ -102,6 +121,16 @@ func main() {
 		"wide-event ring capacity between queries and the export writer")
 	eventsSize := flag.Int("events-size", telemetry.DefaultDebugRingSize,
 		"GET /debug/events incident ring capacity")
+	inflightSlots := flag.Int("inflight-slots", 0,
+		"live-query registry slot capacity (0 selects 256)")
+	wdInterval := flag.Duration("watchdog-interval", 0,
+		"stuck-query watchdog scan period (0 selects 2s, negative disables)")
+	wdMultiple := flag.Float64("watchdog-multiple", 0,
+		"flag queries older than this multiple of the rolling p99 latency (0 selects 5)")
+	wdFloor := flag.Duration("watchdog-floor", 0,
+		"minimum age before the watchdog flags any query (0 selects 5s)")
+	drainWait := flag.Duration("drain-wait", 30*time.Second,
+		"graceful-shutdown drain deadline; queries still running after it are cancelled")
 	debugAddr := flag.String("debug-addr", "", "pprof debug listen address (empty disables)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -137,19 +166,23 @@ func main() {
 		inflight = 0 // disables admission control in newAdmission
 	}
 	srv, err := newServer(db, engine, serverConfig{
-		cacheEntries:  *cache,
-		budget:        *budget,
-		memBudget:     *memBudget,
-		maxInflight:   inflight,
-		maxQueue:      *maxQueue,
-		queueWait:     *queueWait,
-		slowThreshold: *slowThreshold,
-		slowSize:      *slowSize,
-		topK:          *topK,
-		exportDest:    *exportDest,
-		exportSample:  *exportSample,
-		exportBuffer:  *exportBuffer,
-		eventsSize:    *eventsSize,
+		cacheEntries:     *cache,
+		budget:           *budget,
+		memBudget:        *memBudget,
+		maxInflight:      inflight,
+		maxQueue:         *maxQueue,
+		queueWait:        *queueWait,
+		slowThreshold:    *slowThreshold,
+		slowSize:         *slowSize,
+		topK:             *topK,
+		exportDest:       *exportDest,
+		exportSample:     *exportSample,
+		exportBuffer:     *exportBuffer,
+		eventsSize:       *eventsSize,
+		inflightSlots:    *inflightSlots,
+		watchdogInterval: *wdInterval,
+		watchdogMultiple: *wdMultiple,
+		watchdogFloor:    *wdFloor,
 	}, logger)
 	if err != nil {
 		logger.Error("building engine", "err", err)
@@ -191,17 +224,34 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		logger.Info("shutting down, draining in-flight queries")
-		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(shCtx); err != nil {
-			logger.Error("graceful shutdown timed out, closing", "err", err)
+		shutdown(hs, srv, *drainWait, 5*time.Second, logger)
+		logger.Info("bye")
+	}
+}
+
+// shutdown drains the server gracefully, in stages: Shutdown waits up to
+// the drain deadline for in-flight requests to finish on their own; any
+// query still running then receives cooperative cancellation through the
+// live registry (it unwinds with a cancelled result instead of being cut
+// off mid-connection) and gets a short grace period to do so; only then
+// is the listener force-closed. The watchdog stops and buffered wide
+// events flush last, after every query has written its event.
+func shutdown(hs *http.Server, srv *server, drain, grace time.Duration, logger *slog.Logger) {
+	shCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		n := srv.live.CancelAll()
+		logger.Warn("drain deadline exceeded, cancelling in-flight queries",
+			"cancelled", n, "err", err)
+		gCtx, gCancel := context.WithTimeout(context.Background(), grace)
+		defer gCancel()
+		if err := hs.Shutdown(gCtx); err != nil {
+			logger.Error("cancelled queries did not unwind in time, closing", "err", err)
 			hs.Close()
 		}
-		// Flush buffered wide events after in-flight queries have drained.
-		if err := srv.Close(); err != nil {
-			logger.Error("closing wide-event exporter", "err", err)
-		}
-		logger.Info("bye")
+	}
+	if err := srv.Close(); err != nil {
+		logger.Error("closing wide-event exporter", "err", err)
 	}
 }
 

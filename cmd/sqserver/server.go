@@ -14,6 +14,7 @@ import (
 
 	sq "subgraphquery"
 	"subgraphquery/internal/core"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/obs"
 	"subgraphquery/internal/telemetry"
 )
@@ -70,6 +71,14 @@ type server struct {
 	events   *telemetry.DebugRing
 	topK     int
 
+	// Live-query inspection. live registers a handle per executing query
+	// (GET /debug/inflight, remote cancellation); watchdog scans it for
+	// queries stuck far beyond the rolling p99 (nil = disabled); stuck
+	// counts the flags.
+	live     *inflight.Registry
+	watchdog *inflight.Watchdog
+	stuck    *obs.Counter
+
 	// statsCache memoizes the /stats response; ComputeStats walks every
 	// graph, so recomputing per request is wasteful on a static database.
 	// Appends invalidate it.
@@ -117,6 +126,18 @@ type serverConfig struct {
 	// eventsSize sizes the /debug/events incident ring (0 selects the
 	// default).
 	eventsSize int
+	// inflightSlots sizes the live-query registry (0 selects the inflight
+	// default).
+	inflightSlots int
+	// watchdogInterval is the stuck-query scan period (0 selects the
+	// inflight default; negative disables the watchdog).
+	watchdogInterval time.Duration
+	// watchdogMultiple flags queries older than multiple × rolling p99
+	// (0 selects the inflight default).
+	watchdogMultiple float64
+	// watchdogFloor is the minimum age before the watchdog flags a query
+	// (0 selects the inflight default).
+	watchdogFloor time.Duration
 }
 
 func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog.Logger) (*server, error) {
@@ -150,6 +171,7 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 		exporter:  exporter,
 		events:    telemetry.NewDebugRing(cfg.eventsSize),
 		topK:      topK,
+		live:      inflight.NewRegistry(cfg.inflightSlots),
 	}
 	if cfg.slowThreshold >= 0 {
 		s.slow = obs.NewSlowLog(cfg.slowSize, cfg.slowThreshold)
@@ -170,6 +192,7 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 	s.filterLat = s.reg.Histogram("filter_latency/" + en)
 	s.verifyLat = s.reg.Histogram("verify_latency/" + en)
 	s.siLat = s.reg.Histogram("si_test_latency/" + en)
+	s.stuck = s.reg.Counter("watchdog_flagged_total")
 
 	// Index construction runs after the registry exists so its cost is a
 	// first-class metric: the multi-second index builds (CT-Index ~14s on
@@ -181,12 +204,63 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 	}
 	s.reg.Histogram("index_build/" + en).Record(time.Since(t0))
 	s.reg.Gauge("index_bytes/" + en).Set(engine.IndexMemory())
+
+	// The watchdog starts last so it never scans during index construction.
+	// Its threshold tracks the server's own rolling p99: a query is stuck
+	// when it has run watchdogMultiple times longer than the p99 of the
+	// workload the server actually serves, never earlier than the floor.
+	if cfg.watchdogInterval >= 0 {
+		s.watchdog = inflight.NewWatchdog(s.live, inflight.WatchdogConfig{
+			Interval: cfg.watchdogInterval,
+			Multiple: cfg.watchdogMultiple,
+			Floor:    cfg.watchdogFloor,
+			P99:      func() time.Duration { return s.latency.Quantile(0.99) },
+			OnStuck:  s.onStuck,
+		})
+	}
 	return s, nil
 }
 
-// Close flushes and stops the wide-event exporter; the server is not
-// usable afterwards. Safe when export is disabled.
-func (s *server) Close() error { return s.exporter.Close() }
+// Close stops the watchdog and flushes the wide-event exporter; the server
+// is not usable afterwards. Safe when export is disabled.
+func (s *server) Close() error {
+	s.watchdog.Stop()
+	return s.exporter.Close()
+}
+
+// onStuck is the watchdog callback, invoked exactly once per flagged
+// query: one always-exported wide event, one /debug/events incident, one
+// log line carrying a bounded slice of the goroutine stack dump, one
+// counter tick.
+func (s *server) onStuck(snap inflight.HandleSnapshot, stack []byte) {
+	s.stuck.Inc()
+	fp, _ := strconv.ParseUint(snap.Fingerprint, 16, 64)
+	s.exporter.Emit(telemetry.Event{
+		TimeUnixMS:  time.Now().UnixMilli(),
+		Fingerprint: telemetry.Fingerprint(fp),
+		Engine:      snap.Engine,
+		Verdict:     snap.Verdict,
+		DurationUS:  snap.AgeMS * 1000,
+		Candidates:  int(snap.Candidates),
+		Answers:     int(snap.Answers),
+		Watchdog:    true,
+	})
+	s.events.Offer(telemetry.DebugEvent{
+		Kind:        "watchdog_stuck",
+		Fingerprint: telemetry.Fingerprint(fp),
+		Engine:      snap.Engine,
+		Message: fmt.Sprintf("query %d stuck: phase=%s age=%dms graphs=%d/%d steps=%d",
+			snap.ID, snap.Phase, snap.AgeMS, snap.GraphsDone, snap.GraphsTotal, snap.Steps),
+	})
+	const maxStackLog = 8 << 10
+	if len(stack) > maxStackLog {
+		stack = stack[:maxStackLog]
+	}
+	s.log.Warn("watchdog flagged stuck query",
+		"id", snap.ID, "fingerprint", snap.Fingerprint, "engine", snap.Engine,
+		"phase", snap.Phase, "age_ms", snap.AgeMS, "steps", snap.Steps,
+		"stack", string(stack))
+}
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
@@ -197,6 +271,8 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("/debug/slowlog", s.recovered(s.handleSlowLog))
 	m.HandleFunc("/debug/top", s.recovered(s.handleTop))
 	m.HandleFunc("/debug/events", s.recovered(s.handleEvents))
+	m.HandleFunc("GET /debug/inflight", s.recovered(s.handleInflight))
+	m.HandleFunc("POST /debug/inflight/{id}/cancel", s.recovered(s.handleInflightCancel))
 	m.HandleFunc("/healthz", s.recovered(s.handleHealthz))
 	return m
 }
@@ -340,6 +416,9 @@ type queryResponse struct {
 	Engine      string               `json:"engine"`
 	Trace       *obs.TraceSnapshot   `json:"trace,omitempty"`
 	Explain     *obs.ExplainSnapshot `json:"explain,omitempty"`
+	// InflightID is the live-registry handle id the query ran under, the
+	// key correlating this response with /debug/inflight observations.
+	InflightID uint64 `json:"inflight_id,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -406,7 +485,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		opts.Deadline = time.Now().Add(s.budget)
 	}
-	opts.Cancel = ctx.Done()
+
+	// Register the query in the live registry before execution: the handle
+	// carries identity and progress counters for GET /debug/inflight, and
+	// merging its cancel channel with the request context means remote
+	// cancellation (POST /debug/inflight/{id}/cancel), client disconnect
+	// and the budget all stop the engine through one channel.
+	h := s.live.Register(inflight.RegisterOptions{
+		Engine:      s.engine.Name(),
+		Fingerprint: uint64(fp),
+		Verdict:     verdict,
+	})
+	defer s.live.Deregister(h)
+	opts.Handle = h
+	opts.Cancel = h.MergeCancel(ctx.Done())
 
 	wantTrace := r.URL.Query().Get("trace") == "1"
 	wantExplain := r.URL.Query().Get("explain") == "1"
@@ -513,6 +605,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Skipped:     res.Skipped,
 		GraphErrors: res.GraphErrors,
 		Engine:      s.engine.Name(),
+		InflightID:  h.ID(),
 	}
 	var explainSnap *obs.ExplainSnapshot
 	if explain != nil {
@@ -612,6 +705,50 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		"total":  s.events.Total(),
 		"events": events,
 	})
+}
+
+// handleInflight lists the queries executing right now, oldest first —
+// the answer to "what is this server doing at this moment". JSON by
+// default; ?format=text renders the aligned table sqwatch shows.
+func (s *server) handleInflight(w http.ResponseWriter, r *http.Request) {
+	snaps := s.live.Snapshot()
+	if snaps == nil {
+		snaps = []inflight.HandleSnapshot{}
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		inflight.WriteTable(w, snaps)
+		return
+	}
+	registered, overflowed, cancels := s.live.Stats()
+	writeJSON(w, map[string]any{
+		"queries":    snaps,
+		"registered": registered,
+		"overflowed": overflowed,
+		"cancels":    cancels,
+	})
+}
+
+// handleInflightCancel delivers cooperative cancellation to one live
+// query by handle id: the engine observes the closed channel at its next
+// budget checkpoint and returns a cancelled result to its own client.
+// 404 when the id is not live (already finished, or never existed).
+func (s *server) handleInflightCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "id must be a decimal handle id", http.StatusBadRequest)
+		return
+	}
+	if !s.live.Cancel(id) {
+		http.Error(w, "no such live query (already finished?)", http.StatusNotFound)
+		return
+	}
+	s.events.Offer(telemetry.DebugEvent{
+		Kind:    "remote_cancel",
+		Message: fmt.Sprintf("cancellation delivered to in-flight query %d", id),
+	})
+	s.log.Info("remote cancel delivered", "id", id)
+	writeJSON(w, map[string]any{"cancelled": true, "id": id})
 }
 
 // handleSlowLog dumps the slow-query ring, newest first, with each retained
@@ -714,6 +851,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.reg.Gauge("export_events_dropped").Set(st.Dropped)
 		s.reg.Gauge("export_sink_errors").Set(st.SinkErrors)
 	}
+	// Go runtime health, sampled at scrape time only (never on a query
+	// path): goroutine count, heap in use, GC pause p99.
+	rh := obs.ReadRuntimeHealth()
+	s.reg.Gauge("go_goroutines").Set(rh.Goroutines)
+	s.reg.Gauge("go_heap_inuse_bytes").Set(rh.HeapInUseBytes)
+	s.reg.Gauge("go_gc_pause_p99_us").Set(rh.GCPauseP99.Microseconds())
+	// Live-query registry occupancy and lifetime counters.
+	s.reg.Gauge("inflight_tracked").Set(int64(s.live.Len()))
+	registered, overflowed, cancels := s.live.Stats()
+	s.reg.Gauge("inflight_registered").Set(registered)
+	s.reg.Gauge("inflight_overflowed").Set(overflowed)
+	s.reg.Gauge("inflight_remote_cancels").Set(cancels)
 	snap := s.reg.Snapshot()
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

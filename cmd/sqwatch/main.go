@@ -1,0 +1,146 @@
+// sqwatch is a live, top-style view of the queries a sqserver is
+// executing right now. It polls GET /debug/inflight and renders the
+// in-flight table — one row per live query with phase, graphs done/total,
+// candidates, answers, enumeration steps, memory high-water mark and
+// watchdog/cancel flags, oldest first — redrawing every -interval. With
+// -cancel it instead delivers remote cancellation to one live query via
+// POST /debug/inflight/{id}/cancel.
+//
+// Usage:
+//
+//	sqwatch http://localhost:8080                 # live view, 2s refresh
+//	sqwatch -n 1 http://localhost:8080            # one snapshot and exit
+//	sqwatch -json -n 1 http://localhost:8080      # snapshot as JSON
+//	sqwatch -cancel 42 http://localhost:8080      # stop query 42
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"subgraphquery/internal/inflight"
+)
+
+func main() {
+	opts := runOptions{}
+	flag.DurationVar(&opts.Interval, "interval", 2*time.Second, "refresh period")
+	flag.IntVar(&opts.Iterations, "n", 0, "number of refreshes before exiting (0 = forever)")
+	flag.BoolVar(&opts.JSON, "json", false, "emit each snapshot as JSON instead of a table")
+	flag.Uint64Var(&opts.Cancel, "cancel", 0,
+		"cancel the live query with this handle id instead of watching")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sqwatch [-interval 2s] [-n N] [-json] [-cancel ID] <server-url>")
+		os.Exit(2)
+	}
+	opts.Server = flag.Arg(0)
+	if err := run(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "sqwatch:", err)
+		os.Exit(1)
+	}
+}
+
+// runOptions carries one sqwatch invocation; the flag set in main
+// populates it, tests construct it directly.
+type runOptions struct {
+	Server     string // server base URL or full /debug/inflight URL
+	Interval   time.Duration
+	Iterations int // 0 = poll forever
+	JSON       bool
+	Cancel     uint64 // non-zero: cancel this id and exit
+
+	// Out receives the report; nil selects os.Stdout.
+	Out io.Writer
+}
+
+// inflightReport mirrors the GET /debug/inflight JSON body.
+type inflightReport struct {
+	Queries    []inflight.HandleSnapshot `json:"queries"`
+	Registered int64                     `json:"registered"`
+	Overflowed int64                     `json:"overflowed"`
+	Cancels    int64                     `json:"cancels"`
+}
+
+func run(opts runOptions) error {
+	out := opts.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	base := strings.TrimSuffix(strings.TrimSuffix(opts.Server, "/debug/inflight"), "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return fmt.Errorf("server URL must be http(s), got %q", opts.Server)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if opts.Cancel != 0 {
+		return cancelQuery(client, out, base, opts.Cancel)
+	}
+
+	for i := 0; opts.Iterations <= 0 || i < opts.Iterations; i++ {
+		if i > 0 {
+			time.Sleep(opts.Interval)
+		}
+		rep, err := fetchInflight(client, base)
+		if err != nil {
+			return err
+		}
+		if opts.JSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return err
+			}
+			continue
+		}
+		if opts.Iterations != 1 {
+			// Redraw in place like top; a single snapshot stays pipe-friendly.
+			fmt.Fprint(out, "\x1b[2J\x1b[H")
+		}
+		fmt.Fprintf(out, "%s  %d live  registered=%d overflowed=%d cancels=%d\n",
+			time.Now().Format("15:04:05"), len(rep.Queries),
+			rep.Registered, rep.Overflowed, rep.Cancels)
+		inflight.WriteTable(out, rep.Queries)
+	}
+	return nil
+}
+
+// fetchInflight pulls one registry snapshot from the server.
+func fetchInflight(client *http.Client, base string) (inflightReport, error) {
+	var rep inflightReport
+	url := base + "/debug/inflight"
+	resp, err := client.Get(url)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return rep, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return rep, nil
+}
+
+// cancelQuery delivers remote cancellation to one live query by id.
+func cancelQuery(client *http.Client, out io.Writer, base string, id uint64) error {
+	url := fmt.Sprintf("%s/debug/inflight/%d/cancel", base, id)
+	resp, err := client.Post(url, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Fprintf(out, "cancellation delivered to query %d\n", id)
+	return nil
+}

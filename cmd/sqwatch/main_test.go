@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"subgraphquery/internal/inflight"
+)
+
+// fakeServer serves a canned /debug/inflight body and records cancels.
+func fakeServer(t *testing.T, rep inflightReport) (*httptest.Server, *[]string) {
+	t.Helper()
+	var cancelled []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/inflight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("POST /debug/inflight/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if id == "404" {
+			http.Error(w, "no such live query", http.StatusNotFound)
+			return
+		}
+		cancelled = append(cancelled, id)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"cancelled": true, "id": id})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &cancelled
+}
+
+func sampleReport() inflightReport {
+	return inflightReport{
+		Queries: []inflight.HandleSnapshot{
+			{ID: 7, Fingerprint: "00000000000000aa", Engine: "CFQL", Phase: "filter+verify",
+				AgeMS: 1500, GraphsDone: 3, GraphsTotal: 10, Steps: 4096},
+			{ID: 9, Fingerprint: "00000000000000bb", Engine: "CFQL", Phase: "filter",
+				AgeMS: 10, GraphsDone: 0, GraphsTotal: 0},
+		},
+		Registered: 12, Overflowed: 1, Cancels: 2,
+	}
+}
+
+func TestWatchSingleSnapshot(t *testing.T) {
+	ts, _ := fakeServer(t, sampleReport())
+	var buf strings.Builder
+	err := run(runOptions{Server: ts.URL, Iterations: 1, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FINGERPRINT", "00000000000000aa", "filter+verify",
+		"3/10", "0/?", "registered=12 overflowed=1 cancels=2", "2 live"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Fatal("single snapshot should not emit the clear-screen escape")
+	}
+}
+
+func TestWatchAcceptsFullInflightURL(t *testing.T) {
+	ts, _ := fakeServer(t, sampleReport())
+	var buf strings.Builder
+	if err := run(runOptions{Server: ts.URL + "/debug/inflight", Iterations: 1, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "00000000000000bb") {
+		t.Fatalf("full-URL form did not fetch: %s", buf.String())
+	}
+}
+
+func TestWatchJSON(t *testing.T) {
+	ts, _ := fakeServer(t, sampleReport())
+	var buf strings.Builder
+	if err := run(runOptions{Server: ts.URL, Iterations: 1, JSON: true, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	var rep inflightReport
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Queries) != 2 || rep.Queries[0].ID != 7 {
+		t.Fatalf("JSON round-trip lost data: %+v", rep)
+	}
+}
+
+func TestCancelDelivers(t *testing.T) {
+	ts, cancelled := fakeServer(t, sampleReport())
+	var buf strings.Builder
+	if err := run(runOptions{Server: ts.URL, Cancel: 7, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*cancelled) != 1 || (*cancelled)[0] != "7" {
+		t.Fatalf("server saw cancels %v, want [7]", *cancelled)
+	}
+	if !strings.Contains(buf.String(), "cancellation delivered to query 7") {
+		t.Fatalf("missing confirmation: %s", buf.String())
+	}
+}
+
+func TestCancelMissingQueryFails(t *testing.T) {
+	ts, _ := fakeServer(t, sampleReport())
+	err := run(runOptions{Server: ts.URL, Cancel: 404, Out: &strings.Builder{}})
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("want 404 error for a dead query, got %v", err)
+	}
+}
+
+func TestRejectsNonHTTPURL(t *testing.T) {
+	if err := run(runOptions{Server: "localhost:8080", Iterations: 1}); err == nil {
+		t.Fatal("want error for a URL without scheme")
+	}
+}

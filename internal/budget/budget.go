@@ -21,7 +21,10 @@
 //     one enumerated feature instance.
 package budget
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Polling strides. Powers of two so the modulo compiles to a mask.
 const (
@@ -49,6 +52,11 @@ type Checkpoint struct {
 	// Stride is how many Tick calls share one real deadline/cancel poll;
 	// 0 selects StepStride.
 	Stride uint64
+	// Progress, when non-nil, receives the tick count in stride-sized
+	// batches at each real poll — live progress reporting piggybacked on
+	// the polls the loop already pays for, adding one atomic add per
+	// stride and nothing per tick. nil disables the flush.
+	Progress *atomic.Uint64
 
 	n uint64
 }
@@ -64,6 +72,9 @@ func (c *Checkpoint) Tick() bool {
 	}
 	if c.n%stride != 0 {
 		return false
+	}
+	if c.Progress != nil {
+		c.Progress.Add(stride)
 	}
 	return c.Exceeded()
 }

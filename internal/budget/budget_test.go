@@ -1,6 +1,7 @@
 package budget
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -70,6 +71,34 @@ func TestExceededBypassesStride(t *testing.T) {
 	c := Checkpoint{Cancel: cancel, Stride: 1 << 20}
 	if !c.Exceeded() {
 		t.Fatal("Exceeded ignored a closed cancel channel")
+	}
+}
+
+func TestProgressFlushedAtStride(t *testing.T) {
+	var p atomic.Uint64
+	c := Checkpoint{Stride: 8, Progress: &p}
+	for i := 1; i <= 7; i++ {
+		c.Tick()
+		if p.Load() != 0 {
+			t.Fatalf("progress flushed early at tick %d: %d", i, p.Load())
+		}
+	}
+	c.Tick()
+	if p.Load() != 8 {
+		t.Fatalf("progress after one stride = %d, want 8", p.Load())
+	}
+	for i := 0; i < 24; i++ {
+		c.Tick()
+	}
+	if p.Load() != 32 {
+		t.Fatalf("progress after 32 ticks = %d, want 32", p.Load())
+	}
+}
+
+func TestProgressNilIsFree(t *testing.T) {
+	c := Checkpoint{Stride: 2}
+	if avg := testing.AllocsPerRun(1000, func() { c.Tick() }); avg != 0 {
+		t.Fatalf("Tick with nil Progress allocates %.1f/op", avg)
 	}
 }
 

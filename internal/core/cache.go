@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/matching"
 	"subgraphquery/internal/obs"
 )
@@ -81,6 +82,11 @@ func (e *Cached) Query(q *graph.Graph, opts QueryOptions) *Result {
 		res.Fingerprint = fp
 		return res
 	}
+	// One live handle for the whole wrapped query: written back into opts
+	// so the inner engine (miss path) ticks it instead of registering a
+	// second one, and passed to verifyPool (hit path) the same way.
+	_, untrack := trackInflight(e.Name(), &opts)
+	defer untrack()
 
 	// Cache probing runs outside the inner engine's panic boundary, so it
 	// carries its own: a probe panic falls back to a plain miss (the cache
@@ -170,6 +176,10 @@ func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, 
 	res = &Result{Candidates: len(pool)}
 	o := opts.Observer
 	defer queryGuard(e.Name(), o, res)
+	h := opts.Handle
+	h.SetPhase(inflight.PhaseVerify)
+	h.SetGraphsTotal(len(pool))
+	h.AddCandidates(len(pool))
 	step := func(gid int) (r matching.Result, qe *QueryError) {
 		defer graphGuard(e.Name(), gid, o, &qe)
 		var tv time.Time
@@ -180,6 +190,7 @@ func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, 
 			Deadline:   opts.Deadline,
 			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
+			Progress:   h.StepCounter(),
 		})
 		if o != nil {
 			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
@@ -192,12 +203,15 @@ func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, 
 			// Supergraph hit: answered without a subgraph isomorphism
 			// test, so no verification event is emitted.
 			res.Answers = append(res.Answers, gid)
+			h.GraphDone()
+			h.AddAnswers(1)
 			continue
 		}
 		if halt(&opts, res) {
 			break
 		}
 		r, qe := step(gid)
+		h.GraphDone()
 		if qe != nil {
 			recordGraphError(res, qe)
 			continue
@@ -208,6 +222,7 @@ func (e *Cached) verifyPool(q *graph.Graph, pool []int, confirmed map[int]bool, 
 		}
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)
+			h.AddAnswers(1)
 		}
 	}
 	res.VerifyTime = time.Since(t0)

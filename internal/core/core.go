@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/obs"
 	"subgraphquery/internal/telemetry"
 )
@@ -107,6 +108,20 @@ type QueryOptions struct {
 	// they execute) pass it here to avoid recomputing; wrappers (Cached)
 	// pass it down so the inner engine agrees.
 	Fingerprint telemetry.Fingerprint
+	// Inflight, when non-nil, makes the query visible to live inspection:
+	// the engine registers a handle at entry (carrying the fingerprint and
+	// engine name), updates its progress counters as data graphs are
+	// processed, merges the handle's remote-cancellation channel into
+	// Cancel, and deregisters on return. nil disables tracking at no cost.
+	Inflight *inflight.Registry
+	// Handle, when non-nil, is a pre-registered live handle the engine
+	// must report progress on instead of registering its own — set by
+	// callers that register before Query (the server, which knows the
+	// admission verdict, and the sqquery -progress path) and by wrappers
+	// (Cached) so the inner engine reuses the outer handle. The owner of
+	// the handle deregisters it and merges its cancel channel; engines
+	// only tick its counters.
+	Handle *inflight.Handle
 }
 
 // Result reports a query's answers and the metrics of §IV-A.

@@ -7,6 +7,7 @@ import (
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/index"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/matching"
 	"subgraphquery/internal/obs"
 )
@@ -115,6 +116,9 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard(e.name, o, res)
+	h, untrack := trackInflight(e.name, &opts)
+	defer untrack()
+	h.SetPhase(inflight.PhaseFilter)
 	if halt(&opts, res) {
 		// Already cancelled or past deadline: don't even probe the index.
 		// The other engines observe this at their per-graph loop, but the
@@ -149,6 +153,11 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 	if o != nil {
 		o.ObservePhase(obs.PhaseFilter, res.FilterTime)
 	}
+	// The index probe classified the work: the survivors are both the
+	// candidate count and the graphs this query will now verify.
+	h.SetPhase(inflight.PhaseVerify)
+	h.SetGraphsTotal(len(cand))
+	h.AddCandidates(len(cand))
 
 	// step runs one candidate's VF2 verification behind a per-graph panic
 	// boundary: a panicking graph yields a non-nil qe and is skipped, the
@@ -168,6 +177,7 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			Deadline:   opts.Deadline,
 			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
+			Progress:   h.StepCounter(),
 		})
 		found = r.Found()
 		if o != nil {
@@ -195,6 +205,7 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 				break
 			}
 			r, found, qe := step(gid)
+			h.GraphDone()
 			if qe != nil {
 				recordGraphError(res, qe)
 				continue
@@ -205,6 +216,7 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			}
 			if found {
 				res.Answers = append(res.Answers, gid)
+				h.AddAnswers(1)
 			}
 		}
 	} else {
@@ -235,6 +247,7 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 				}()
 				for gid := range jobs {
 					r, found, qe := step(gid)
+					h.GraphDone()
 					mu.Lock()
 					if qe != nil {
 						recordGraphError(res, qe)
@@ -245,6 +258,7 @@ func (e *ifv) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 						}
 						if found {
 							res.Answers = append(res.Answers, gid)
+							h.AddAnswers(1)
 						}
 					}
 					mu.Unlock()

@@ -7,6 +7,7 @@ import (
 
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/index"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/matching"
 	"subgraphquery/internal/obs"
 )
@@ -93,6 +94,9 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard(e.name, o, res)
+	h, untrack := trackInflight(e.name, &opts)
+	defer untrack()
+	h.SetPhase(inflight.PhaseFilter)
 	ex := opts.Explain
 	ex.SetEngine(e.name)
 
@@ -104,6 +108,10 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		// can attribute filtering cost between the two levels.
 		o.ObservePhase(obs.PhaseIndexFilter, res.FilterTime)
 	}
+	// The index survivors are the graphs the fused level-2 filter+verify
+	// pipeline will now process.
+	h.SetPhase(inflight.PhaseFused)
+	h.SetGraphsTotal(len(indexCand))
 
 	// graphResult is the outcome of the fused pipeline on one data graph;
 	// it is folded into res by the caller (under mu when parallel).
@@ -128,8 +136,10 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		}
 		if g2.pass {
 			res.Candidates++
+			h.AddCandidates(1)
 			if g2.mem > res.AuxMemory {
 				res.AuxMemory = g2.mem
+				h.GrowAux(g2.mem)
 			}
 			res.VerifySteps += g2.r.Steps
 			if g2.r.Aborted {
@@ -137,6 +147,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			}
 			if g2.r.Found() {
 				res.Answers = append(res.Answers, gid)
+				h.AddAnswers(1)
 			}
 		}
 	}
@@ -180,6 +191,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
 			Scratch:    s,
+			Progress:   h.StepCounter(),
 		})
 		if err != nil {
 			panic(err)
@@ -214,6 +226,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			if g2.aborted {
 				break
 			}
+			h.GraphDone()
 		}
 	} else {
 		var mu sync.Mutex
@@ -250,6 +263,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 					mu.Lock()
 					fold(gid, g2)
 					mu.Unlock()
+					h.GraphDone()
 				}
 			}()
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/matching"
 	"subgraphquery/internal/obs"
 )
@@ -65,6 +66,10 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard(e.name, o, res)
+	h, untrack := trackInflight(e.name, &opts)
+	defer untrack()
+	h.SetPhase(inflight.PhaseFused)
+	h.SetGraphsTotal(e.db.Len())
 	ex := opts.Explain
 	ex.SetEngine(e.name)
 	if o != nil {
@@ -106,6 +111,7 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 				Cancel:     opts.Cancel,
 				StepBudget: opts.StepBudgetPerGraph,
 				Scratch:    s,
+				Progress:   h.StepCounter(),
 			})
 			if err != nil {
 				panic(err)
@@ -128,8 +134,10 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		}
 		if pass {
 			res.Candidates++
+			h.AddCandidates(1)
 			if m := cand.MemoryFootprint(); m > res.AuxMemory {
 				res.AuxMemory = m
+				h.GrowAux(m)
 			}
 			res.VerifySteps += r.Steps
 			if r.Aborted {
@@ -137,9 +145,11 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			}
 			if r.Found() {
 				res.Answers = append(res.Answers, gid)
+				h.AddAnswers(1)
 			}
 		}
 		mu.Unlock()
+		h.GraphDone()
 		return qe
 	}
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/matching"
 	"subgraphquery/internal/obs"
 )
@@ -41,6 +42,11 @@ func (e *scan) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 	res = &Result{Candidates: e.db.Len(), Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard("Scan-VF2", o, res)
+	h, untrack := trackInflight("Scan-VF2", &opts)
+	defer untrack()
+	h.SetPhase(inflight.PhaseVerify)
+	h.SetGraphsTotal(e.db.Len())
+	h.AddCandidates(e.db.Len())
 	opts.Explain.SetEngine("Scan-VF2")
 	vf2 := &matching.VF2{}
 	step := func(gid int) (r matching.Result, qe *QueryError) {
@@ -53,6 +59,7 @@ func (e *scan) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			Deadline:   opts.Deadline,
 			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
+			Progress:   h.StepCounter(),
 		})
 		if o != nil {
 			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
@@ -65,6 +72,7 @@ func (e *scan) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			break
 		}
 		r, qe := step(gid)
+		h.GraphDone()
 		if qe != nil {
 			recordGraphError(res, qe)
 			continue
@@ -75,6 +83,7 @@ func (e *scan) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		}
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)
+			h.AddAnswers(1)
 		}
 	}
 	res.VerifyTime = time.Since(t0)

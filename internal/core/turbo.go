@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/matching"
 	"subgraphquery/internal/obs"
 )
@@ -44,6 +45,10 @@ func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard("TurboIso", o, res)
+	h, untrack := trackInflight("TurboIso", &opts)
+	defer untrack()
+	h.SetPhase(inflight.PhaseFused)
+	h.SetGraphsTotal(e.db.Len())
 	opts.Explain.SetEngine("TurboIso")
 	var m matching.TurboIso
 	step := func(gid int) (r matching.Result, qe *QueryError) {
@@ -56,6 +61,7 @@ func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			Deadline:   opts.Deadline,
 			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
+			Progress:   h.StepCounter(),
 		})
 		if o != nil {
 			o.ObserveVerify(gid, r.Steps, time.Since(tv), r.Found())
@@ -68,7 +74,9 @@ func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			break
 		}
 		res.Candidates++
+		h.AddCandidates(1)
 		r, qe := step(gid)
+		h.GraphDone()
 		if qe != nil {
 			recordGraphError(res, qe)
 			continue
@@ -79,6 +87,7 @@ func (e *turboIso) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		}
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)
+			h.AddAnswers(1)
 		}
 	}
 	res.VerifyTime = time.Since(t0)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/matching"
 	"subgraphquery/internal/obs"
 )
@@ -83,6 +84,10 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 	res = &Result{Fingerprint: fp}
 	o := opts.Observer
 	defer queryGuard(e.name, o, res)
+	h, untrack := trackInflight(e.name, &opts)
+	defer untrack()
+	h.SetPhase(inflight.PhaseFused)
+	h.SetGraphsTotal(e.db.Len())
 	ex := opts.Explain
 	ex.SetEngine(e.name)
 	// One arena for the whole query: candidate storage, filter scratch and
@@ -125,8 +130,10 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			return nil, false
 		}
 		res.Candidates++
+		h.AddCandidates(1)
 		if m := cand.MemoryFootprint(); m > res.AuxMemory {
 			res.AuxMemory = m
+			h.GrowAux(m)
 		}
 
 		t1 := time.Now()
@@ -138,6 +145,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			Cancel:     opts.Cancel,
 			StepBudget: opts.StepBudgetPerGraph,
 			Scratch:    s,
+			Progress:   h.StepCounter(),
 		})
 		dv := time.Since(t1)
 		res.VerifyTime += dv
@@ -155,6 +163,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		}
 		if r.Found() {
 			res.Answers = append(res.Answers, gid)
+			h.AddAnswers(1)
 		}
 		return nil, false
 	}
@@ -170,6 +179,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		if stop {
 			break
 		}
+		h.GraphDone()
 	}
 	if o != nil {
 		o.ObservePhase(obs.PhaseFilter, res.FilterTime)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package inflight
+
+// raceEnabled reports whether the race detector is compiled in.
+// AllocsPerRun assertions are skipped under -race: the detector's
+// instrumentation perturbs allocation behavior.
+const raceEnabled = false

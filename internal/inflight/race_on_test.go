@@ -1,0 +1,5 @@
+//go:build race
+
+package inflight
+
+const raceEnabled = true

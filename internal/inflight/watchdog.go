@@ -1,0 +1,146 @@
+package inflight
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// WatchdogConfig tunes the stuck-query watchdog.
+type WatchdogConfig struct {
+	// Interval is how often the registry is scanned (<= 0 selects
+	// DefaultWatchdogInterval).
+	Interval time.Duration
+	// Multiple flags a query once its age exceeds Multiple × the rolling
+	// p99 latency (<= 0 selects DefaultWatchdogMultiple).
+	Multiple float64
+	// Floor is the minimum age before any query may be flagged, so a cold
+	// p99 (few samples, or all fast) does not flag healthy queries
+	// (<= 0 selects DefaultWatchdogFloor).
+	Floor time.Duration
+	// P99 returns the current rolling p99 query latency, typically from an
+	// internal/obs histogram. May return 0 before any samples; the Floor
+	// still applies. Nil disables the p99 term (only Floor gates).
+	P99 func() time.Duration
+	// OnStuck is invoked once per flagged query with its snapshot and a
+	// full goroutine stack dump. Called from the watchdog goroutine;
+	// implementations should be quick or hand off.
+	OnStuck func(snap HandleSnapshot, stack []byte)
+}
+
+// Watchdog defaults.
+const (
+	DefaultWatchdogInterval = 2 * time.Second
+	DefaultWatchdogMultiple = 5.0
+	DefaultWatchdogFloor    = 5 * time.Second
+)
+
+// watchdogStackBytes bounds the captured all-goroutine stack dump.
+const watchdogStackBytes = 1 << 20
+
+// Watchdog periodically scans a Registry for queries running far beyond
+// the rolling p99 and captures a goroutine stack dump exactly once per
+// flagged query (Handle.flag is a CAS, so a query is never dumped twice
+// even if it stays stuck across many scans).
+type Watchdog struct {
+	reg *Registry
+	cfg WatchdogConfig
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	stopped  chan struct{}
+}
+
+// NewWatchdog starts the watchdog goroutine over reg. Returns nil when
+// reg is nil (the disabled watchdog; Stop and CheckNow are nil-safe).
+func NewWatchdog(reg *Registry, cfg WatchdogConfig) *Watchdog {
+	if reg == nil {
+		return nil
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWatchdogInterval
+	}
+	if cfg.Multiple <= 0 {
+		cfg.Multiple = DefaultWatchdogMultiple
+	}
+	if cfg.Floor <= 0 {
+		cfg.Floor = DefaultWatchdogFloor
+	}
+	w := &Watchdog{
+		reg:     reg,
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.stopped)
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.CheckNow()
+		}
+	}
+}
+
+// Stop halts the watchdog goroutine and waits for it to exit. Nil-safe
+// and idempotent.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.stopped
+}
+
+// CheckNow runs one scan immediately (the ticker calls this; tests call
+// it directly for determinism) and returns how many queries were newly
+// flagged. Nil-safe.
+func (w *Watchdog) CheckNow() int {
+	if w == nil {
+		return 0
+	}
+	threshold := w.threshold()
+	now := time.Now()
+	flagged := 0
+	var stack []byte // captured at most once per scan, shared by this scan's callbacks
+	w.reg.visit(func(h *Handle) {
+		if now.Sub(h.start) < threshold {
+			return
+		}
+		if !h.flag() {
+			return // already captured on an earlier scan
+		}
+		flagged++
+		if w.cfg.OnStuck == nil {
+			return
+		}
+		if stack == nil {
+			buf := make([]byte, watchdogStackBytes)
+			stack = buf[:runtime.Stack(buf, true)]
+		}
+		w.cfg.OnStuck(h.Snapshot(now), stack)
+	})
+	return flagged
+}
+
+// threshold computes the age beyond which a query counts as stuck:
+// max(Floor, Multiple × p99).
+func (w *Watchdog) threshold() time.Duration {
+	th := w.cfg.Floor
+	if w.cfg.P99 != nil {
+		if p99 := w.cfg.P99(); p99 > 0 {
+			if scaled := time.Duration(float64(p99) * w.cfg.Multiple); scaled > th {
+				th = scaled
+			}
+		}
+	}
+	return th
+}

@@ -11,6 +11,7 @@
 package matching
 
 import (
+	"sync/atomic"
 	"time"
 
 	"subgraphquery/internal/budget"
@@ -43,6 +44,12 @@ type Options struct {
 	// StepBudget aborts after this many recursion steps, a deterministic
 	// alternative to Deadline for tests. 0 means unlimited.
 	StepBudget uint64
+
+	// Progress, when non-nil, receives the enumeration step count in
+	// budget-checkpoint-stride batches (see budget.Checkpoint.Progress) —
+	// live progress for in-flight inspection at one atomic add per stride
+	// and zero allocations. nil disables the flush at no cost.
+	Progress *atomic.Uint64
 
 	// OnEmbedding, when non-nil, receives each found embedding: mapping[u]
 	// is the data vertex matched to query vertex u. The slice is reused
@@ -169,7 +176,7 @@ type searchBudget struct {
 func newBudget(opts *Options) searchBudget {
 	return searchBudget{
 		stepBudget: opts.StepBudget,
-		check:      budget.Checkpoint{Deadline: opts.Deadline, Cancel: opts.Cancel, Stride: budget.StepStride},
+		check:      budget.Checkpoint{Deadline: opts.Deadline, Cancel: opts.Cancel, Stride: budget.StepStride, Progress: opts.Progress},
 	}
 }
 

@@ -1,0 +1,67 @@
+package matching
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"subgraphquery/internal/budget"
+)
+
+// TestEnumerateFlushesProgress: with Options.Progress set, the
+// enumeration flushes its step count at budget-checkpoint strides, so the
+// counter ends at Steps rounded down to the stride.
+func TestEnumerateFlushesProgress(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	g := randomConnectedGraph(r, 200, 800, 2) // dense, few labels: many steps
+	q := randomQueryFrom(r, g, 6)
+	var p atomic.Uint64
+	cand := CFLFilter(q, g, FilterOptions{})
+	if cand.AnyEmpty() {
+		t.Skip("degenerate random instance: empty candidate set")
+	}
+	order := GraphQLOrder(q, cand)
+	res, err := Enumerate(q, g, cand, order, Options{Progress: &p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Steps / budget.StepStride * budget.StepStride
+	if p.Load() != want {
+		t.Fatalf("progress = %d, want %d (steps %d rounded to stride)", p.Load(), want, res.Steps)
+	}
+	if res.Steps < budget.StepStride {
+		t.Skipf("instance too small to cross one stride (%d steps); flush untested", res.Steps)
+	}
+	if p.Load() == 0 {
+		t.Fatal("progress never flushed despite crossing the stride")
+	}
+}
+
+// TestEnumerateProgressZeroAlloc: attaching a Progress counter must not
+// add steady-state allocations to the filter+order+enumerate pipeline —
+// the acceptance gate for piggybacking live progress on budget strides.
+func TestEnumerateProgressZeroAlloc(t *testing.T) {
+	skipIfDebugInvariants(t)
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	r := rand.New(rand.NewSource(52))
+	g := randomConnectedGraph(r, 80, 140, 3)
+	q := randomQueryFrom(r, g, 5)
+	s := NewScratch()
+	var p atomic.Uint64
+	pipeline := func() {
+		cand := CFLFilter(q, g, FilterOptions{Scratch: s})
+		if cand.AnyEmpty() {
+			return
+		}
+		order := GraphQLOrderScratch(q, cand, s)
+		if _, err := Enumerate(q, g, cand, order, Options{Limit: 1, Scratch: s, Progress: &p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pipeline() // warm-up
+	if allocs := testing.AllocsPerRun(50, pipeline); allocs != 0 {
+		t.Fatalf("pipeline with Progress allocated %v times per run, want 0", allocs)
+	}
+}

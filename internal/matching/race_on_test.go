@@ -1,0 +1,5 @@
+//go:build race
+
+package matching
+
+const raceEnabled = true

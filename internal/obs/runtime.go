@@ -1,0 +1,89 @@
+package obs
+
+import (
+	rm "runtime/metrics"
+	"time"
+)
+
+// RuntimeHealth is a point-in-time view of Go runtime health — the
+// process-level vitals (goroutine count, heap pressure, GC pauses) that
+// were previously invisible without attaching pprof. Sampled at metrics
+// scrape time via ReadRuntimeHealth; never on a query hot path.
+type RuntimeHealth struct {
+	// Goroutines is the current goroutine count — the leak canary: a
+	// serving process's count should plateau, not climb.
+	Goroutines int64
+	// HeapInUseBytes is the byte size of live and not-yet-swept heap
+	// objects (runtime/metrics /memory/classes/heap/objects:bytes).
+	HeapInUseBytes int64
+	// GCPauseP99 is the 99th-percentile stop-the-world GC pause over the
+	// process lifetime.
+	GCPauseP99 time.Duration
+}
+
+// runtimeSampleNames are the runtime/metrics keys ReadRuntimeHealth
+// samples; all three have been stable since Go 1.16.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+}
+
+// ReadRuntimeHealth samples the runtime. Unknown metrics (KindBad, e.g. a
+// future runtime dropping a name) read as zero rather than failing: the
+// health view degrades, the scrape endpoint keeps working.
+func ReadRuntimeHealth() RuntimeHealth {
+	samples := make([]rm.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	rm.Read(samples)
+	var h RuntimeHealth
+	if samples[0].Value.Kind() == rm.KindUint64 {
+		h.Goroutines = int64(samples[0].Value.Uint64())
+	}
+	if samples[1].Value.Kind() == rm.KindUint64 {
+		h.HeapInUseBytes = int64(samples[1].Value.Uint64())
+	}
+	if samples[2].Value.Kind() == rm.KindFloat64Histogram {
+		h.GCPauseP99 = histogramQuantileSeconds(samples[2].Value.Float64Histogram(), 0.99)
+	}
+	return h
+}
+
+// histogramQuantileSeconds returns the q-quantile of a runtime/metrics
+// Float64Histogram whose buckets are in seconds, as a Duration. The
+// runtime histograms are cumulative over process lifetime; like
+// Histogram.Quantile, the estimate is the upper bound of the bucket
+// containing the quantile.
+func histogramQuantileSeconds(h *rm.Float64Histogram, q float64) time.Duration {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			// Buckets[i+1] is the upper bound of Counts[i]; the last
+			// bucket's bound may be +Inf, where the lower bound is the
+			// best finite answer.
+			ub := h.Buckets[i+1]
+			if ub > 1e9 { // +Inf or absurd: fall back to the lower bound
+				ub = h.Buckets[i]
+			}
+			return time.Duration(ub * float64(time.Second))
+		}
+	}
+	return 0
+}

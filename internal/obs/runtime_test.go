@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+
+	rm "runtime/metrics"
+)
+
+func TestReadRuntimeHealth(t *testing.T) {
+	// Force at least one GC so the pause histogram has samples.
+	runtime.GC()
+	h := ReadRuntimeHealth()
+	if h.Goroutines <= 0 {
+		t.Fatalf("Goroutines = %d, want > 0", h.Goroutines)
+	}
+	if h.HeapInUseBytes <= 0 {
+		t.Fatalf("HeapInUseBytes = %d, want > 0", h.HeapInUseBytes)
+	}
+	if h.GCPauseP99 <= 0 {
+		t.Fatalf("GCPauseP99 = %v, want > 0 after a forced GC", h.GCPauseP99)
+	}
+	if h.GCPauseP99 > 10e9 {
+		t.Fatalf("GCPauseP99 = %v, absurdly large (Inf bucket leak?)", h.GCPauseP99)
+	}
+}
+
+func TestHistogramQuantileSeconds(t *testing.T) {
+	if histogramQuantileSeconds(nil, 0.99) != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	empty := &rm.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if histogramQuantileSeconds(empty, 0.99) != 0 {
+		t.Fatal("empty histogram should read 0")
+	}
+	// 90 samples in [0,1ms), 10 in [1ms,2ms): p50 in the first bucket,
+	// p99 in the second.
+	h := &rm.Float64Histogram{
+		Counts:  []uint64{90, 10},
+		Buckets: []float64{0, 0.001, 0.002},
+	}
+	if got := histogramQuantileSeconds(h, 0.5); got.Milliseconds() != 1 {
+		t.Fatalf("p50 = %v, want 1ms (bucket upper bound)", got)
+	}
+	if got := histogramQuantileSeconds(h, 0.99); got.Milliseconds() != 2 {
+		t.Fatalf("p99 = %v, want 2ms", got)
+	}
+}

@@ -65,6 +65,12 @@ type Event struct {
 
 	// CacheHit marks a result-cache hit (informational, not anomalous).
 	CacheHit bool `json:"cache_hit,omitempty"`
+
+	// Watchdog marks an event emitted by the stuck-query watchdog: the
+	// query was still running when its age exceeded the stuck threshold.
+	// Watchdog events describe a query in flight, not a completed one, so
+	// duration and answer fields are the progress so far.
+	Watchdog bool `json:"watchdog,omitempty"`
 }
 
 // Shed reports whether the event records a query bounced by admission
@@ -81,8 +87,8 @@ func (e Event) Shed() bool {
 // always retained by the exporter and tallied as failures by the profile.
 // A query is anomalous when anything other than a clean, complete answer
 // happened: engine error, timeout, cancellation, skipped graphs, panics,
-// or an admission shed.
+// an admission shed, or a watchdog flag.
 func (e Event) Anomalous() bool {
 	return e.Error || e.TimedOut || e.Cancelled ||
-		e.Skipped > 0 || e.Panics > 0 || e.Shed()
+		e.Skipped > 0 || e.Panics > 0 || e.Shed() || e.Watchdog
 }

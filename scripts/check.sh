@@ -32,4 +32,8 @@ echo "== telemetry storm (tail-sampler retention under chaos, race)"
 go test -race -count=1 -run 'Storm' ./internal/telemetry
 go test -tags sqchaos -race -count=1 -run 'TestChaosTelemetryRetainsAnomalies' ./cmd/sqserver
 
+echo "== live-inspection storm + stuck-query watchdog (inflight registry, race)"
+go test -race -count=1 -run 'Watchdog' ./internal/inflight ./cmd/sqserver
+go test -tags sqchaos -race -count=1 -run 'TestInflightStormUnderChaos' ./cmd/sqserver
+
 echo "ok"

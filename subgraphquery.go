@@ -37,6 +37,7 @@ import (
 
 	"subgraphquery/internal/core"
 	"subgraphquery/internal/graph"
+	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/obs"
 	"subgraphquery/internal/telemetry"
 )
@@ -106,6 +107,14 @@ type (
 	// aggregation key of all workload telemetry. Engines compute it at
 	// Query entry and report it on Result.Fingerprint.
 	Fingerprint = telemetry.Fingerprint
+	// InflightRegistry tracks live queries for inspection and remote
+	// cancellation; set QueryOptions.Inflight to enable.
+	InflightRegistry = inflight.Registry
+	// InflightHandle is one live query's registry entry with atomic
+	// progress counters. A nil *InflightHandle is a free no-op.
+	InflightHandle = inflight.Handle
+	// InflightSnapshot is the JSON-marshalable view of a live query.
+	InflightSnapshot = inflight.HandleSnapshot
 )
 
 // ComputeFingerprint returns the canonical fingerprint of q. Engines call
@@ -119,6 +128,10 @@ func NewTrace() *Trace { return obs.NewTrace() }
 
 // NewExplain returns an empty per-query EXPLAIN report.
 func NewExplain() *Explain { return obs.NewExplain() }
+
+// NewInflightRegistry returns a live-query registry with the given slot
+// capacity (0 selects the default).
+func NewInflightRegistry(slots int) *InflightRegistry { return inflight.NewRegistry(slots) }
 
 // NewBuilder returns a graph builder with capacity hints.
 func NewBuilder(vertices, edges int) *Builder { return graph.NewBuilder(vertices, edges) }
