@@ -9,9 +9,11 @@ build:
 check:
 	sh scripts/check.sh
 
-# Project-specific static analyzers (hotpath, locks, ctxbudget, errwrap).
+# Project-specific static analyzers (hotpath, hotalloc, locks, ctxbudget,
+# errwrap, recoverhygiene, atomichygiene, goroterm, chansend, atomicalign)
+# with the checked-in baseline and per-analyzer timing on stderr.
 lint:
-	$(GO) run ./cmd/sqlint ./...
+	$(GO) run ./cmd/sqlint -v -baseline cmd/sqlint/baseline.txt ./...
 
 # Full suite (slow: bench smoke tests build every index).
 test:

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicalignAnalyzer is the fieldalign-style guard for 64-bit atomics:
+// a uint64/int64 struct field operated on through the function-style
+// sync/atomic API (atomic.AddUint64(&s.f, …)) must be 64-bit aligned, or
+// the operation faults/mis-executes on 32-bit platforms (386, arm,
+// mips…). The Go compiler only guarantees 64-bit alignment for the first
+// word of an allocation and for the typed atomic.Int64/Uint64 wrappers
+// (which embed an align64 marker since Go 1.19); a plain uint64 after an
+// odd number of 32-bit fields silently loses the guarantee.
+//
+// The check computes field offsets under the 32-bit "386" layout — the
+// strictest of the supported targets — and flags any atomically-accessed
+// 64-bit field at an offset not divisible by 8. The fix is to move the
+// field to the front of the struct, pad before it, or switch to the
+// typed atomic wrappers (preferred in this codebase; see DESIGN.md).
+var atomicalignAnalyzer = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit fields used with sync/atomic must stay 64-bit aligned under 32-bit layouts",
+	Run:  runAtomicAlign,
+}
+
+func runAtomicAlign(pass *Pass) {
+	atomicFields, _ := collectAtomicFields(pass)
+	has64 := false
+	for v := range atomicFields {
+		if is64BitBasic(v.Type()) {
+			has64 = true
+			break
+		}
+	}
+	if !has64 {
+		return
+	}
+	sizes := types.SizesFor("gc", "386")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			tStruct, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			checkStructAlignment(pass, sizes, st, tStruct, atomicFields)
+			return true
+		})
+	}
+}
+
+// checkStructAlignment flags every atomically-accessed 64-bit field of the
+// struct whose 386-layout offset is not a multiple of 8.
+func checkStructAlignment(pass *Pass, sizes types.Sizes, st *ast.StructType, tStruct *types.Struct, atomicFields map[*types.Var]bool) {
+	fields := make([]*types.Var, tStruct.NumFields())
+	for i := range fields {
+		fields[i] = tStruct.Field(i)
+	}
+	offsets := sizes.Offsetsof(fields)
+	misaligned := map[*types.Var]int64{}
+	for i, fv := range fields {
+		if atomicFields[fv] && is64BitBasic(fv.Type()) && offsets[i]%8 != 0 {
+			misaligned[fv] = offsets[i]
+		}
+	}
+	if len(misaligned) == 0 {
+		return
+	}
+	for _, astField := range st.Fields.List {
+		for _, name := range astField.Names {
+			fv, ok := pass.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if off, bad := misaligned[fv]; bad {
+				pass.Reportf(name.Pos(), "64-bit atomic field %s sits at offset %d under a 32-bit layout; sync/atomic needs 8-byte alignment — move it first in the struct or use atomic.%s", name.Name, off, typedAtomicFor(fv.Type()))
+			}
+		}
+	}
+}
+
+// is64BitBasic reports whether t's underlying type is a 64-bit integer —
+// the kinds the sync/atomic *64 functions operate on.
+func is64BitBasic(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}
+
+// typedAtomicFor names the typed sync/atomic wrapper for a 64-bit field —
+// used in the fix suggestion.
+func typedAtomicFor(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Int64 {
+		return "Int64"
+	}
+	return "Uint64"
+}

@@ -1,0 +1,337 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomichygieneAnalyzer enforces the atomic-access discipline the
+// concurrent layers (internal/inflight, internal/telemetry, internal/obs,
+// the core worker pools) rely on. Three checks:
+//
+//   - mixed access: a struct field that is ever touched through a
+//     sync/atomic function (atomic.AddUint64(&s.f, …), atomic.LoadInt64,
+//     …) must be touched that way everywhere. A single plain read of an
+//     atomically-written field is a data race the compiler is free to
+//     tear, cache in a register, or reorder — and the race detector only
+//     sees it on interleavings that actually execute;
+//   - unguarded Pointer loads: dereferencing an atomic.Pointer[T].Load()
+//     result in the same expression (p.Load().Field, *p.Load()) leaves no
+//     room for the nil check a CAS-published slot needs — bind the result
+//     and test it (`if h := p.Load(); h != nil { … }`). Method calls on
+//     the result are allowed: this codebase's registry types document
+//     nil-safe methods;
+//   - stuck CAS loops: an unconditional `for {}` retry loop around a
+//     CompareAndSwap must re-read the current value (a Load in the loop)
+//     or back off (runtime.Gosched, time.Sleep, a select) — otherwise a
+//     stale expected value spins the goroutine forever at 100% CPU.
+//
+// A typed atomic value (atomic.Int64, atomic.Pointer[T], …) read or
+// written outside its method set (copied into a variable, returned by
+// value) is also flagged: the copy severs it from the memory cell the
+// other goroutines update.
+var atomichygieneAnalyzer = &Analyzer{
+	Name: "atomichygiene",
+	Doc:  "atomically-accessed fields must never be accessed plainly; guard Pointer loads; CAS loops must reload or back off",
+	Run:  runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *Pass) {
+	atomicFields, atomicOperands := collectAtomicFields(pass)
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkPlainFieldAccess(pass, n, stack, atomicFields, atomicOperands)
+				checkTypedAtomicCopy(pass, n, stack)
+				checkPointerLoadDeref(pass, n)
+			case *ast.StarExpr:
+				if isAtomicPointerLoadCall(pass, n.X) {
+					pass.Reportf(n.Pos(), "atomic.Pointer.Load result dereferenced without a nil guard; bind it and check (`if v := p.Load(); v != nil`)")
+				}
+			case *ast.ForStmt:
+				checkCASLoop(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// atomicFuncPrefixes are the sync/atomic package-level operation families.
+var atomicFuncPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "Or", "And"}
+
+// isAtomicPkgFunc reports whether call invokes a sync/atomic package-level
+// operation, returning its name.
+func isAtomicPkgFunc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(sel.Sel.Name, p) {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// collectAtomicFields finds every struct field passed by address to a
+// sync/atomic operation (atomic.AddUint64(&s.f, 1) marks f). It returns
+// the field objects and the set of selector nodes that are those legal
+// atomic operands, so the plain-access walk can skip them.
+func collectAtomicFields(pass *Pass) (map[*types.Var]bool, map[*ast.SelectorExpr]bool) {
+	fields := map[*types.Var]bool{}
+	operands := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := isAtomicPkgFunc(pass.Info, call); !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := selectedField(pass, sel); v != nil {
+					fields[v] = true
+					operands[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields, operands
+}
+
+// selectedField returns the *types.Var a selector resolves to when it is a
+// struct field, or nil.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// checkPlainFieldAccess flags reads and writes of an atomically-accessed
+// field that bypass sync/atomic.
+func checkPlainFieldAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node, atomicFields map[*types.Var]bool, atomicOperands map[*ast.SelectorExpr]bool) {
+	v := selectedField(pass, sel)
+	if v == nil || !atomicFields[v] {
+		return
+	}
+	if atomicOperands[sel] {
+		return // the legal &s.f operand of an atomic call
+	}
+	// &s.f taken for some other purpose (e.g. handed to a helper that runs
+	// the atomic op) is allowed: the address preserves atomicity.
+	if len(stack) > 0 {
+		if un, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && un.Op == token.AND {
+			return
+		}
+	}
+	kind := "read"
+	if isWriteContext(sel, stack) {
+		kind = "write"
+	}
+	pass.Reportf(sel.Pos(), "plain %s of %s, a field accessed with sync/atomic elsewhere; racy mixed access tears — use the atomic API everywhere", kind, types.ExprString(sel))
+}
+
+// isWriteContext reports whether the expression at the top of the stack is
+// being assigned, incremented, or decremented.
+func isWriteContext(e ast.Expr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch st := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if lhs == e {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return st.X == e
+		case *ast.ParenExpr:
+			e = stack[i].(ast.Expr)
+			continue
+		case *ast.UnaryExpr, *ast.SelectorExpr, *ast.IndexExpr:
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkTypedAtomicCopy flags a typed atomic value (atomic.Int64,
+// atomic.Pointer[T], …) field used outside its method set: copied,
+// returned, or assigned by value. Walking up through index/paren layers,
+// the only legal parents are a further selector (method call), an
+// address-of, a range clause (index-only iteration over []atomic.T), and
+// len/cap.
+func checkTypedAtomicCopy(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	v := selectedField(pass, sel)
+	if v == nil || !isTypedAtomic(v.Type()) {
+		return
+	}
+	// Walk up through wrappers that preserve "no copy yet".
+	child := ast.Node(sel)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr, *ast.IndexExpr:
+			child = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X == child {
+				return // method access: s.f.Load()
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return // address taken: &s.f stays bound to the cell
+			}
+		case *ast.RangeStmt:
+			if p.X == child {
+				return // for i := range s.slots (copylocks covers value-ranging)
+			}
+		case *ast.CallExpr:
+			if id, ok := p.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				return
+			}
+		}
+		break
+	}
+	pass.Reportf(sel.Pos(), "%s copies the %s value out of its memory cell; atomics are only meaningful in place — call its methods or take its address", types.ExprString(sel), typeShortName(v.Type()))
+}
+
+// isTypedAtomic reports whether t (possibly []T or [N]T of it) is one of
+// the sync/atomic value types.
+func isTypedAtomic(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isTypedAtomicNamed(u.Elem())
+	case *types.Array:
+		return isTypedAtomicNamed(u.Elem())
+	}
+	return isTypedAtomicNamed(t)
+}
+
+func isTypedAtomicNamed(t types.Type) bool {
+	n, _ := t.(*types.Named)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func typeShortName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok && n.Obj() != nil && n.Obj().Pkg() != nil {
+		return pathBase(n.Obj().Pkg().Path()) + "." + n.Obj().Name()
+	}
+	if u, ok := t.Underlying().(*types.Slice); ok {
+		return "[]" + typeShortName(u.Elem())
+	}
+	return t.String()
+}
+
+// isAtomicPointerLoadCall reports whether e is a call `p.Load()` with p a
+// sync/atomic.Pointer[T] (or Value).
+func isAtomicPointerLoadCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	t := pass.Info.Types[sel.X].Type
+	return isNamedType(t, "atomic", "Pointer") || isNamedType(t, "atomic", "Value")
+}
+
+// checkPointerLoadDeref flags field selection chained directly onto an
+// atomic.Pointer.Load() call: the nil case of a CAS-published slot cannot
+// be checked inside one expression.
+func checkPointerLoadDeref(pass *Pass, sel *ast.SelectorExpr) {
+	if !isAtomicPointerLoadCall(pass, sel.X) {
+		return
+	}
+	// Field selection through the loaded pointer panics on nil; method
+	// calls are exempt (the registry's Handle methods are nil-safe by
+	// contract).
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() != types.FieldVal {
+		return
+	}
+	pass.Reportf(sel.Pos(), "field %s read through atomic.Pointer.Load() with no nil guard; bind the result and check (`if v := p.Load(); v != nil`)", sel.Sel.Name)
+}
+
+// checkCASLoop flags unconditional retry loops whose CompareAndSwap can
+// never make progress: no Load refreshing the expected value, no backoff,
+// no select.
+func checkCASLoop(pass *Pass, fs *ast.ForStmt) {
+	if fs.Cond != nil {
+		return // bounded or conditioned loop: has its own exit
+	}
+	hasCAS := false
+	hasReload := false
+	hasBackoff := false
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a nested closure runs on its own schedule
+		case *ast.SelectStmt:
+			hasBackoff = true
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "CompareAndSwap":
+					if isTypedAtomicNamed(pass.Info.Types[sel.X].Type) {
+						hasCAS = true
+					}
+				case "Load":
+					if isTypedAtomicNamed(pass.Info.Types[sel.X].Type) {
+						hasReload = true
+					}
+				case "Gosched":
+					hasBackoff = true
+				case "Sleep":
+					hasBackoff = true
+				}
+			}
+			if name, ok := isAtomicPkgFunc(pass.Info, n); ok {
+				if strings.HasPrefix(name, "CompareAndSwap") {
+					hasCAS = true
+				}
+				if strings.HasPrefix(name, "Load") {
+					hasReload = true
+				}
+			}
+		}
+		return true
+	})
+	if hasCAS && !hasReload && !hasBackoff {
+		pass.Reportf(fs.Pos(), "CAS retry loop never re-reads the current value and never backs off; a stale expected value spins this goroutine forever — Load inside the loop or add runtime.Gosched/select")
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The baseline lets new analyzers land strict-on-new-code: findings that
+// predate an analyzer are recorded in a checked-in file and tolerated,
+// while anything not listed fails the build. Entries are keyed by
+// `path: analyzer: message` — deliberately line-number-free, so unrelated
+// edits shifting a file do not invalidate the baseline, while any change
+// to the finding itself (moved file, altered code) forces the entry to be
+// re-justified or the bug to be fixed.
+//
+// File format: one key per line; blank lines and #-comments ignored. A
+// finding occurring N times needs N identical lines.
+
+// parseBaseline reads a baseline file into a multiset of finding keys.
+func parseBaseline(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// baselineKey renders the line-number-independent identity of a finding.
+func baselineKey(root string, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", relFindingPath(root, d.Pos.Filename), d.Analyzer, d.Message)
+}
+
+// applyBaseline filters diags against the baseline multiset. It returns
+// the surviving (non-baselined) diagnostics and the stale entries —
+// baseline lines that matched nothing, each a finding that has been fixed
+// and should be deleted from the file. Stale entries warn rather than
+// fail: a burndown should never be punished for overshooting.
+func applyBaseline(root string, diags []Diagnostic, base map[string]int) (surviving []Diagnostic, stale []string) {
+	remaining := make(map[string]int, len(base))
+	for k, n := range base {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey(root, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		surviving = append(surviving, d)
+	}
+	for k, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return surviving, stale
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// gorotermAnalyzer extends the unbounded-goroutine rule in locks.go with a
+// termination requirement on the serving paths: every `go` statement in a
+// function reachable from a Query*/Handle*/Serve*/Build*/New*/main entry
+// point must have a provable termination path. Two rules, applied to the
+// goroutine body resolved through resolveGoBody (inline literals, local
+// `worker := func(){}` bindings, package functions, and the `go w.loop()`
+// method form):
+//
+//   - an unconditional `for {}` loop in the body must be able to hear a
+//     stop signal: a select with a receive case, a bare channel receive,
+//     or a range over a channel inside the loop. A WaitGroup does NOT
+//     excuse an infinite loop — a tracked goroutine that never calls Done
+//     deadlocks the Wait instead of leaking, which is not better;
+//   - a straight-line body must leave termination evidence the launcher
+//     (or a drain guard) can observe: a channel send or close, a
+//     WaitGroup.Done, a receive, a select, a range over a channel — or
+//     the launching function itself must use a WaitGroup.
+//
+// Goroutines running a callee from another package resolve to nil and are
+// trusted: the callee owns its lifecycle, and whole-program analysis is
+// out of scope (see resolveGoBody). Genuinely process-lifetime goroutines
+// carry an `//sqlint:ignore goroterm <reason>` or a baseline entry.
+var gorotermAnalyzer = &Analyzer{
+	Name: "goroterm",
+	Doc:  "goroutines on serving paths must have a provable termination path",
+	Applies: func(path string) bool {
+		return pathMatchesAny(path,
+			"internal/core", "internal/inflight", "internal/telemetry",
+			"internal/index", "sqserver", "sqquery")
+	},
+	Run: runGoroterm,
+}
+
+func runGoroterm(pass *Pass) {
+	reachable := reachableFuncs(pass, "Query", "Handle", "handle", "Serve", "serve", "Build", "New", "main")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); !ok || !reachable[obj] {
+				continue
+			}
+			checkGoTermination(pass, fd)
+		}
+	}
+}
+
+func checkGoTermination(pass *Pass, fd *ast.FuncDecl) {
+	localLits := localFuncBindings(pass, fd.Body)
+	launcherWaits := funcUsesWaitGroup(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := resolveGoBody(pass, gs, localLits)
+		if body == nil {
+			return true // cross-package callee: trusted to own its lifecycle
+		}
+		for _, loop := range infiniteLoops(body) {
+			if !loopReceivesSignal(pass, loop) {
+				pass.Reportf(gs.Pos(), "goroutine launched in %s loops forever with no way to hear a stop signal; select on a Cancel/stop channel inside the loop", fd.Name.Name)
+				return true
+			}
+		}
+		if !bodyHasTerminationEvidence(pass, body) && !launcherWaits {
+			pass.Reportf(gs.Pos(), "goroutine launched in %s has no provable termination path; track it with a WaitGroup, signal completion over a channel, or select on cancellation", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// funcUsesWaitGroup reports whether body touches a sync.WaitGroup
+// (Add/Done/Wait) — the launcher-side completion bound locks.go accepts.
+func funcUsesWaitGroup(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Add", "Done", "Wait":
+				if isNamedType(pass.Info.Types[sel.X].Type, "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// infiniteLoops collects the unconditional `for {}` statements directly in
+// body, not descending into nested function literals (those run on their
+// own goroutine or call site and are analyzed where they are launched).
+func infiniteLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				out = append(out, n)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopReceivesSignal reports whether the infinite loop body contains a way
+// to hear a stop signal each iteration: a select with at least one receive
+// case, a bare receive expression, or a range over a channel.
+func loopReceivesSignal(pass *Pass, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if commIsReceive(cc.Comm) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.Info.Types[n.X].Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// commIsReceive reports whether a select comm clause statement is a
+// receive (`case <-ch:` or `case v := <-ch:`); nil (default) and send
+// clauses are not.
+func commIsReceive(comm ast.Stmt) bool {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		un, ok := s.X.(*ast.UnaryExpr)
+		return ok && un.Op.String() == "<-"
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			un, ok := s.Rhs[0].(*ast.UnaryExpr)
+			return ok && un.Op.String() == "<-"
+		}
+	}
+	return false
+}
+
+// bodyHasTerminationEvidence reports whether the goroutine body contains
+// something a launcher or drain guard can observe ending: a send, a
+// close, a WaitGroup.Done, a receive, a select, or a range over a channel
+// (which ends when the owner closes it).
+func bodyHasTerminationEvidence(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.Info.Types[n.X].Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isNamedType(pass.Info.Types[sel.X].Type, "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -22,16 +22,38 @@
 //	            internal/core or cmd/sqserver (reachable from a
 //	            Query*/handle* entry point) defers a recover; a panic
 //	            escaping a goroutine kills the process.
+//	atomichygiene — fields accessed through sync/atomic anywhere must be
+//	            accessed that way everywhere; atomic.Pointer.Load results
+//	            need nil guards before dereference; typed atomics are
+//	            never copied by value; CAS retry loops reload or back off.
+//	goroterm  — goroutines launched on the serving paths (reachable from
+//	            Query*/Handle*/Serve*/Build*/New*/main) need a provable
+//	            termination path: infinite loops must hear a stop signal,
+//	            straight-line bodies must leave completion evidence.
+//	chansend  — blocking channel sends/receives on the serving paths need
+//	            a select with a cancellation alternative or a buffered
+//	            channel; close is called only by the owning side.
+//	atomicalign — 64-bit fields used with the function-style sync/atomic
+//	            API stay 8-byte aligned under 32-bit struct layouts.
 //
 // Findings can be suppressed — with a mandatory justification — by a
 // comment on the same line or the line above:
 //
 //	//sqlint:ignore locks single consumer; lifetime bounded by Build
 //
+// Known legacy findings live in a checked-in baseline (cmd/sqlint/
+// baseline.txt): `-baseline file` tolerates exactly those findings (keyed
+// by path, analyzer and message — line numbers don't matter) and fails on
+// anything new, so analyzers land strict-on-new-code while the backlog is
+// burned down explicitly. Regenerate with -format=baseline.
+//
 // Usage:
 //
 //	go run ./cmd/sqlint ./...
 //	go run ./cmd/sqlint -tags sqdebug ./internal/... ./cmd/...
+//	go run ./cmd/sqlint -baseline cmd/sqlint/baseline.txt ./...
+//	go run ./cmd/sqlint -only=chansend -format=json ./internal/core/...
+//	go run ./cmd/sqlint -list
 //
 // Exit status: 0 clean, 1 findings, 2 load or internal error.
 //
@@ -45,8 +67,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
+	"time"
 )
 
 // analyzers is the registry, in output order.
@@ -57,6 +79,10 @@ var analyzers = []*Analyzer{
 	ctxbudgetAnalyzer,
 	errwrapAnalyzer,
 	recoverhygieneAnalyzer,
+	atomichygieneAnalyzer,
+	gorotermAnalyzer,
+	chansendAnalyzer,
+	atomicalignAnalyzer,
 }
 
 func main() {
@@ -67,14 +93,30 @@ func run(args []string, out *os.File) int {
 	fs := flag.NewFlagSet("sqlint", flag.ContinueOnError)
 	tags := fs.String("tags", "", "comma-separated extra build tags (e.g. sqdebug)")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	format := fs.String("format", "text", "output format: text, json, github (CI annotations), baseline")
+	baselinePath := fs.String("baseline", "", "baseline file of tolerated findings (see cmd/sqlint/baseline.txt)")
+	verbose := fs.Bool("v", false, "print per-analyzer timing to stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: sqlint [-tags tags] [-only names] packages...")
+		fmt.Fprintln(fs.Output(), "usage: sqlint [-tags tags] [-only names] [-format f] [-baseline file] [-v] packages...")
 		for _, a := range analyzers {
-			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	switch *format {
+	case "text", "json", "github", "baseline":
+	default:
+		fmt.Fprintf(os.Stderr, "sqlint: unknown -format=%s (want text, json, github or baseline)\n", *format)
 		return 2
 	}
 	patterns := fs.Args()
@@ -87,37 +129,81 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintln(os.Stderr, "sqlint:", err)
 		return 2
 	}
-	diags, err := Lint(cwd, patterns, splitList(*tags), splitList(*only))
+	diags, timings, err := lintTimed(cwd, patterns, splitList(*tags), splitList(*only))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {
-			rel = r
+	if *verbose {
+		printTimings(os.Stderr, timings)
+	}
+	if *baselinePath != "" {
+		base, err := parseBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlint:", err)
+			return 2
 		}
-		fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		var stale []string
+		diags, stale = applyBaseline(cwd, diags, base)
+		for _, k := range stale {
+			fmt.Fprintf(os.Stderr, "sqlint: stale baseline entry (finding fixed — delete the line): %s\n", k)
+		}
+	}
+
+	switch *format {
+	case "json":
+		if err := writeJSON(out, cwd, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlint:", err)
+			return 2
+		}
+	case "github":
+		writeGitHub(out, cwd, diags)
+	case "baseline":
+		for _, d := range diags {
+			fmt.Fprintln(out, baselineKey(cwd, d))
+		}
+	default:
+		writeText(out, cwd, diags)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(out, "sqlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// AnalyzerTiming aggregates one analyzer's work across every package it
+// ran on — surfaced by -v so slow passes are visible before they slow CI.
+type AnalyzerTiming struct {
+	Name     string
+	Packages int
+	Total    time.Duration
+}
+
+func printTimings(out *os.File, timings []AnalyzerTiming) {
+	for _, tm := range timings {
+		fmt.Fprintf(out, "sqlint: %-14s %3d package(s)  %s\n", tm.Name, tm.Packages, tm.Total.Round(10*time.Microsecond))
+	}
 }
 
 // Lint loads the packages matched by patterns under the module containing
 // dir and returns the surviving diagnostics, sorted by position. It is the
 // testable core of the command.
 func Lint(dir string, patterns, tags, only []string) ([]Diagnostic, error) {
+	diags, _, err := lintTimed(dir, patterns, tags, only)
+	return diags, err
+}
+
+// lintTimed is Lint plus per-analyzer wall-clock accounting, in registry
+// order.
+func lintTimed(dir string, patterns, tags, only []string) ([]Diagnostic, []AnalyzerTiming, error) {
 	rootDir, module, err := findModuleRoot(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	l := newLoader(rootDir, module, tags)
 	paths, err := expandPatterns(l, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	selected := analyzers
 	if len(only) > 0 {
@@ -132,15 +218,16 @@ func Lint(dir string, patterns, tags, only []string) ([]Diagnostic, error) {
 			}
 		}
 		if len(selected) == 0 {
-			return nil, fmt.Errorf("no analyzers match -only=%s", strings.Join(only, ","))
+			return nil, nil, fmt.Errorf("no analyzers match -only=%s", strings.Join(only, ","))
 		}
 	}
 
+	spent := map[string]*AnalyzerTiming{}
 	var diags []Diagnostic
 	for _, path := range paths {
 		p, err := l.load(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var pkgDiags []Diagnostic
 		ignores := collectIgnores(l.fset, p.files, &pkgDiags)
@@ -157,12 +244,26 @@ func Lint(dir string, patterns, tags, only []string) ([]Diagnostic, error) {
 				Info:     p.info,
 				diags:    &pkgDiags,
 			}
+			start := time.Now()
 			a.Run(pass)
+			tm := spent[a.Name]
+			if tm == nil {
+				tm = &AnalyzerTiming{Name: a.Name}
+				spent[a.Name] = tm
+			}
+			tm.Packages++
+			tm.Total += time.Since(start)
 		}
 		diags = append(diags, applyIgnores(pkgDiags, ignores)...)
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	var timings []AnalyzerTiming
+	for _, a := range selected {
+		if tm := spent[a.Name]; tm != nil {
+			timings = append(timings, *tm)
+		}
+	}
+	return diags, timings, nil
 }
 
 func splitList(s string) []string {

@@ -65,67 +65,14 @@ func packageRecoverFuncs(pass *Pass) map[*types.Func]bool {
 // cannot be shown to establish a recover boundary.
 func checkGoRecovers(pass *Pass, fd *ast.FuncDecl, recovers map[*types.Func]bool) {
 	// Local `name := func() {...}` bindings, so `go worker()` resolves.
-	localLits := map[types.Object]*ast.FuncLit{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != len(as.Rhs) {
-			return true
-		}
-		for i, lhs := range as.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			lit, ok := as.Rhs[i].(*ast.FuncLit)
-			if !ok {
-				continue
-			}
-			if obj := pass.Info.Defs[id]; obj != nil {
-				localLits[obj] = lit
-			} else if obj := pass.Info.Uses[id]; obj != nil {
-				localLits[obj] = lit
-			}
-		}
-		return true
-	})
-
-	declBody := func(tf *types.Func) *ast.BlockStmt {
-		for _, f := range pass.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && obj == tf {
-					return fd.Body
-				}
-			}
-		}
-		return nil
-	}
+	localLits := localFuncBindings(pass, fd.Body)
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		gs, ok := n.(*ast.GoStmt)
 		if !ok {
 			return true
 		}
-		var body *ast.BlockStmt
-		switch fun := gs.Call.Fun.(type) {
-		case *ast.FuncLit:
-			body = fun.Body
-		case *ast.Ident:
-			if obj := pass.Info.Uses[fun]; obj != nil {
-				if lit, ok := localLits[obj]; ok {
-					body = lit.Body
-				} else if tf, ok := obj.(*types.Func); ok {
-					body = declBody(tf)
-				}
-			}
-		case *ast.SelectorExpr:
-			if tf, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
-				body = declBody(tf)
-			}
-		}
+		body := resolveGoBody(pass, gs, localLits)
 		if body == nil {
 			pass.Reportf(gs.Pos(), "goroutine in %s on the query path runs a function this analyzer cannot resolve; inline a func literal with a deferred recover", fd.Name.Name)
 			return true

@@ -107,7 +107,9 @@ func TestSuppressionsApplied(t *testing.T) {
 	}
 }
 
-// TestCleanTree is the acceptance gate: the real module must lint clean.
+// TestCleanTree is the acceptance gate: the real module must lint clean
+// modulo the checked-in baseline, and the baseline itself must carry no
+// stale entries (a fixed finding leaves its line behind otherwise).
 func TestCleanTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short runs (CI runs sqlint directly)")
@@ -120,7 +122,15 @@ func TestCleanTree(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Lint: %v", err)
 	}
-	for _, d := range diags {
+	base, err := parseBaseline("baseline.txt")
+	if err != nil {
+		t.Fatalf("parseBaseline: %v", err)
+	}
+	surviving, stale := applyBaseline(root, diags, base)
+	for _, d := range surviving {
 		t.Errorf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	for _, k := range stale {
+		t.Errorf("stale baseline entry (finding fixed — delete the line): %s", k)
 	}
 }

@@ -1,0 +1,78 @@
+// This file plants goroterm fixtures: goroutines launched from Handle*
+// entry points need a provable termination path — infinite loops must be
+// able to hear a stop signal, straight-line bodies must leave completion
+// evidence.
+package inflight
+
+import (
+	"sync"
+	"time"
+)
+
+// Watcher stands in for the registry watchdog and its background loops.
+type Watcher struct {
+	stop chan struct{}
+	tick chan struct{}
+	in   chan uint64
+}
+
+// pollForever loops with no way to hear a stop signal; the goroutine
+// outlives every query.
+func (w *Watcher) pollForever() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (w *Watcher) HandlePollForever() {
+	go w.pollForever() // want: infinite loop, no stop signal
+}
+
+// pollCancellable selects on the stop channel each iteration: ok.
+func (w *Watcher) pollCancellable() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.tick:
+		}
+	}
+}
+
+func (w *Watcher) HandlePollCancellable() {
+	go w.pollCancellable()
+}
+
+// blockForever stands in for a listener that never returns.
+func blockForever() {}
+
+// serveBlocking is straight-line with nothing a launcher could observe.
+func (w *Watcher) serveBlocking() {
+	blockForever()
+}
+
+func (w *Watcher) HandleDetached() {
+	go w.serveBlocking() // want: no provable termination path
+}
+
+// pump drains until the owning side closes the channel: ok.
+func (w *Watcher) pump() {
+	for v := range w.in {
+		_ = v
+	}
+}
+
+func (w *Watcher) HandleDrain() {
+	go w.pump()
+}
+
+// HandleTracked bounds the goroutine with a WaitGroup and Done: ok.
+func (w *Watcher) HandleTracked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		blockForever()
+	}()
+	wg.Wait()
+}

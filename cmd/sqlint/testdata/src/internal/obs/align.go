@@ -1,0 +1,32 @@
+// This file plants atomicalign fixtures: 64-bit fields used with the
+// function-style sync/atomic API must stay 8-byte aligned under 32-bit
+// layouts.
+package obs
+
+import "sync/atomic"
+
+// gauges64 packs a 32-bit readiness word before its 64-bit counter: under
+// the 386 layout the counter lands at offset 4 and atomic.AddUint64
+// faults at runtime.
+type gauges64 struct {
+	ready uint32
+	hits  uint64 // want: misaligned 64-bit atomic field
+}
+
+func (g *gauges64) bump() { atomic.AddUint64(&g.hits, 1) }
+
+// gauges64Front puts the 64-bit field first: offset 0 is always aligned.
+type gauges64Front struct {
+	hits  uint64
+	ready uint32
+}
+
+func (g *gauges64Front) bumpFront() { atomic.AddUint64(&g.hits, 1) }
+
+// gaugesTyped uses the typed wrapper, which self-aligns since Go 1.19.
+type gaugesTyped struct {
+	ready uint32
+	hits  atomic.Uint64
+}
+
+func (g *gaugesTyped) bumpTyped() { g.hits.Add(1) }

@@ -1,0 +1,148 @@
+// This file plants atomichygiene fixtures: fields accessed through
+// sync/atomic anywhere must be accessed that way everywhere, Pointer
+// loads need nil guards, typed atomics must not be copied by value, and
+// CAS retry loops must reload or back off.
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Stats mixes function-style atomic access with plain access to hits;
+// misses is only ever touched plainly and stays legal.
+type Stats struct {
+	hits   uint64
+	misses uint64
+}
+
+func (s *Stats) record() { atomic.AddUint64(&s.hits, 1) }
+
+// peek reads hits without the atomic API.
+func (s *Stats) peek() uint64 {
+	return s.hits // want: plain read of atomically-written field
+}
+
+// reset writes hits without the atomic API.
+func (s *Stats) reset() {
+	s.hits = 0 // want: plain write of atomically-written field
+}
+
+// peekAtomic is the compliant read.
+func (s *Stats) peekAtomic() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+// missTotal: misses is never accessed atomically, so a plain read is fine.
+func (s *Stats) missTotal() uint64 {
+	return s.misses
+}
+
+// hitsCell hands out the address; the pointer preserves atomicity.
+func (s *Stats) hitsCell() *uint64 {
+	return &s.hits
+}
+
+// Config is the CAS-published payload behind Shared.cur.
+type Config struct {
+	Limit int
+}
+
+// Cap is nil-safe by contract, like the registry handle methods.
+func (c *Config) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.Limit
+}
+
+// Shared stands in for the exporter's lock-free shared state.
+type Shared struct {
+	max   atomic.Int64
+	cur   atomic.Pointer[Config]
+	slots []atomic.Int64
+}
+
+// PeekLimit dereferences a Load result in one expression: no room for the
+// nil check a CAS-published slot needs.
+func (s *Shared) PeekLimit() int {
+	return s.cur.Load().Limit // want: unguarded Pointer.Load deref
+}
+
+// LimitGuarded binds and checks: ok.
+func (s *Shared) LimitGuarded() int {
+	if c := s.cur.Load(); c != nil {
+		return c.Limit
+	}
+	return 0
+}
+
+// CapOK calls a nil-safe method on the Load result: ok by contract.
+func (s *Shared) CapOK() int {
+	return s.cur.Load().Cap()
+}
+
+// CopyMax copies the typed atomic out of its cell; the copy is severed
+// from every other goroutine's updates.
+func (s *Shared) CopyMax() int64 {
+	m := s.max // want: copies atomic.Int64 by value
+	return m.Load()
+}
+
+// MaxOK uses the method set and the address: ok.
+func (s *Shared) MaxOK() int64 {
+	s.max.Add(0)
+	_ = &s.max
+	return s.max.Load()
+}
+
+// SlotOK indexes into a slice of typed atomics without copying: ok.
+func (s *Shared) SlotOK(i int) int64 {
+	for j := range s.slots {
+		_ = j
+	}
+	if i < len(s.slots) {
+		return s.slots[i].Load()
+	}
+	return 0
+}
+
+// SpinPublish retries a CAS against an expected value captured before the
+// loop: once stale, it spins forever.
+func (s *Shared) SpinPublish(c *Config) {
+	old := s.cur.Load()
+	for { // want: CAS loop never reloads or backs off
+		if s.cur.CompareAndSwap(old, c) {
+			return
+		}
+	}
+}
+
+// BumpMax reloads inside the loop: ok.
+func (s *Shared) BumpMax(v int64) {
+	for {
+		old := s.max.Load()
+		if old >= v || s.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// SpinBackoff yields between attempts: ok.
+func (s *Shared) SpinBackoff(c *Config) {
+	for {
+		if s.cur.CompareAndSwap(nil, c) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Box covers the explicit-star deref form.
+type Box struct {
+	v atomic.Pointer[int]
+}
+
+func (b *Box) Deref() int {
+	return *b.v.Load() // want: unguarded Pointer.Load deref
+}

@@ -229,6 +229,96 @@ func rootIdent(e ast.Expr) *ast.Ident {
 	}
 }
 
+// localFuncBindings collects `name := func() {...}` (and `name = func()`,
+// `var name = func()`) bindings below root, keyed by the bound object —
+// so `go worker()` can be resolved to the literal's body. Reassignments
+// keep the last literal seen in source order, matching how the worker
+// pools in internal/core bind once and launch below.
+func localFuncBindings(pass *Pass, root ast.Node) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	bind := func(id *ast.Ident, lit *ast.FuncLit) {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			out[obj] = lit
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			out[obj] = lit
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if lit, ok := st.Rhs[i].(*ast.FuncLit); ok {
+					bind(id, lit)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) != len(st.Values) {
+				return true
+			}
+			for i, id := range st.Names {
+				if lit, ok := st.Values[i].(*ast.FuncLit); ok {
+					bind(id, lit)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// funcDeclBody returns the body of the package-level declaration (function
+// or method) of tf, or nil when tf is not declared in this package.
+func funcDeclBody(pass *Pass, tf *types.Func) *ast.BlockStmt {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && obj == tf {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// resolveGoBody resolves the body a `go` statement will execute: an inline
+// func literal, a local `worker := func() {...}` binding (looked up in
+// localLits), a package-level function, or a method of a package-local
+// type (the `go w.loop()` method-value form). Returns nil when the callee
+// is declared outside this package — whole-program resolution is out of
+// scope, and callers decide whether unresolved means "flag" (recover
+// hygiene: the boundary must be visible) or "trust" (termination: assume
+// the callee owns its lifecycle).
+func resolveGoBody(pass *Pass, gs *ast.GoStmt, localLits map[types.Object]*ast.FuncLit) *ast.BlockStmt {
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := pass.Info.Uses[fun]; obj != nil {
+			if lit, ok := localLits[obj]; ok {
+				return lit.Body
+			}
+			if tf, ok := obj.(*types.Func); ok {
+				return funcDeclBody(pass, tf)
+			}
+		}
+	case *ast.SelectorExpr:
+		if tf, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return funcDeclBody(pass, tf)
+		}
+	}
+	return nil
+}
+
 // implementsError reports whether t implements the error interface.
 func implementsError(t types.Type) bool {
 	if t == nil {

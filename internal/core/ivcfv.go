@@ -274,7 +274,14 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			if stop {
 				break
 			}
-			jobs <- gid
+			select {
+			case jobs <- gid:
+			case <-opts.Cancel:
+				// Cancelled while every worker is busy: stop feeding the
+				// pool instead of blocking on the send forever. The halt
+				// check above records the cancellation next iteration; a
+				// nil Cancel never fires.
+			}
 		}
 		close(jobs)
 		wg.Wait()

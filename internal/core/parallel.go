@@ -199,7 +199,15 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		if stop {
 			break
 		}
-		jobs <- gid
+		select {
+		case jobs <- gid:
+		case <-opts.Cancel:
+			// Cancelled while every worker is busy: stop feeding the pool
+			// instead of blocking on the send forever. The halt check at
+			// the top of the next iteration records the cancellation on
+			// the result; a nil Cancel never fires, so the select
+			// degenerates to the plain send.
+		}
 	}
 	close(jobs)
 	wg.Wait()
