@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check lint test test-sqdebug test-sqchaos fuzz bench bench-real bench-synthetic bench-json benchcmp benchcmp-check clean
+.PHONY: build check lint test test-sqdebug test-sqchaos fuzz bench bench-real bench-synthetic bench-json bench-dense benchcmp benchcmp-check clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ bench-json:
 	mkdir -p bench-out
 	$(GO) run ./cmd/sqbench real -scale 0.005 -queries 3 \
 		-index-budget 30s -query-budget 2s -json-dir bench-out
+
+# Dense-query bench smoke: rerun the real study into bench-out and
+# self-diff it, verifying the dense induced track (Q4I..Q32I) is present
+# in every report and the whole gate plumbing (schema, pairing, diff)
+# holds. Hardware-independent, so CI runs it on every push.
+bench-dense: bench-json
+	BENCH_BASE=bench-out BENCH_CUR=bench-out sh scripts/benchdiff.sh --check
 
 # Bench-regression gate: rerun the small-scale real study into bench-out
 # and fail if any per-engine, per-query-set p50 latency regressed more

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"subgraphquery/internal/bench"
 )
@@ -22,8 +23,9 @@ func runDiff(args []string, out io.Writer) error {
 	curPath := fs.String("cur", "", "current report file or directory of BENCH_*.json")
 	threshold := fs.Float64("threshold", bench.DefaultDiffThreshold, "relative p50 slowdown that fails the gate (0.15 = +15%)")
 	floor := fs.Int64("floor", bench.DefaultDiffFloorUS, "noise floor in µs; cells below it in both reports are skipped")
+	requireSets := fs.String("require-sets", "", "comma-separated query-set names every current report must contain (tracks can't silently vanish)")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: sqbench diff -base <file|dir> -cur <file|dir> [-threshold 0.15] [-floor 500]")
+		fmt.Fprintln(fs.Output(), "usage: sqbench diff -base <file|dir> -cur <file|dir> [-threshold 0.15] [-floor 500] [-require-sets Q4I,Q8I]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -47,6 +49,9 @@ func runDiff(args []string, out io.Writer) error {
 		}
 		cur, err := bench.ReadReport(p.cur)
 		if err != nil {
+			return err
+		}
+		if err := checkRequiredSets(cur, *requireSets); err != nil {
 			return err
 		}
 		deltas, missing, err := bench.DiffReports(base, cur, *floor)
@@ -74,6 +79,25 @@ func runDiff(args []string, out io.Writer) error {
 	}
 	if regressions > 0 {
 		return fmt.Errorf("diff: %d cell(s) regressed beyond +%.0f%%", regressions, *threshold*100)
+	}
+	return nil
+}
+
+// checkRequiredSets fails when a current report is missing one of the
+// comma-separated query sets — the guard that keeps a measured track (the
+// dense Q*I sets in CI) from silently disappearing from the gate.
+func checkRequiredSets(cur bench.BenchReport, required string) error {
+	if required == "" {
+		return nil
+	}
+	for _, name := range strings.Split(required, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := cur.QuerySets[name]; !ok {
+			return fmt.Errorf("diff: required query set %s missing from current report for %s", name, cur.Dataset)
+		}
 	}
 	return nil
 }

@@ -28,7 +28,7 @@ var hotallocAnalyzer = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "forbid per-iteration heap allocation (make/new/arena constructors/append into fresh slices) in hot-path loops",
 	Applies: func(path string) bool {
-		return pathMatchesAny(path, "internal/matching", "internal/core", "internal/telemetry", "internal/inflight")
+		return pathMatchesAny(path, "internal/matching", "internal/core", "internal/telemetry", "internal/inflight", "internal/domain")
 	},
 	Run: runHotalloc,
 }
@@ -61,6 +61,11 @@ var hotallocFiles = map[string]bool{
 	"event.go":       true,
 	"export.go":      true,
 	"profile.go":     true,
+	// internal/domain: the bit-matrix candidate domains every filter's
+	// per-vertex loops mutate — Add/Remove/Row run once per candidate
+	// vertex, so the whole package is hot.
+	"domain.go": true,
+	"switch.go": true,
 	// internal/inflight: the live-handle fast path — progress ticks land on
 	// the handle's atomic counters from the enumeration loop, and the
 	// registry's slot claim runs per query. Snapshotting (snapshot.go) is the

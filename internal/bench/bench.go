@@ -138,12 +138,15 @@ func IsIndexed(name string) bool {
 	return false
 }
 
-// querySets generates the eight query sets (4 sizes × sparse/dense) for a
-// database.
+// querySets generates the twelve query sets (4 sizes × sparse/dense/
+// induced) for a database. The induced sets (Q*I) are the dense track the
+// bench-diff gate watches: vertex-induced extraction maximizes average
+// degree, which is where candidate sets are large and the bit-matrix
+// domains and jump-redo backtracking matter.
 func querySets(db *graph.Database, cfg Config) (map[string][]*graph.Graph, []string, error) {
 	sets := make(map[string][]*graph.Graph)
 	var names []string
-	for _, method := range []gen.QueryMethod{gen.QueryRandomWalk, gen.QueryBFS} {
+	for _, method := range []gen.QueryMethod{gen.QueryRandomWalk, gen.QueryBFS, gen.QueryInduced} {
 		for _, edges := range QueryEdgeSizes {
 			qc := gen.QuerySetConfig{
 				Count:  cfg.QueryCount,

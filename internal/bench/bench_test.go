@@ -186,7 +186,7 @@ func TestRunRealSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ev.Datasets) != 4 || len(ev.QuerySetNames) != 8 {
+	if len(ev.Datasets) != 4 || len(ev.QuerySetNames) != 12 {
 		t.Fatalf("got %d datasets, %d query sets", len(ev.Datasets), len(ev.QuerySetNames))
 	}
 	for _, ds := range ev.Datasets {

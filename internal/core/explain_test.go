@@ -43,10 +43,18 @@ func TestExplainCFQLStages(t *testing.T) {
 			t.Errorf("stage %q missing (have %v)", want, names)
 		}
 	}
-	// Every data graph enters LDF; only survivors proceed.
+	// Every data graph passes through the label-pair prefilter; only the
+	// survivors enter LDF, and only LDF survivors proceed further.
+	if s.Prefilter == nil {
+		t.Fatal("prefilter stats missing")
+	}
+	if s.Prefilter.Graphs != db.Len() {
+		t.Errorf("prefilter saw %d graphs, want %d", s.Prefilter.Graphs, db.Len())
+	}
+	passed := s.Prefilter.Graphs - s.Prefilter.Pruned
 	for _, st := range s.Stages {
-		if st.Name == obs.StageCFLLDF && st.Graphs != db.Len() {
-			t.Errorf("ldf saw %d graphs, want %d", st.Graphs, db.Len())
+		if st.Name == obs.StageCFLLDF && st.Graphs != passed {
+			t.Errorf("ldf saw %d graphs, want %d prefilter survivors", st.Graphs, passed)
 		}
 		if len(st.SumPerVertex) != q.NumVertices() {
 			t.Errorf("stage %s has %d vertex sums, want %d", st.Name, len(st.SumPerVertex), q.NumVertices())

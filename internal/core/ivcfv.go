@@ -200,6 +200,7 @@ func (e *ivcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		if o != nil {
 			o.ObserveVerify(gid, r.Steps, g2.verify, r.Found())
 		}
+		ex.ObserveEnumerate(r.Jumps, r.Redos, r.ProbeIsects, r.MergeIsects)
 		g2.r = r
 		return g2
 	}

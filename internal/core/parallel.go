@@ -120,6 +120,7 @@ func (e *parallelVcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 			if o != nil {
 				o.ObserveVerify(gid, r.Steps, verifyTime, r.Found())
 			}
+			ex.ObserveEnumerate(r.Jumps, r.Redos, r.ProbeIsects, r.MergeIsects)
 		}
 
 		mu.Lock()

@@ -157,6 +157,7 @@ func (e *vcFV) Query(q *graph.Graph, opts QueryOptions) (res *Result) {
 		if o != nil {
 			o.ObserveVerify(gid, r.Steps, dv, r.Found())
 		}
+		ex.ObserveEnumerate(r.Jumps, r.Redos, r.ProbeIsects, r.MergeIsects)
 		res.VerifySteps += r.Steps
 		if r.Aborted {
 			noteAbort(&opts, res)

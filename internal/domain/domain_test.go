@@ -1,0 +1,135 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatrixAgainstMap cross-checks Add/Remove/Contains/Count and the
+// maintained cardinalities against map-based reference sets, across
+// resets of differing shapes so epoch reuse is exercised.
+func TestMatrixAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var m Matrix
+	for round := 0; round < 40; round++ {
+		nq := 1 + rng.Intn(8)
+		nd := 1 + rng.Intn(1<<11)
+		m.Reset(nq, nd)
+		if m.NumRows() != nq || m.NData() != nd {
+			t.Fatalf("round %d: shape (%d,%d), want (%d,%d)", round, m.NumRows(), m.NData(), nq, nd)
+		}
+		ref := make([]map[uint32]bool, nq)
+		for u := range ref {
+			ref[u] = map[uint32]bool{}
+		}
+		for op := 0; op < 500; op++ {
+			u := rng.Intn(nq)
+			v := uint32(rng.Intn(nd))
+			switch rng.Intn(3) {
+			case 0:
+				if got, want := m.Add(u, v), !ref[u][v]; got != want {
+					t.Fatalf("round %d: Add(%d,%d) = %v, want %v", round, u, v, got, want)
+				}
+				ref[u][v] = true
+			case 1:
+				if got, want := m.Remove(u, v), ref[u][v]; got != want {
+					t.Fatalf("round %d: Remove(%d,%d) = %v, want %v", round, u, v, got, want)
+				}
+				delete(ref[u], v)
+			case 2:
+				if m.Contains(u, v) != ref[u][v] {
+					t.Fatalf("round %d: Contains(%d,%d) = %v, want %v", round, u, v, m.Contains(u, v), ref[u][v])
+				}
+			}
+		}
+		anyEmpty := false
+		for u := range ref {
+			if m.Count(u) != len(ref[u]) {
+				t.Fatalf("round %d: Count(%d) = %d, want %d", round, u, m.Count(u), len(ref[u]))
+			}
+			if got := m.RecountRow(u); got != len(ref[u]) {
+				t.Fatalf("round %d: RecountRow(%d) = %d, want %d", round, u, got, len(ref[u]))
+			}
+			wantD := float64(len(ref[u])) / float64(nd)
+			if m.Density(u) != wantD {
+				t.Fatalf("round %d: Density(%d) = %v, want %v", round, u, m.Density(u), wantD)
+			}
+			if len(ref[u]) == 0 {
+				anyEmpty = true
+			}
+		}
+		if m.AnyEmpty() != anyEmpty {
+			t.Fatalf("round %d: AnyEmpty() = %v, want %v", round, m.AnyEmpty(), anyEmpty)
+		}
+	}
+}
+
+// TestMatrixRowBulkRefine: refining a row through bulk word operations on
+// Row(u) plus RecountRow keeps the matrix consistent — the exact protocol
+// the filter stages use.
+func TestMatrixRowBulkRefine(t *testing.T) {
+	var m Matrix
+	m.Reset(2, 300)
+	for v := uint32(0); v < 300; v += 2 {
+		m.Add(0, v)
+	}
+	for v := uint32(0); v < 300; v += 3 {
+		m.Add(1, v)
+	}
+	m.Row(0).And(m.Row(1)) // keep multiples of 6
+	if got := m.RecountRow(0); got != 50 {
+		t.Fatalf("RecountRow(0) = %d, want 50", got)
+	}
+	if m.Count(0) != 50 || !m.Contains(0, 6) || m.Contains(0, 2) {
+		t.Fatal("row 0 inconsistent after bulk refine")
+	}
+}
+
+// TestMatrixResetAllocs: once grown, per-data-graph Reset plus the
+// domain hot-path operations must not allocate.
+func TestMatrixResetAllocs(t *testing.T) {
+	var m Matrix
+	m.Reset(8, 1<<12)
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Reset(8, 1<<12)
+		m.Add(3, 911)
+		m.Row(3).And(m.Row(4))
+		m.RecountRow(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reset+ops allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestMatrixLiveVsReserved: shrinking the shape shrinks LiveBytes but not
+// ReservedBytes.
+func TestMatrixLiveVsReserved(t *testing.T) {
+	var m Matrix
+	m.Reset(8, 1<<12)
+	bigLive, bigReserved := m.LiveBytes(), m.ReservedBytes()
+	m.Reset(2, 128)
+	if m.LiveBytes() >= bigLive {
+		t.Fatalf("live bytes %d did not shrink from %d", m.LiveBytes(), bigLive)
+	}
+	if m.ReservedBytes() < bigReserved {
+		t.Fatalf("reserved bytes %d dropped below %d after shrink", m.ReservedBytes(), bigReserved)
+	}
+}
+
+// TestSwitchHeuristics pins the shape of the representation switch: probe
+// for large candidate sets, merge for tiny ones; bits generation for
+// dense labels, chain for rare ones.
+func TestSwitchHeuristics(t *testing.T) {
+	if !UseProbe(1000, 50) {
+		t.Fatal("UseProbe should probe when candidates outnumber neighbors")
+	}
+	if UseProbe(1, 1000) {
+		t.Fatal("UseProbe should merge when the candidate set is tiny")
+	}
+	if !UseBitsGenerate(4096, 4096) {
+		t.Fatal("UseBitsGenerate should use bits at full density")
+	}
+	if UseBitsGenerate(1, 1<<20) {
+		t.Fatal("UseBitsGenerate should use the chain path for a tiny scatter volume")
+	}
+}

@@ -1,0 +1,72 @@
+package domain
+
+import "fmt"
+
+// Runtime invariant assertions for the bit-matrix domains, active only
+// under the sqdebug build tag (see sqdebug_on.go):
+//
+//   - shape validity: every row addresses the full data-vertex universe
+//     (an undersized row would silently drop high-id candidates);
+//   - popcount consistency: the maintained cardinality of each row equals
+//     its population count — the contract RecountRow restores after bulk
+//     refinement, and which Density, UseProbe and the empty-row filtering
+//     condition all read;
+//   - domain soundness: every member passes the caller's compatibility
+//     predicate (in the filters: label equality), so a refinement kernel
+//     that leaks incompatible vertices fails loudly instead of producing
+//     spurious embeddings downstream.
+//
+// Violations panic: a domain matrix that lies about its cardinalities or
+// members corrupts both the representation switch and the filtering
+// condition, which are wrong-answer bugs, not recoverable conditions.
+
+func debugFailf(format string, args ...any) {
+	panic("domain: invariant violation: " + fmt.Sprintf(format, args...))
+}
+
+// DebugCheckShape panics unless the matrix is shaped for numQuery rows
+// over a numData universe. No-op in normal builds.
+func (m *Matrix) DebugCheckShape(stage string, numQuery, numData int) {
+	if !debugInvariants {
+		return
+	}
+	if len(m.rows) != numQuery || len(m.counts) != numQuery {
+		debugFailf("%s: matrix shaped for %d/%d rows, want %d", stage, len(m.rows), len(m.counts), numQuery)
+	}
+	if m.nData != numData {
+		debugFailf("%s: matrix universe %d, want %d", stage, m.nData, numData)
+	}
+	for u := range m.rows {
+		if m.rows[u].Len() < numData {
+			debugFailf("%s: row %d addresses %d slots, universe is %d", stage, u, m.rows[u].Len(), numData)
+		}
+	}
+}
+
+// DebugCheckCounts panics unless every maintained cardinality equals the
+// row's population count. Call after bulk refinement (post-RecountRow).
+// No-op in normal builds.
+func (m *Matrix) DebugCheckCounts(stage string) {
+	if !debugInvariants {
+		return
+	}
+	for u := range m.rows {
+		if pop := m.rows[u].Count(); pop != int(m.counts[u]) {
+			debugFailf("%s: row %d maintains count %d but holds %d bits", stage, u, m.counts[u], pop)
+		}
+	}
+}
+
+// DebugCheckMembers panics unless every member of row u satisfies ok —
+// the domain ⊆ compatible-set invariant. No-op in normal builds.
+func (m *Matrix) DebugCheckMembers(stage string, u int, ok func(v uint32) bool) {
+	if !debugInvariants {
+		return
+	}
+	m.rows[u].IterateSet(func(v uint32) bool {
+		if !ok(v) {
+			debugFailf("%s: row %d contains incompatible vertex %d", stage, u, v)
+		}
+		return true
+	})
+}

@@ -1,0 +1,69 @@
+//go:build sqdebug
+
+package domain
+
+import (
+	"strings"
+	"testing"
+)
+
+// Corruption tests for the sqdebug invariant assertions: each test breaks
+// one structural property of a Matrix and checks the matching panic fires.
+
+func mustPanicWith(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func debugMatrix() *Matrix {
+	var m Matrix
+	m.Reset(2, 200)
+	m.Add(0, 3)
+	m.Add(0, 64)
+	m.Add(1, 7)
+	return &m
+}
+
+func TestDebugChecksAcceptConsistentMatrix(t *testing.T) {
+	m := debugMatrix()
+	m.DebugCheckShape("test", 2, 200)
+	m.DebugCheckCounts("test")
+	m.DebugCheckMembers("test", 0, func(v uint32) bool { return v == 3 || v == 64 })
+}
+
+func TestDebugCheckShapeWrongRows(t *testing.T) {
+	m := debugMatrix()
+	mustPanicWith(t, "rows", func() { m.DebugCheckShape("test", 3, 200) })
+}
+
+func TestDebugCheckShapeWrongUniverse(t *testing.T) {
+	m := debugMatrix()
+	mustPanicWith(t, "universe", func() { m.DebugCheckShape("test", 2, 500) })
+}
+
+func TestDebugCheckCountsStaleAfterBulkRefine(t *testing.T) {
+	m := debugMatrix()
+	// Bulk-refine row 0 without RecountRow: the maintained cardinality is
+	// now stale, which is exactly what the check exists to catch.
+	var empty Matrix
+	empty.Reset(1, 200)
+	m.Row(0).And(empty.Row(0))
+	mustPanicWith(t, "maintains count", func() { m.DebugCheckCounts("test") })
+}
+
+func TestDebugCheckMembersIncompatible(t *testing.T) {
+	m := debugMatrix()
+	mustPanicWith(t, "incompatible vertex", func() {
+		m.DebugCheckMembers("test", 0, func(v uint32) bool { return v == 3 })
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !sqdebug
+
+package domain
+
+// debugInvariants is false in normal builds: the invariant checks in
+// invariants.go compile away entirely behind the constant-false branch.
+const debugInvariants = false

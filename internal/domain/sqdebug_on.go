@@ -1,0 +1,8 @@
+//go:build sqdebug
+
+package domain
+
+// debugInvariants enables the runtime invariant assertions of this package
+// (see invariants.go). Build with -tags sqdebug to turn them on; the
+// normal build compiles every check away behind the constant-false branch.
+const debugInvariants = true

@@ -244,6 +244,50 @@ func TestQuerySetName(t *testing.T) {
 	if got := (QuerySetConfig{Edges: 32, Method: QueryBFS}).Name(); got != "Q32D" {
 		t.Errorf("Name = %q, want Q32D", got)
 	}
+	if got := (QuerySetConfig{Edges: 16, Method: QueryInduced}).Name(); got != "Q16I" {
+		t.Errorf("Name = %q, want Q16I", got)
+	}
+}
+
+// TestInducedQuerySet: the vertex-induced extraction produces connected
+// queries with at least the target edge count (bounded overshoot), every
+// one contained in some data graph, and denser on average than the BFS
+// sets of the same nominal size.
+func TestInducedQuerySet(t *testing.T) {
+	db, err := Synthetic(SyntheticConfig{NumGraphs: 20, NumVertices: 60, NumLabels: 5, Degree: 8, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := QuerySet(db, QuerySetConfig{Count: 30, Edges: 8, Method: QueryInduced, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 30 {
+		t.Fatalf("got %d queries, want 30", len(qs))
+	}
+	for qi, q := range qs {
+		if q.NumEdges() < 8 || q.NumEdges() > 16 {
+			t.Fatalf("query %d has %d edges, want within [8,16]", qi, q.NumEdges())
+		}
+		if !q.IsConnected() {
+			t.Fatalf("query %d disconnected", qi)
+		}
+		found := false
+		for i := 0; i < db.Len() && !found; i++ {
+			found = (&matching.VF2{}).FindFirst(q, db.Graph(i), matching.Options{}).Found()
+		}
+		if !found {
+			t.Fatalf("induced query %d has no answers", qi)
+		}
+	}
+	bfs, err := QuerySet(db, QuerySetConfig{Count: 30, Edges: 8, Method: QueryBFS, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, bs := ComputeQuerySetStats(qs), ComputeQuerySetStats(bfs)
+	if is.DegreePerQuery <= bs.DegreePerQuery {
+		t.Errorf("induced degree %.2f should exceed BFS degree %.2f", is.DegreePerQuery, bs.DegreePerQuery)
+	}
 }
 
 func TestQuerySetErrors(t *testing.T) {

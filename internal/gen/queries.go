@@ -8,7 +8,7 @@ import (
 )
 
 // Query generation (§IV-A "Query Sets"): queries are extracted from the
-// data graphs so that every query has at least one answer. Two methods:
+// data graphs so that every query has at least one answer. Three methods:
 //
 //   - QueryRandomWalk (sparse, Q_iS): select a random data graph and start
 //     vertex, perform a random walk adding visited edges and vertices until
@@ -16,22 +16,31 @@ import (
 //   - QueryBFS (dense, Q_iD): as above, but breadth-first — whenever a new
 //     vertex is visited, add the vertex and all its edges to already
 //     visited vertices.
+//   - QueryInduced (dense, Q_iI): grow a vertex set breadth-first and take
+//     the full vertex-induced subgraph — the densest extraction possible on
+//     a given vertex set, maximizing average degree and backward edges.
 
 // QueryMethod selects a query generation strategy.
 type QueryMethod int
 
-// The two generation methods of the paper.
+// The two generation methods of the paper, plus the induced dense track.
 const (
 	QueryRandomWalk QueryMethod = iota // sparse: Q_iS
 	QueryBFS                           // dense: Q_iD
+	QueryInduced                       // dense, vertex-induced: Q_iI
 )
 
-// String returns the paper's suffix for the method ("S" or "D").
+// String returns the set-name suffix for the method ("S", "D" or "I"; the
+// first two are the paper's).
 func (m QueryMethod) String() string {
-	if m == QueryRandomWalk {
+	switch m {
+	case QueryRandomWalk:
 		return "S"
+	case QueryBFS:
+		return "D"
+	default:
+		return "I"
 	}
-	return "D"
 }
 
 // QuerySetConfig parameterizes one query set. The paper generates, per
@@ -67,12 +76,25 @@ func QuerySet(db *graph.Database, cfg QuerySetConfig) ([]*graph.Graph, error) {
 			continue
 		}
 		var q *graph.Graph
-		if cfg.Method == QueryRandomWalk {
+		switch cfg.Method {
+		case QueryRandomWalk:
 			q = walkExtract(r, g, cfg.Edges)
-		} else {
+		case QueryBFS:
 			q = bfsExtract(r, g, cfg.Edges)
+		default:
+			q = inducedExtract(r, g, cfg.Edges)
 		}
-		if q != nil && q.NumEdges() == cfg.Edges {
+		if q == nil {
+			continue
+		}
+		// Walk and BFS extraction hit the edge target exactly; induced
+		// extraction cannot (adopting a vertex adds all its edges into the
+		// visited set at once), so Q_iI accepts a bounded overshoot.
+		if cfg.Method == QueryInduced {
+			if q.NumEdges() >= cfg.Edges && q.NumEdges() <= 2*cfg.Edges {
+				queries = append(queries, q)
+			}
+		} else if q.NumEdges() == cfg.Edges {
 			queries = append(queries, q)
 		}
 	}
@@ -172,6 +194,63 @@ func bfsExtract(r *rand.Rand, g *graph.Graph, edges int) *graph.Graph {
 		}
 	}
 	if x.es.len() != edges {
+		return nil
+	}
+	return x.build()
+}
+
+// inducedExtract grows a vertex set breadth-first from a random start and
+// returns the vertex-induced subgraph once it carries at least the target
+// number of edges: every time a vertex is adopted, *all* of its edges to
+// previously adopted vertices are added, so the result is the densest
+// subgraph on the chosen vertex set. Returns nil when the component is
+// exhausted before reaching the target.
+func inducedExtract(r *rand.Rand, g *graph.Graph, edges int) *graph.Graph {
+	x := newExtraction(g)
+	start := graph.VertexID(r.Intn(g.NumVertices()))
+	x.id(start)
+	visited := map[graph.VertexID]bool{start: true}
+	queue := []graph.VertexID{start}
+	for len(queue) > 0 && x.es.len() < edges {
+		v := queue[r.Intn(len(queue))] // random frontier pick for diversity
+		last := len(queue) - 1
+		for i, w := range queue {
+			if w == v {
+				queue[i] = queue[last]
+				break
+			}
+		}
+		queue = queue[:last]
+		for _, w := range g.Neighbors(v) {
+			if x.es.len() >= edges {
+				break
+			}
+			if visited[w] {
+				continue
+			}
+			// Adopting w adds all its edges into the visited set at once;
+			// skip hubs that would overshoot the 2× acceptance cap (dense
+			// data graphs otherwise rarely land in the accepted band).
+			add := 0
+			for _, u := range g.Neighbors(w) {
+				if visited[u] {
+					add++
+				}
+			}
+			if x.es.len()+add > 2*edges {
+				continue
+			}
+			visited[w] = true
+			queue = append(queue, w)
+			// Induced: adopt every edge from w back into the visited set.
+			for _, u := range g.Neighbors(w) {
+				if visited[u] {
+					x.addEdge(w, u)
+				}
+			}
+		}
+	}
+	if x.es.len() < edges {
 		return nil
 	}
 	return x.build()

@@ -100,6 +100,7 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g.buildLabelIndex()
 	g.buildLabelVertexIndex()
+	g.buildNbrMax()
 	debugCheckGraph(g) // sqdebug builds only; compiles away otherwise
 	return g, nil
 }

@@ -34,6 +34,12 @@ type Graph struct {
 	nlLabels []Label
 	nlEnds   []uint32 // end position (absolute into adj) of each label run
 
+	// Label-pair neighborhood-frequency table (see nbrmax.go): sorted
+	// packed (l1,l2) keys with, per pair, the maximum number of l2-labeled
+	// neighbors over l1-labeled vertices — the per-graph prefilter data.
+	nbrMaxKeys []uint64
+	nbrMaxVals []uint32
+
 	maxDegree  uint32
 	labelCount map[Label]int        // number of vertices per label
 	labelVerts map[Label][]VertexID // vertices per label, ascending
@@ -142,10 +148,12 @@ func (g *Graph) SubsumesProfile(v VertexID, q NLF) bool {
 }
 
 // MemoryFootprint returns the approximate number of bytes held by the CSR
-// arrays of g. This is the "Datasets" storage cost the paper reports: a
-// label array, an offset array and an edge array.
+// arrays of g plus the label-pair prefilter table. This is the "Datasets"
+// storage cost the paper reports — a label array, an offset array and an
+// edge array — with the O(distinct label pairs) table built alongside.
 func (g *Graph) MemoryFootprint() int64 {
-	return int64(len(g.labels))*4 + int64(len(g.offsets))*4 + int64(len(g.adj))*4
+	return int64(len(g.labels))*4 + int64(len(g.offsets))*4 + int64(len(g.adj))*4 +
+		int64(len(g.nbrMaxKeys))*8 + int64(len(g.nbrMaxVals))*4
 }
 
 // String returns a short diagnostic description of g.

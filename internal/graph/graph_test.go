@@ -439,9 +439,69 @@ func TestDatabaseStats(t *testing.T) {
 }
 
 func TestMemoryFootprint(t *testing.T) {
-	g := fig1Data() // 5 vertices, 5 edges
-	want := int64(5*4 + 6*4 + 10*4)
+	// 5 vertices, 5 edges, 6 distinct ordered label pairs around edges
+	// (A-B, A-C, B-A, B-C, C-A, C-B) in the prefilter table.
+	g := fig1Data()
+	want := int64(5*4+6*4+10*4) + int64(6*8+6*4)
 	if got := g.MemoryFootprint(); got != want {
 		t.Errorf("MemoryFootprint = %d, want %d", got, want)
+	}
+}
+
+func TestMaxNeighborsWithLabel(t *testing.T) {
+	g := fig1Data() // labels A,B,C,B,A
+	cases := []struct {
+		l1, l2 Label
+		want   int
+	}{
+		{1, 0, 2}, // v1 (B) has two A-neighbors: v0, v4
+		{2, 1, 2}, // v2 (C) has two B-neighbors: v1, v3
+		{0, 1, 1}, // both A-vertices have one B-neighbor
+		{0, 2, 1}, // v0 (A) has one C-neighbor
+		{0, 0, 0}, // no A-A edge
+		{1, 1, 0}, // no B-B edge
+		{0, 9, 0}, // absent label
+		{9, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := g.MaxNeighborsWithLabel(tc.l1, tc.l2); got != tc.want {
+			t.Errorf("MaxNeighborsWithLabel(%d,%d) = %d, want %d", tc.l1, tc.l2, got, tc.want)
+		}
+		if got, want := g.HasLabelPair(tc.l1, tc.l2), tc.want > 0; got != want {
+			t.Errorf("HasLabelPair(%d,%d) = %v, want %v", tc.l1, tc.l2, got, want)
+		}
+	}
+}
+
+// TestPropertyMaxNeighborsWithLabel cross-checks the packed table against
+// a brute-force recount over random graphs, and checks presence symmetry.
+func TestPropertyMaxNeighborsWithLabel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nl := 1 + r.Intn(6)
+		g := randomGraph(r, 2+r.Intn(30), r.Intn(90), nl)
+		for l1 := Label(0); l1 < Label(nl); l1++ {
+			for l2 := Label(0); l2 < Label(nl); l2++ {
+				want := 0
+				for v := 0; v < g.NumVertices(); v++ {
+					if g.Label(VertexID(v)) != l1 {
+						continue
+					}
+					if n := len(g.NeighborsWithLabel(VertexID(v), l2)); n > want {
+						want = n
+					}
+				}
+				if g.MaxNeighborsWithLabel(l1, l2) != want {
+					return false
+				}
+				if g.HasLabelPair(l1, l2) != g.HasLabelPair(l2, l1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
 	}
 }

@@ -3,8 +3,8 @@ package matching
 import (
 	"unsafe"
 
+	"subgraphquery/internal/domain"
 	"subgraphquery/internal/graph"
-	"subgraphquery/internal/scratch"
 )
 
 // Element sizes for the memory-footprint accounting, derived from the
@@ -23,10 +23,13 @@ const vertexIDBytes = int64(unsafe.Sizeof(graph.VertexID(0)))
 // should Add in ascending order or call SortCandidates before Enumerate.
 //
 // Storage is arena-style: a Candidates owned by a Scratch is reset — not
-// re-allocated — between data graphs. The membership bitsets are
-// epoch-stamped (O(1) clear) and the per-vertex sets retain their backing
+// re-allocated — between data graphs. Membership lives in a bit-matrix of
+// compatibility domains (domain.Matrix, one epoch-stamped row per query
+// vertex — O(1) clear) and the per-vertex sets retain their backing
 // capacity, so steady-state filtering performs no heap allocation per
-// graph.
+// graph. The two representations mirror each other exactly: Sets[u] is
+// the sorted-slice view, Domain().Row(u) the packed view, and the
+// enumeration picks whichever is cheaper per intersection.
 type Candidates struct {
 	Sets [][]graph.VertexID
 
@@ -43,10 +46,10 @@ type Candidates struct {
 	// query going, instead of reporting a timeout.
 	BudgetExceeded bool
 
-	// member[u] is a bitset over data vertices mirroring Sets[u], used for
-	// O(1) membership tests during refinement and enumeration.
-	member []scratch.Bits
-	nData  int
+	// dom is the bit-matrix mirror of Sets: row u holds the same members
+	// as Sets[u], used for O(1) membership tests during refinement and as
+	// the probe side of the enumeration's representation switch.
+	dom domain.Matrix
 }
 
 // NewCandidates returns an empty candidate structure for a query with
@@ -64,35 +67,34 @@ func NewCandidates(numQuery, numData int) *Candidates {
 func (c *Candidates) reset(numQuery, numData int) {
 	c.Aborted = false
 	c.BudgetExceeded = false
-	c.nData = numData
+	c.dom.Reset(numQuery, numData)
 	if cap(c.Sets) < numQuery {
 		grownSets := make([][]graph.VertexID, numQuery)
 		copy(grownSets, c.Sets[:cap(c.Sets)])
 		c.Sets = grownSets
-		grownMember := make([]scratch.Bits, numQuery)
-		copy(grownMember, c.member[:cap(c.member)])
-		c.member = grownMember
 	} else {
 		c.Sets = c.Sets[:numQuery]
-		c.member = c.member[:numQuery]
 	}
 	for i := range c.Sets {
 		c.Sets[i] = c.Sets[i][:0]
-		c.member[i].Reset(numData)
 	}
 }
 
+// Domain returns the bit-matrix view of Φ: row u mirrors Sets[u]. Callers
+// that mutate rows through it must keep Sets in sync (the filters and the
+// enumeration do; sqdebug builds assert the mirror).
+func (c *Candidates) Domain() *domain.Matrix { return &c.dom }
+
 // Add inserts data vertex v into Φ(u) if not already present.
 func (c *Candidates) Add(u graph.VertexID, v graph.VertexID) {
-	if !c.member[u].Get(uint32(v)) {
-		c.member[u].Set(uint32(v))
+	if c.dom.Add(int(u), uint32(v)) {
 		c.Sets[u] = append(c.Sets[u], v)
 	}
 }
 
 // Contains reports whether v ∈ Φ(u).
 func (c *Candidates) Contains(u, v graph.VertexID) bool {
-	return c.member[u].Get(uint32(v))
+	return c.dom.Contains(int(u), uint32(v))
 }
 
 // Count returns |Φ(u)|.
@@ -117,7 +119,7 @@ func (c *Candidates) Retain(u graph.VertexID, keep func(v graph.VertexID) bool) 
 		if keep(v) {
 			s = append(s, v)
 		} else {
-			c.member[u].Clear(uint32(v))
+			c.dom.Remove(int(u), uint32(v))
 		}
 	}
 	c.Sets[u] = s
@@ -127,7 +129,7 @@ func (c *Candidates) Retain(u graph.VertexID, keep func(v graph.VertexID) bool) 
 // loops on the filter hot paths rebuild Sets[u] in place and call this for
 // each dropped vertex, exactly what Retain does without the callback.
 func (c *Candidates) clearMember(u, v graph.VertexID) {
-	c.member[u].Clear(uint32(v))
+	c.dom.Remove(int(u), uint32(v))
 }
 
 // TotalSize returns the sum of candidate set sizes — the live candidate
@@ -154,10 +156,7 @@ func (c *Candidates) MemoryFootprint() int64 {
 	for _, s := range c.Sets {
 		b += int64(len(s)) * vertexIDBytes
 	}
-	for i := range c.member {
-		b += c.member[i].LiveBytes()
-	}
-	return b
+	return b + c.dom.LiveBytes()
 }
 
 // ReservedBytes returns the bytes pinned by the backing arrays regardless
@@ -170,9 +169,5 @@ func (c *Candidates) ReservedBytes() int64 {
 	for _, s := range sets {
 		b += int64(cap(s)) * vertexIDBytes
 	}
-	member := c.member[:cap(c.member)]
-	for i := range member {
-		b += member[i].ReservedBytes()
-	}
-	return b
+	return b + c.dom.ReservedBytes()
 }

@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sort"
 
+	"subgraphquery/internal/domain"
 	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/obs"
@@ -58,7 +59,45 @@ func emitStageCounts(ex *obs.Explain, stage string, cand *Candidates) {
 	for u, s := range cand.Sets {
 		counts[u] = len(s)
 	}
-	ex.ObserveStage(stage, counts)
+	ex.ObserveStageDense(stage, counts, cand.dom.NData())
+}
+
+// nlcCompatible is the label-pair prefilter: it checks, against the data
+// graph's neighborhood-frequency table, that every query vertex's NLF
+// profile is satisfiable by *some* data vertex — for each (l, c) demand
+// of a vertex labeled l1, some l1-labeled data vertex must have at least
+// c l-labeled neighbors. Any embedding would exhibit exactly such a
+// vertex, so a failed check proves the graph cannot contain q before any
+// per-vertex filtering runs. O(Σ_u |profile(u)|) binary searches over the
+// per-graph table, no allocation.
+func nlcCompatible(q, g *graph.Graph, profs []graph.NLF) bool {
+	for u := range profs {
+		l1 := q.Label(graph.VertexID(u))
+		ok := true
+		profs[u].ForEach(func(l graph.Label, c int) bool {
+			if g.MaxNeighborsWithLabel(l1, l) < c {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// candVolume estimates the scatter volume of generating one query
+// vertex's candidates: the processed neighbors' total candidate count, a
+// lower bound on the (candidate, adjacency) pairs both generation paths
+// iterate — the input the bits-vs-chain switch is calibrated on.
+func candVolume(cand *Candidates, before []graph.VertexID) int {
+	vol := 0
+	for _, up := range before {
+		vol += cand.Count(up)
+	}
+	return vol
 }
 
 // emitLDFCounts records CFL's label-and-degree qualification stage: the
@@ -92,12 +131,22 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates
 	if nq == 0 {
 		return cand
 	}
+	// Label-pair prefilter: reject the whole graph by its neighborhood
+	// frequency table before any per-vertex work. The sets are left empty,
+	// which is exactly the "filtered out" signal (AnyEmpty).
+	profs := s.profilesFor(q)
+	if !nlcCompatible(q, g, profs) {
+		ex.ObservePrefilter(true)
+		return cand
+	}
+	ex.ObservePrefilter(false)
 	emitLDFCounts(ex, q, g)
 
 	s.ensureCFL(nq, g.NumVertices())
-	profs := s.profilesFor(q)
 	root := cflRoot(q, g)
 	order := s.bfsOrderInto(q, root)
+	nd := g.NumVertices()
+	bitsVerts, chainVerts := 0, 0
 
 	// Top-down generation along the BFS order. processed[u'] marks query
 	// vertices whose candidate sets exist already; for each new u, a data
@@ -126,12 +175,42 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates
 					cand.Add(u, vv)
 				}
 			}
+		} else if vol := candVolume(cand, before); domain.UseBitsGenerate(vol, nd) {
+			// Dense label: run the backward-pruning intersection on packed
+			// bit rows. Scatter each processed neighbor's reachable set
+			// into a row and AND them together — one word covers 64 data
+			// vertices — then extract survivors in ascending order (the
+			// set invariant holds by construction, no sort needed).
+			bitsVerts++
+			acc, mark := &s.accBits, &s.markBits
+			for i, up := range before {
+				dst := acc
+				if i > 0 {
+					dst = mark
+				}
+				dst.Reset(nd)
+				for _, vp := range cand.Sets[up] {
+					for _, w := range g.NeighborsWithLabel(vp, qLab) {
+						dst.Set(uint32(w))
+					}
+				}
+				if i > 0 {
+					acc.And(mark)
+				}
+			}
+			acc.IterateSet(func(w uint32) bool {
+				if g.Degree(graph.VertexID(w)) >= qDeg {
+					cand.Add(u, graph.VertexID(w))
+				}
+				return true
+			})
 		} else {
 			// A data vertex v survives iff, for every processed neighbor u'
 			// of u, v is adjacent to some candidate in Φ(u'). One epoch per
 			// u'; chain[v] counts how many consecutive epochs marked v. The
 			// epoch counter is monotonic across the Scratch's whole
 			// lifetime, so stale stamps from earlier graphs never match.
+			chainVerts++
 			marked := s.marked[:0]
 			for i, up := range before {
 				prevEpoch := s.epoch
@@ -171,11 +250,15 @@ func cflFilter(q, g *graph.Graph, bottomUp bool, opts FilterOptions) *Candidates
 			slices.Sort(cand.Sets[u])
 		}
 		if cand.Count(u) == 0 {
+			if ex != nil {
+				ex.ObserveDomainRep(bitsVerts, chainVerts)
+			}
 			emitStageCounts(ex, obs.StageCFLTopDown, cand)
 			return cand
 		}
 		s.processed[u] = true
 	}
+	ex.ObserveDomainRep(bitsVerts, chainVerts)
 	emitStageCounts(ex, obs.StageCFLTopDown, cand)
 
 	if !bottomUp {

@@ -3,6 +3,7 @@ package matching
 import (
 	"fmt"
 
+	"subgraphquery/internal/domain"
 	"subgraphquery/internal/fault"
 	"subgraphquery/internal/graph"
 	"subgraphquery/internal/scratch"
@@ -16,9 +17,22 @@ import (
 //
 // The candidate sets must be ascending by vertex id (the invariant every
 // filter in this package maintains; call SortCandidates on hand-built
-// sets): the Φ(u) ∩ N(pivot) step runs through the shared sorted-set
-// intersection kernel, so candidates are visited in ascending id order at
-// every depth.
+// sets). The Φ(u) ∩ N(pivot) step switches representation per node: when
+// the candidate set is large relative to the pivot's label-restricted
+// neighborhood it probes the domain bit row per neighbor (O(|nbrs|),
+// independent of |Φ(u)|); otherwise it merges the two sorted lists
+// through the shared intersection kernel. Either way candidates are
+// visited in ascending id order at every depth.
+//
+// Dead ends backtrack by conflict-directed backjumping ("jump-redo"):
+// each depth accumulates the set of earlier order positions that caused
+// its candidates to fail (the pivot, used-vertex owners, failed
+// edge-check endpoints), and when a subtree exhausts without finding any
+// embedding the search jumps directly to the most recent conflicting
+// position instead of retrying irrelevant siblings in between. Subtrees
+// that did produce embeddings backtrack chronologically, which keeps the
+// enumeration exhaustive. Result.Jumps counts backjumps that skipped at
+// least one position; Result.Redos counts all dead-end backtracks.
 //
 // The order must be connected: each vertex after the first needs at least
 // one earlier neighbor in q (both GraphQL's join-based order and CFL's
@@ -26,8 +40,8 @@ import (
 // disconnected orders rather than silently enumerating a cartesian product.
 //
 // With a non-nil opts.Scratch all search state (mapping, used-set,
-// backward-neighbor and intersection buffers) comes from the arena and the
-// call allocates nothing in steady state.
+// backward-neighbor, conflict-set and intersection buffers) comes from the
+// arena and the call allocates nothing in steady state.
 func Enumerate(q, g *graph.Graph, cand *Candidates, order []graph.VertexID, opts Options) (Result, error) {
 	fault.Inject(fault.PointEnumerate)
 	n := q.NumVertices()
@@ -41,6 +55,14 @@ func Enumerate(q, g *graph.Graph, cand *Candidates, order []graph.VertexID, opts
 	}
 	s.mapping = scratch.Grow(s.mapping, n)
 	s.used.Reset(g.NumVertices())
+	s.ownerPos = scratch.Grow(s.ownerPos, g.NumVertices())
+	if cap(s.conf) < n {
+		grown := make([]scratch.Bits, n)
+		copy(grown, s.conf[:cap(s.conf)])
+		s.conf = grown
+	} else {
+		s.conf = s.conf[:n]
+	}
 	e := enumerator{
 		q:        q,
 		g:        g,
@@ -50,6 +72,8 @@ func Enumerate(q, g *graph.Graph, cand *Candidates, order []graph.VertexID, opts
 		budget:   newBudget(&opts),
 		mapping:  s.mapping,
 		used:     &s.used,
+		ownerPos: s.ownerPos,
+		conf:     s.conf,
 		backward: s.backward.Take(n),
 		isect:    s.isect.Take(n),
 	}
@@ -62,6 +86,7 @@ func Enumerate(q, g *graph.Graph, cand *Candidates, order []graph.VertexID, opts
 	for i, u := range order {
 		pos[u] = i
 	}
+	e.pos = pos
 	seen := growBools(&s.seen, n)
 	for i, u := range order {
 		for _, w := range q.Neighbors(u) {
@@ -93,28 +118,43 @@ func Enumerate(q, g *graph.Graph, cand *Candidates, order []graph.VertexID, opts
 	}
 
 	e.search(0)
-	return Result{Embeddings: e.found, Steps: e.budget.steps, Aborted: e.budget.aborted, Stopped: e.stopped}, nil
+	return Result{
+		Embeddings: e.found, Steps: e.budget.steps, Aborted: e.budget.aborted, Stopped: e.stopped,
+		Jumps: e.jumps, Redos: e.redos, ProbeIsects: e.probeIsects, MergeIsects: e.mergeIsects,
+	}, nil
 }
 
 type enumerator struct {
 	q, g     *graph.Graph
 	cand     *Candidates
 	order    []graph.VertexID
+	pos      []int // pos[u] is u's position in the order
 	backward [][]graph.VertexID
 	isect    [][]graph.VertexID // per-depth Φ(u) ∩ N(pivot) buffers
+	conf     []scratch.Bits     // per-depth conflict sets over order positions
+	ownerPos []int32            // ownerPos[v]: position whose image is v (valid while used)
 	opts     Options            // by value: storing &opts would heap-allocate it per call
 	budget   searchBudget
 
-	mapping []graph.VertexID
-	used    *scratch.Bits
-	found   uint64
-	stop    bool
-	stopped bool // an OnEmbedding callback returned false
+	mapping     []graph.VertexID
+	used        *scratch.Bits
+	found       uint64
+	jumps       uint64 // backjumps skipping at least one position
+	redos       uint64 // dead-end backtracks (conflict-analyzed)
+	probeIsects uint64 // intersections via domain-row probing
+	mergeIsects uint64 // intersections via sorted merge
+	stop        bool
+	stopped     bool // an OnEmbedding callback returned false
 }
 
-// search extends the partial embedding at the given depth. It sets e.stop
-// when the limit is reached, the caller cancels, or the budget is exhausted.
-func (e *enumerator) search(depth int) {
+// search extends the partial embedding at the given depth and returns the
+// backjump target: the order position where trying further candidates can
+// still change the outcome. A return below depth-1 means every position
+// in between is provably irrelevant to the dead end and is unwound
+// without retrying siblings. The return value is meaningless once e.stop
+// is set. It sets e.stop when the limit is reached, the caller cancels,
+// or the budget is exhausted.
+func (e *enumerator) search(depth int) int {
 	if depth == len(e.order) {
 		debugCheckEmbedding(e.q, e.g, e.mapping) // sqdebug builds only
 		e.found++
@@ -125,55 +165,107 @@ func (e *enumerator) search(depth int) {
 		if e.opts.Limit != 0 && e.found >= e.opts.Limit {
 			e.stop = true
 		}
-		return
+		return depth - 1
 	}
 	if e.budget.spend() {
 		e.stop = true
-		return
+		return depth - 1
 	}
 	u := e.order[depth]
 	if depth == 0 {
+		// The root has no earlier positions to conflict with: child jumps
+		// to position 0 simply continue this loop with the next candidate.
 		for _, v := range e.cand.Sets[u] {
-			e.extend(depth, u, v)
+			e.mapping[u] = v
+			e.used.Set(uint32(v))
+			e.ownerPos[v] = 0
+			e.search(1)
+			e.used.Clear(uint32(v))
 			if e.stop {
-				return
+				return -1
 			}
 		}
-		return
+		return -1
 	}
+	foundBefore := e.found
+	conf := &e.conf[depth]
+	conf.Reset(len(e.order))
 	bw := e.backward[depth]
-	pivotImage := e.mapping[bw[0]]
-	// Φ(u) ∩ N_label(pivotImage): both inputs ascending, so the shared
-	// kernel replaces the probe loop. The result lives in this depth's
-	// arena row, stable across the deeper recursion.
+	pivot := bw[0]
+	conf.Set(uint32(e.pos[pivot])) // the candidate pool depends on the pivot
+	pivotImage := e.mapping[pivot]
 	nbrs := e.g.NeighborsWithLabel(pivotImage, e.q.Label(u))
-	buf := graph.IntersectSorted(e.isect[depth][:0], e.cand.Sets[u], nbrs)
+	// Φ(u) ∩ N_label(pivotImage): probe the domain bit row when Φ(u) is
+	// large relative to the neighbor list, else merge the sorted slices.
+	// Both inputs are ascending, so either path emits ascending output
+	// into this depth's arena row, stable across the deeper recursion.
+	var buf []graph.VertexID
+	if domain.UseProbe(e.cand.Count(u), len(nbrs)) {
+		e.probeIsects++
+		row := e.cand.Domain().Row(int(u))
+		buf = e.isect[depth][:0]
+		for _, v := range nbrs {
+			if row.Get(uint32(v)) {
+				buf = append(buf, v)
+			}
+		}
+	} else {
+		e.mergeIsects++
+		buf = graph.IntersectSorted(e.isect[depth][:0], e.cand.Sets[u], nbrs)
+	}
 	e.isect[depth] = buf
 	for _, v := range buf {
 		if e.used.Get(uint32(v)) {
+			conf.Set(uint32(e.ownerPos[v]))
 			continue
 		}
 		ok := true
 		for _, w := range bw[1:] {
 			if !e.g.HasEdge(e.mapping[w], v) {
+				conf.Set(uint32(e.pos[w]))
 				ok = false
 				break
 			}
 		}
-		if ok {
-			e.extend(depth, u, v)
-			if e.stop {
-				return
-			}
+		if !ok {
+			continue
+		}
+		e.mapping[u] = v
+		e.used.Set(uint32(v))
+		e.ownerPos[v] = int32(depth)
+		back := e.search(depth + 1)
+		e.used.Clear(uint32(v))
+		if e.stop {
+			return depth - 1
+		}
+		if back < depth {
+			// The child's dead end did not involve this position: siblings
+			// here cannot fix it, so pass the jump through.
+			return back
 		}
 	}
-}
-
-func (e *enumerator) extend(depth int, u, v graph.VertexID) {
-	e.mapping[u] = v
-	e.used.Set(uint32(v))
-	e.search(depth + 1)
-	e.used.Clear(uint32(v))
+	if e.found > foundBefore {
+		// The subtree produced embeddings; conflict analysis only covers
+		// failures, so backtrack chronologically to stay exhaustive.
+		return depth - 1
+	}
+	// Dead end across every candidate: jump to the most recent position
+	// that contributed to a failure, bequeathing the rest of the blame set.
+	e.redos++
+	j, ok := conf.MaxSet()
+	if !ok {
+		return depth - 1 // unreachable: the pivot position is always present
+	}
+	target := int(j)
+	if target > 0 {
+		parent := &e.conf[target]
+		parent.Or(conf)
+		parent.Clear(j) // a position is not its own conflict
+	}
+	if target < depth-1 {
+		e.jumps++
+	}
+	return target
 }
 
 // VerifyOrder checks that order is a valid connected permutation of the

@@ -74,6 +74,15 @@ func graphQLFilter(q, g *graph.Graph, opts FilterOptions) *Candidates {
 	}
 	profs := s.profilesFor(q)
 
+	// Label-pair prefilter: reject the whole graph by its neighborhood
+	// frequency table before any per-vertex work (see nlcCompatible). The
+	// sets are left empty — the "filtered out" signal (AnyEmpty).
+	if !nlcCompatible(q, g, profs) {
+		ex.ObservePrefilter(true)
+		return cand
+	}
+	ex.ObservePrefilter(false)
+
 	// Step 1: candidates by neighborhood profile, in ascending id order.
 	// LabeledVertices is ascending, so every set is born sorted.
 	for u := 0; u < nq; u++ {

@@ -27,8 +27,8 @@ func debugCheckCandidates(stage string, q, g *graph.Graph, cand *Candidates) {
 	if !debugInvariants {
 		return
 	}
-	if len(cand.Sets) != q.NumVertices() || len(cand.member) != q.NumVertices() {
-		debugFailf("%s: candidate structure shaped for %d/%d vertices, query has %d", stage, len(cand.Sets), len(cand.member), q.NumVertices())
+	if len(cand.Sets) != q.NumVertices() || cand.dom.NumRows() != q.NumVertices() {
+		debugFailf("%s: candidate structure shaped for %d/%d vertices, query has %d", stage, len(cand.Sets), cand.dom.NumRows(), q.NumVertices())
 	}
 	for u, set := range cand.Sets {
 		uu := graph.VertexID(u)
@@ -36,7 +36,7 @@ func debugCheckCandidates(stage string, q, g *graph.Graph, cand *Candidates) {
 			if int(v) >= g.NumVertices() {
 				debugFailf("%s: Φ(%d) contains %d outside the data graph", stage, u, v)
 			}
-			if !cand.member[u].Get(uint32(v)) {
+			if !cand.dom.Contains(u, uint32(v)) {
 				debugFailf("%s: Φ(%d) lists %d but its member bit is clear", stage, u, v)
 			}
 			if g.Label(v) != q.Label(uu) {
@@ -49,8 +49,11 @@ func debugCheckCandidates(stage string, q, g *graph.Graph, cand *Candidates) {
 		// Exact mirror: the bitset population must equal the set length, so
 		// combined with the per-element check above there are no duplicates
 		// in Sets and no stray bits in member.
-		if pop := cand.member[u].Count(); pop != len(set) {
+		if pop := cand.dom.Row(u).Count(); pop != len(set) {
 			debugFailf("%s: Φ(%d) has %d entries but %d member bits", stage, u, len(set), pop)
+		}
+		if cnt := cand.dom.Count(u); cnt != len(set) {
+			debugFailf("%s: Φ(%d) has %d entries but the domain maintains count %d", stage, u, len(set), cnt)
 		}
 	}
 }

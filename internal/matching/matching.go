@@ -158,6 +158,18 @@ type Result struct {
 	// Stopped is true if an OnEmbedding callback returned false, halting
 	// the enumeration early.
 	Stopped bool
+
+	// Jumps counts conflict-directed backjumps that skipped at least one
+	// order position (the "jump" of jump-redo backtracking); Redos counts
+	// all dead-end backtracks that went through conflict analysis.
+	Jumps uint64
+	Redos uint64
+
+	// ProbeIsects and MergeIsects count candidate-set ∩ neighborhood
+	// intersections by the representation the density switch chose:
+	// domain-bit-row probing vs sorted-slice merging.
+	ProbeIsects uint64
+	MergeIsects uint64
 }
 
 // Found reports whether at least one embedding was discovered.

@@ -70,10 +70,21 @@ type Scratch struct {
 	orderIn  []bool
 	frontier []bool
 
-	// Enumeration state.
+	// CFL top-down bit-path state: the accumulator and per-neighbor
+	// scatter rows of the word-wide generation kernel (used when
+	// domain.UseBitsGenerate selects the dense representation).
+	accBits  scratch.Bits
+	markBits scratch.Bits
+
+	// Enumeration state. conf holds the per-depth conflict sets of the
+	// jump-redo backtracking (bit rows over order positions); ownerPos
+	// maps a used data vertex to the order position whose image it is
+	// (valid only while the used bit is set, so it is never cleared).
 	mapping  []graph.VertexID
 	seen     []bool
 	used     scratch.Bits
+	ownerPos []int32
+	conf     []scratch.Bits
 	backward scratch.Rows[graph.VertexID]
 	isect    scratch.Rows[graph.VertexID]
 }

@@ -33,6 +33,18 @@ type Explain struct {
 	refineMax    int
 	rejections   int64
 
+	prefilterGraphs int
+	prefilterPruned int
+
+	domainBitsVerts  int64
+	domainChainVerts int64
+
+	enumCalls uint64
+	enumJumps uint64
+	enumRedos uint64
+	enumProbe uint64
+	enumMerge uint64
+
 	probes        []IndexProbe
 	probesDropped int
 
@@ -72,16 +84,24 @@ const (
 // stageAgg aggregates one named stage across the data graphs that reached
 // it.
 type stageAgg struct {
-	name   string
-	graphs int
-	pruned int
-	sum    []int64
+	name     string
+	graphs   int
+	pruned   int
+	sum      []int64
+	nDataSum int64 // Σ |V(G)| over observed graphs: the density denominator
 }
 
 // ObserveStage records per-query-vertex candidate counts after one filter
 // stage on one data graph. A zero count means the graph was pruned at (or
 // before) this stage.
 func (e *Explain) ObserveStage(stage string, counts []int) {
+	e.ObserveStageDense(stage, counts, 0)
+}
+
+// ObserveStageDense is ObserveStage with the data graph's vertex count,
+// letting the snapshot report the stage's mean domain density (candidate
+// count as a fraction of |V(G)|). nData 0 records counts only.
+func (e *Explain) ObserveStageDense(stage string, counts []int, nData int) {
 	if e == nil {
 		return
 	}
@@ -103,6 +123,7 @@ func (e *Explain) ObserveStage(stage string, counts []int) {
 		agg.sum = grown
 	}
 	agg.graphs++
+	agg.nDataSum += int64(nData)
 	pruned := false
 	for u, c := range counts {
 		agg.sum[u] += int64(c)
@@ -113,6 +134,51 @@ func (e *Explain) ObserveStage(stage string, counts []int) {
 	if pruned || len(counts) == 0 {
 		agg.pruned++
 	}
+}
+
+// ObservePrefilter records one data graph passing through the label-pair
+// prefilter; pruned reports whether the graph was rejected before any
+// per-vertex filtering.
+func (e *Explain) ObservePrefilter(pruned bool) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.prefilterGraphs++
+	if pruned {
+		e.prefilterPruned++
+	}
+	e.mu.Unlock()
+}
+
+// ObserveDomainRep records, for one data graph, how many query vertices
+// the top-down generation handled on the packed bit-row path vs the
+// sparse chain path — the representation switch's actual behavior.
+func (e *Explain) ObserveDomainRep(bitsVerts, chainVerts int) {
+	if e == nil || (bitsVerts == 0 && chainVerts == 0) {
+		return
+	}
+	e.mu.Lock()
+	e.domainBitsVerts += int64(bitsVerts)
+	e.domainChainVerts += int64(chainVerts)
+	e.mu.Unlock()
+}
+
+// ObserveEnumerate accumulates one enumeration's backtracking and
+// intersection statistics: conflict-directed backjumps taken, dead-end
+// backtracks analyzed, and intersections done by domain-row probing vs
+// sorted merge.
+func (e *Explain) ObserveEnumerate(jumps, redos, probe, merge uint64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.enumCalls++
+	e.enumJumps += jumps
+	e.enumRedos += redos
+	e.enumProbe += probe
+	e.enumMerge += merge
+	e.mu.Unlock()
 }
 
 // ObserveRefineRounds records the number of refinement rounds a filter
@@ -249,6 +315,53 @@ type StageStats struct {
 	Pruned int `json:"pruned"`
 	// SumPerVertex[u] sums |Φ(u)| after the stage across all graphs.
 	SumPerVertex []int64 `json:"sum_per_vertex,omitempty"`
+	// NDataSum sums |V(G)| over the observed graphs (0 when the stage was
+	// recorded without density information).
+	NDataSum int64 `json:"n_data_sum,omitempty"`
+}
+
+// MeanDensity returns the stage's aggregate domain density: total
+// candidate count per query vertex as a fraction of total data vertices.
+// Zero when no density information was recorded.
+func (s StageStats) MeanDensity() float64 {
+	if s.NDataSum == 0 || len(s.SumPerVertex) == 0 {
+		return 0
+	}
+	var total int64
+	for _, v := range s.SumPerVertex {
+		total += v
+	}
+	return float64(total) / float64(len(s.SumPerVertex)) / float64(s.NDataSum)
+}
+
+// PrefilterStats summarizes the label-pair prefilter outcome.
+type PrefilterStats struct {
+	// Graphs is the number of data graphs checked.
+	Graphs int `json:"graphs"`
+	// Pruned is how many were rejected before any per-vertex filtering.
+	Pruned int `json:"pruned"`
+}
+
+// DomainRepStats reports the representation switch's choices during
+// top-down candidate generation, in query vertices handled per path.
+type DomainRepStats struct {
+	BitsVertices  int64 `json:"bits_vertices"`
+	ChainVertices int64 `json:"chain_vertices"`
+}
+
+// EnumerateStats aggregates backtracking and intersection behavior across
+// the query's enumerations.
+type EnumerateStats struct {
+	// Enumerations is the number of Enumerate calls observed.
+	Enumerations uint64 `json:"enumerations"`
+	// Jumps counts conflict-directed backjumps that skipped at least one
+	// order position; Redos counts all analyzed dead-end backtracks.
+	Jumps uint64 `json:"jumps"`
+	Redos uint64 `json:"redos"`
+	// ProbeIntersections and MergeIntersections count candidate-set ∩
+	// neighborhood steps by chosen representation.
+	ProbeIntersections uint64 `json:"probe_intersections"`
+	MergeIntersections uint64 `json:"merge_intersections"`
 }
 
 // MeanPerVertex returns SumPerVertex averaged over Graphs (nil when the
@@ -283,6 +396,15 @@ type ExplainSnapshot struct {
 	// Stages lists filter stages in first-emission order: the candidate
 	// funnel of the vertex-connectivity filters.
 	Stages []StageStats `json:"stages,omitempty"`
+	// Prefilter summarizes the label-pair compatibility check that can
+	// reject a data graph before any per-vertex filtering.
+	Prefilter *PrefilterStats `json:"prefilter,omitempty"`
+	// DomainRep reports the bit-row vs chain representation choices of the
+	// top-down generation.
+	DomainRep *DomainRepStats `json:"domain_rep,omitempty"`
+	// Enumerate aggregates jump-redo backtracking and intersection
+	// representation statistics across the query's enumerations.
+	Enumerate *EnumerateStats `json:"enumerate,omitempty"`
 	// RefineRounds summarizes GraphQL's pseudo-isomorphism iteration.
 	RefineRounds *RefineStats `json:"refine_rounds,omitempty"`
 	// SemiPerfectRejections counts candidate vertices rejected by the
@@ -318,7 +440,23 @@ func (e *Explain) Snapshot() ExplainSnapshot {
 			Graphs:       agg.graphs,
 			Pruned:       agg.pruned,
 			SumPerVertex: append([]int64(nil), agg.sum...),
+			NDataSum:     agg.nDataSum,
 		})
+	}
+	if e.prefilterGraphs > 0 {
+		s.Prefilter = &PrefilterStats{Graphs: e.prefilterGraphs, Pruned: e.prefilterPruned}
+	}
+	if e.domainBitsVerts > 0 || e.domainChainVerts > 0 {
+		s.DomainRep = &DomainRepStats{BitsVertices: e.domainBitsVerts, ChainVertices: e.domainChainVerts}
+	}
+	if e.enumCalls > 0 {
+		s.Enumerate = &EnumerateStats{
+			Enumerations:       e.enumCalls,
+			Jumps:              e.enumJumps,
+			Redos:              e.enumRedos,
+			ProbeIntersections: e.enumProbe,
+			MergeIntersections: e.enumMerge,
+		}
 	}
 	if e.refineGraphs > 0 {
 		s.RefineRounds = &RefineStats{Graphs: e.refineGraphs, Total: e.refineTotal, Max: e.refineMax}
@@ -354,13 +492,21 @@ func (s ExplainSnapshot) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "    (%d probes dropped)\n", s.IndexProbesDropped)
 		}
 	}
+	if s.Prefilter != nil {
+		fmt.Fprintf(w, "  prefilter (label-pair): %d/%d graphs pruned\n",
+			s.Prefilter.Pruned, s.Prefilter.Graphs)
+	}
 	if len(s.Stages) > 0 {
 		fmt.Fprintln(w, "  filter stages (mean |C(u)| over graphs reaching the stage):")
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		nv := 0
+		densities := false
 		for _, st := range s.Stages {
 			if len(st.SumPerVertex) > nv {
 				nv = len(st.SumPerVertex)
+			}
+			if st.NDataSum > 0 {
+				densities = true
 			}
 		}
 		shown := nv
@@ -368,6 +514,9 @@ func (s ExplainSnapshot) WriteText(w io.Writer) {
 			shown = maxRenderedVertices
 		}
 		fmt.Fprintf(tw, "    stage\tgraphs\tpruned")
+		if densities {
+			fmt.Fprintf(tw, "\tdensity")
+		}
 		for u := 0; u < shown; u++ {
 			fmt.Fprintf(tw, "\tu%d", u)
 		}
@@ -377,6 +526,13 @@ func (s ExplainSnapshot) WriteText(w io.Writer) {
 		fmt.Fprintln(tw)
 		for _, st := range s.Stages {
 			fmt.Fprintf(tw, "    %s\t%d\t%d", st.Name, st.Graphs, st.Pruned)
+			if densities {
+				if st.NDataSum > 0 {
+					fmt.Fprintf(tw, "\t%.4f", st.MeanDensity())
+				} else {
+					fmt.Fprintf(tw, "\t-")
+				}
+			}
 			mean := st.MeanPerVertex()
 			for u := 0; u < shown; u++ {
 				if u < len(mean) {
@@ -391,6 +547,15 @@ func (s ExplainSnapshot) WriteText(w io.Writer) {
 			fmt.Fprintln(tw)
 		}
 		tw.Flush()
+	}
+	if s.DomainRep != nil {
+		fmt.Fprintf(w, "  domain representation: %d query vertices on bit rows, %d on chains\n",
+			s.DomainRep.BitsVertices, s.DomainRep.ChainVertices)
+	}
+	if s.Enumerate != nil {
+		fmt.Fprintf(w, "  enumeration: %d runs, %d backjumps of %d dead ends, %d probe / %d merge intersections\n",
+			s.Enumerate.Enumerations, s.Enumerate.Jumps, s.Enumerate.Redos,
+			s.Enumerate.ProbeIntersections, s.Enumerate.MergeIntersections)
 	}
 	if s.RefineRounds != nil {
 		mean := float64(s.RefineRounds.Total) / float64(s.RefineRounds.Graphs)

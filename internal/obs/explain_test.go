@@ -9,6 +9,10 @@ import (
 func TestExplainNilIsSafe(t *testing.T) {
 	var ex *Explain
 	ex.ObserveStage(StageCFLLDF, []int{1, 2})
+	ex.ObserveStageDense(StageCFLTopDown, []int{1}, 50)
+	ex.ObservePrefilter(true)
+	ex.ObserveDomainRep(1, 2)
+	ex.ObserveEnumerate(1, 2, 3, 4)
 	ex.ObserveRefineRounds(3)
 	ex.ObserveRejections(7)
 	ex.ObserveIndexProbe(IndexProbe{Index: "Grapes"})
@@ -30,6 +34,9 @@ func TestExplainNilAllocFree(t *testing.T) {
 	steps := []OrderStep{{Vertex: 0, Candidates: 2}}
 	allocs := testing.AllocsPerRun(200, func() {
 		ex.ObserveStage(StageCFLTopDown, counts)
+		ex.ObservePrefilter(false)
+		ex.ObserveDomainRep(1, 1)
+		ex.ObserveEnumerate(1, 1, 1, 1)
 		ex.ObserveRefineRounds(2)
 		ex.ObserveRejections(9)
 		ex.ObserveIndexProbe(probe)
@@ -64,6 +71,73 @@ func TestExplainStageAggregation(t *testing.T) {
 	mean := ldf.MeanPerVertex()
 	if mean[0] != 3 || mean[1] != 3 {
 		t.Fatalf("ldf means = %v, want [3 3]", mean)
+	}
+}
+
+func TestExplainDensityPrefilterDomainEnumerate(t *testing.T) {
+	ex := NewExplain()
+	ex.ObservePrefilter(true)
+	ex.ObservePrefilter(false)
+	ex.ObservePrefilter(false)
+	ex.ObserveStageDense(StageCFLTopDown, []int{10, 30}, 100)
+	ex.ObserveStageDense(StageCFLTopDown, []int{20, 20}, 100)
+	ex.ObserveDomainRep(3, 1)
+	ex.ObserveDomainRep(0, 0) // no-op: nothing generated
+	ex.ObserveDomainRep(0, 2)
+	ex.ObserveEnumerate(2, 5, 7, 11)
+	ex.ObserveEnumerate(0, 0, 1, 0)
+
+	s := ex.Snapshot()
+	if s.Prefilter == nil || s.Prefilter.Graphs != 3 || s.Prefilter.Pruned != 1 {
+		t.Fatalf("prefilter = %+v, want graphs=3 pruned=1", s.Prefilter)
+	}
+	st := s.Stages[0]
+	if st.NDataSum != 200 {
+		t.Fatalf("NDataSum = %d, want 200", st.NDataSum)
+	}
+	// (10+20+30+20)/2 vertices / 200 data vertices = 0.2
+	if d := st.MeanDensity(); d != 0.2 {
+		t.Fatalf("MeanDensity = %v, want 0.2", d)
+	}
+	if s.DomainRep == nil || s.DomainRep.BitsVertices != 3 || s.DomainRep.ChainVertices != 3 {
+		t.Fatalf("domain rep = %+v, want bits=3 chains=3", s.DomainRep)
+	}
+	e := s.Enumerate
+	if e == nil || e.Enumerations != 2 || e.Jumps != 2 || e.Redos != 5 ||
+		e.ProbeIntersections != 8 || e.MergeIntersections != 11 {
+		t.Fatalf("enumerate = %+v, want 2 runs jumps=2 redos=5 probe=8 merge=11", e)
+	}
+
+	// Counts-only stages report no density.
+	ex2 := NewExplain()
+	ex2.ObserveStage(StageCFLLDF, []int{5})
+	if d := ex2.Snapshot().Stages[0].MeanDensity(); d != 0 {
+		t.Fatalf("density without nData = %v, want 0", d)
+	}
+}
+
+func TestExplainWriteTextNewSections(t *testing.T) {
+	ex := NewExplain()
+	ex.SetEngine("CFQL")
+	ex.ObservePrefilter(true)
+	ex.ObservePrefilter(false)
+	ex.ObserveStageDense(StageCFLTopDown, []int{25, 75}, 1000)
+	ex.ObserveDomainRep(4, 2)
+	ex.ObserveEnumerate(3, 9, 100, 40)
+
+	var b strings.Builder
+	ex.Snapshot().WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"prefilter (label-pair): 1/2 graphs pruned",
+		"density",
+		"0.0500", // (25+75)/2 / 1000
+		"domain representation: 4 query vertices on bit rows, 2 on chains",
+		"enumeration: 1 runs, 3 backjumps of 9 dead ends, 100 probe / 40 merge intersections",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -90,6 +90,98 @@ func (b *Bits) Count() int {
 	return n
 }
 
+// The bulk word operations below are the refine/intersect kernels of the
+// bit-matrix compatibility domains (internal/domain): one 64-bit word of
+// work covers 64 data vertices, which is what makes the dense candidate
+// representation beat sorted-slice merging once sets get large. All of
+// them honor the epoch scheme — a word whose stamp is stale reads as zero,
+// exactly as Get would report it.
+
+// And intersects b with other in place (b ∩= other). Slots beyond other's
+// length are treated as absent from other, so they are cleared from b.
+func (b *Bits) And(other *Bits) {
+	for w := range b.words {
+		if b.epoch[w] != b.cur {
+			continue // stale: already logically zero
+		}
+		var ow uint64
+		if w < len(other.words) && other.epoch[w] == other.cur {
+			ow = other.words[w]
+		}
+		b.words[w] &= ow
+	}
+}
+
+// AndNot subtracts other from b in place (b = b \ other).
+func (b *Bits) AndNot(other *Bits) {
+	n := min(len(b.words), len(other.words))
+	for w := 0; w < n; w++ {
+		if b.epoch[w] != b.cur || other.epoch[w] != other.cur {
+			continue
+		}
+		b.words[w] &^= other.words[w]
+	}
+}
+
+// Or unions other into b in place (b ∪= other). Slots of other beyond b's
+// length are dropped: callers size b for the shared universe first.
+func (b *Bits) Or(other *Bits) {
+	n := min(len(b.words), len(other.words))
+	for w := 0; w < n; w++ {
+		if other.epoch[w] != other.cur || other.words[w] == 0 {
+			continue
+		}
+		if b.epoch[w] != b.cur {
+			b.words[w] = 0
+			b.epoch[w] = b.cur
+		}
+		b.words[w] |= other.words[w]
+	}
+}
+
+// CopyFrom makes b a copy of other's set content, reshaped to other's
+// length. The copy touches only other's live words; the rest of b clears
+// by epoch.
+func (b *Bits) CopyFrom(other *Bits) {
+	b.Reset(other.Len())
+	for w := range other.words {
+		if other.epoch[w] == other.cur && other.words[w] != 0 {
+			b.words[w] = other.words[w]
+			b.epoch[w] = b.cur
+		}
+	}
+}
+
+// IterateSet visits every set slot in ascending order, stopping early when
+// fn returns false. This is the extraction kernel that reads a refined
+// domain row back out as a sorted candidate list — ascending by
+// construction, so no sort is needed afterwards.
+func (b *Bits) IterateSet(fn func(i uint32) bool) {
+	for w, word := range b.words {
+		if b.epoch[w] != b.cur || word == 0 {
+			continue
+		}
+		base := uint32(w) << 6
+		for word != 0 {
+			if !fn(base + uint32(bits.TrailingZeros64(word))) {
+				return
+			}
+			word &= word - 1 // clear lowest set bit
+		}
+	}
+}
+
+// MaxSet returns the highest set slot, or false when the set is empty —
+// the "most recent conflicting position" lookup of jump-redo backtracking.
+func (b *Bits) MaxSet() (uint32, bool) {
+	for w := len(b.words) - 1; w >= 0; w-- {
+		if b.epoch[w] == b.cur && b.words[w] != 0 {
+			return uint32(w)<<6 + uint32(63-bits.LeadingZeros64(b.words[w])), true
+		}
+	}
+	return 0, false
+}
+
 // LiveBytes returns the bytes addressed by the current length: the
 // honest live cost of one bitset (words plus their epoch stamps).
 func (b *Bits) LiveBytes() int64 { return int64(len(b.words))*8 + int64(len(b.epoch))*4 }

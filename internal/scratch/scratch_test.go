@@ -163,6 +163,155 @@ func TestRowsTake(t *testing.T) {
 	}
 }
 
+// TestBitsBulkOpsAgainstMap cross-checks the bulk word kernels (And,
+// AndNot, Or, CopyFrom, IterateSet, MaxSet) against map-based set algebra,
+// across resets of differing sizes so stale epoch words and length
+// mismatches are both exercised. The reference sets are rebuilt fresh per
+// round; the bitsets carry state across rounds, which is exactly where an
+// epoch bug would leak.
+func TestBitsBulkOpsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, c Bits
+	for round := 0; round < 60; round++ {
+		na := 1 + rng.Intn(1<<11)
+		nb := 1 + rng.Intn(1<<11)
+		a.Reset(na)
+		b.Reset(nb)
+		refA := map[uint32]bool{}
+		refB := map[uint32]bool{}
+		for op := 0; op < 300; op++ {
+			if i := uint32(rng.Intn(na)); rng.Intn(2) == 0 {
+				a.Set(i)
+				refA[i] = true
+			}
+			if i := uint32(rng.Intn(nb)); rng.Intn(2) == 0 {
+				b.Set(i)
+				refB[i] = true
+			}
+		}
+		check := func(op string, got *Bits, want map[uint32]bool) {
+			t.Helper()
+			if got.Count() != len(want) {
+				t.Fatalf("round %d %s: Count() = %d, want %d", round, op, got.Count(), len(want))
+			}
+			for i := range want {
+				if !got.Get(i) {
+					t.Fatalf("round %d %s: missing slot %d", round, op, i)
+				}
+			}
+		}
+		switch round % 4 {
+		case 0: // And
+			a.And(&b)
+			want := map[uint32]bool{}
+			for i := range refA {
+				if refB[i] {
+					want[i] = true
+				}
+			}
+			check("And", &a, want)
+		case 1: // AndNot
+			a.AndNot(&b)
+			want := map[uint32]bool{}
+			for i := range refA {
+				if !refB[i] {
+					want[i] = true
+				}
+			}
+			check("AndNot", &a, want)
+		case 2: // Or (b's slots beyond a's word range are dropped)
+			a.Or(&b)
+			want := map[uint32]bool{}
+			for i := range refA {
+				want[i] = true
+			}
+			for i := range refB {
+				if int(i) < a.Len() {
+					want[i] = true
+				}
+			}
+			check("Or", &a, want)
+		case 3: // CopyFrom round-trips content and length
+			c.CopyFrom(&b)
+			check("CopyFrom", &c, refB)
+			if c.Len() != b.Len() {
+				t.Fatalf("round %d CopyFrom: Len() = %d, want %d", round, c.Len(), b.Len())
+			}
+		}
+		// IterateSet must visit exactly b's members, strictly ascending.
+		prev := -1
+		seen := 0
+		b.IterateSet(func(i uint32) bool {
+			if int(i) <= prev {
+				t.Fatalf("round %d IterateSet: %d after %d, not ascending", round, i, prev)
+			}
+			if !refB[i] {
+				t.Fatalf("round %d IterateSet: visited non-member %d", round, i)
+			}
+			prev = int(i)
+			seen++
+			return true
+		})
+		if seen != len(refB) {
+			t.Fatalf("round %d IterateSet: visited %d slots, want %d", round, seen, len(refB))
+		}
+		// MaxSet agrees with the reference maximum.
+		wantMax, wantOK := -1, len(refB) > 0
+		for i := range refB {
+			if int(i) > wantMax {
+				wantMax = int(i)
+			}
+		}
+		gotMax, ok := b.MaxSet()
+		if ok != wantOK || (ok && int(gotMax) != wantMax) {
+			t.Fatalf("round %d MaxSet: (%d,%v), want (%d,%v)", round, gotMax, ok, wantMax, wantOK)
+		}
+	}
+}
+
+// TestBitsIterateSetEarlyStop: returning false stops the visit immediately.
+func TestBitsIterateSetEarlyStop(t *testing.T) {
+	var b Bits
+	b.Reset(512)
+	for i := uint32(0); i < 512; i += 5 {
+		b.Set(i)
+	}
+	visits := 0
+	b.IterateSet(func(i uint32) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("IterateSet visited %d slots after early stop, want 3", visits)
+	}
+}
+
+// TestBitsBulkOpsAllocs: the kernels must be allocation-free in steady
+// state — they run once per query vertex per refinement round.
+func TestBitsBulkOpsAllocs(t *testing.T) {
+	var a, b, c Bits
+	a.Reset(1 << 12)
+	b.Reset(1 << 12)
+	for i := uint32(0); i < 1<<12; i += 3 {
+		a.Set(i)
+	}
+	for i := uint32(0); i < 1<<12; i += 7 {
+		b.Set(i)
+	}
+	c.CopyFrom(&a) // pre-grow c
+	allocs := testing.AllocsPerRun(100, func() {
+		c.CopyFrom(&a)
+		c.And(&b)
+		c.AndNot(&b)
+		c.Or(&b)
+		c.IterateSet(func(uint32) bool { return true })
+		c.MaxSet()
+	})
+	if allocs != 0 {
+		t.Fatalf("bulk ops allocated %v times per run, want 0", allocs)
+	}
+}
+
 // BenchmarkScratchBitsReset: the O(1)-clear claim, measured. An epoch bump
 // must cost nanoseconds regardless of the bitset's size, where an explicit
 // zeroing pass would be O(size/64) writes.
@@ -178,4 +327,60 @@ func BenchmarkScratchBitsReset(bm *testing.B) {
 		b.Reset(1 << 20)
 		b.Set(uint32(i) & (1<<20 - 1))
 	}
+}
+
+// benchBitsPair builds two bitsets over n slots at the given fill stride.
+func benchBitsPair(n int) (a, b Bits) {
+	a.Reset(n)
+	b.Reset(n)
+	for i := uint32(0); i < uint32(n); i += 3 {
+		a.Set(i)
+	}
+	for i := uint32(0); i < uint32(n); i += 5 {
+		b.Set(i)
+	}
+	return a, b
+}
+
+// BenchmarkScratchBitsAnd: the word-wide intersect kernel — 64 data
+// vertices per &, the workhorse of bit-matrix domain refinement.
+func BenchmarkScratchBitsAnd(bm *testing.B) {
+	a, b := benchBitsPair(1 << 16)
+	var dst Bits
+	dst.CopyFrom(&a)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		dst.CopyFrom(&a)
+		dst.And(&b)
+	}
+}
+
+// BenchmarkScratchBitsPopcount: Count over a 64Ki-slot set — the density
+// probe the representation switch relies on.
+func BenchmarkScratchBitsPopcount(bm *testing.B) {
+	a, _ := benchBitsPair(1 << 16)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	var sink int
+	for i := 0; i < bm.N; i++ {
+		sink += a.Count()
+	}
+	_ = sink
+}
+
+// BenchmarkScratchBitsIterateSet: extraction of a refined row back into
+// ascending candidate order.
+func BenchmarkScratchBitsIterateSet(bm *testing.B) {
+	a, _ := benchBitsPair(1 << 16)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	var sink uint32
+	for i := 0; i < bm.N; i++ {
+		a.IterateSet(func(v uint32) bool {
+			sink += v
+			return true
+		})
+	}
+	_ = sink
 }

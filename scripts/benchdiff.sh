@@ -14,9 +14,12 @@
 #                                   # against the baselines, no study run
 #
 # Environment:
-#   BENCH_BASE       baseline directory (default: repo root)
-#   BENCH_CUR        current-report directory (default: bench-out)
-#   BENCH_THRESHOLD  relative p50 slowdown that fails the gate (default 0.15)
+#   BENCH_BASE          baseline directory (default: repo root)
+#   BENCH_CUR           current-report directory (default: bench-out)
+#   BENCH_THRESHOLD     relative p50 slowdown that fails the gate (default 0.15)
+#   BENCH_REQUIRE_SETS  query sets every current report must contain
+#                       (default: the dense induced track Q4I..Q32I; empty
+#                       disables the presence check)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,6 +27,7 @@ cd "$(dirname "$0")/.."
 BASE="${BENCH_BASE:-.}"
 CUR="${BENCH_CUR:-bench-out}"
 THRESHOLD="${BENCH_THRESHOLD:-0.15}"
+REQUIRE_SETS="${BENCH_REQUIRE_SETS-Q4I,Q8I,Q16I,Q32I}"
 
 check_only=0
 if [ "${1:-}" = "--check" ]; then
@@ -42,5 +46,6 @@ if ! ls "$CUR"/BENCH_*.json >/dev/null 2>&1; then
     exit 2
 fi
 
-echo "== sqbench diff -base $BASE -cur $CUR -threshold $THRESHOLD"
-go run ./cmd/sqbench diff -base "$BASE" -cur "$CUR" -threshold "$THRESHOLD"
+echo "== sqbench diff -base $BASE -cur $CUR -threshold $THRESHOLD -require-sets '$REQUIRE_SETS'"
+go run ./cmd/sqbench diff -base "$BASE" -cur "$CUR" -threshold "$THRESHOLD" \
+    -require-sets "$REQUIRE_SETS"
