@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check lint test test-sqdebug test-sqchaos fuzz bench bench-real bench-synthetic bench-json bench-dense benchcmp benchcmp-check clean
+.PHONY: build check lint test test-sqdebug test-sqchaos test-cluster fuzz bench bench-real bench-synthetic bench-json bench-dense benchcmp benchcmp-check clean
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,18 @@ test-sqdebug:
 # pools unwinding through injected panics is exactly where races hide.
 test-sqchaos:
 	$(GO) test -tags sqchaos -race ./internal/core ./cmd/sqserver
+
+# Scatter-gather tier suite: the cluster package's unit tests plus the
+# chaos storms — per-shard drop injection at the transport boundary, and
+# the server-level shard-kill storm (one of four shards killed and
+# revived mid-500-query-storm; every response well-formed, lost
+# partitions named, hedged losers cancelled, registry drained). Race
+# detector on: the coordinator's fan-out/hedge/cancel paths are where
+# races hide.
+test-cluster:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -tags sqchaos -race -count=1 -run 'TestCluster' ./internal/cluster
+	$(GO) test -tags sqchaos -race -count=1 -run 'TestChaosClusterShardKillStorm' ./cmd/sqserver
 
 # Ten-second fuzz smoke over the graph text-format reader, seeded from
 # internal/graph/testdata/fuzz.

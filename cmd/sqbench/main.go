@@ -5,7 +5,8 @@
 // Usage:
 //
 //	sqbench tableV|tableVI|tableVII|tableVIII|tableIX \
-//	        fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9 | real | synthetic | all
+//	        fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9 \
+//	        | real | synthetic | cluster | all
 //	        [-scale 0.02] [-queries 10] [-seed 1]
 //	        [-index-budget 60s] [-query-budget 5s] [-workers 6]
 //	        [-json-dir .]
@@ -23,9 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"subgraphquery/internal/bench"
+	"subgraphquery/internal/cluster"
 )
 
 func main() {
@@ -53,6 +57,10 @@ func main() {
 	queryBudget := fs.Duration("query-budget", 5*time.Second, "per-query budget (paper: 10m)")
 	workers := fs.Int("workers", 6, "workers for the Grapes engines")
 	jsonDir := fs.String("json-dir", ".", "directory for machine-readable BENCH_<dataset>.json output (empty disables)")
+	clusterEngine := fs.String("cluster-engine", "CFQL", "per-shard engine for the cluster track")
+	clusterShards := fs.String("cluster-shards", "1,2,4,8", "comma-separated shard counts for the cluster track")
+	clusterReplicas := fs.Int("cluster-replicas", 1, "replicas per shard for the cluster track")
+	clusterStrategy := fs.String("cluster-strategy", "hash", "partitioning strategy for the cluster track: hash or size")
 	fs.Parse(os.Args[2:])
 
 	cfg := bench.Config{
@@ -65,10 +73,50 @@ func main() {
 		Out:         os.Stdout,
 	}
 
+	if cmd == "cluster" {
+		if err := runCluster(cfg, *clusterEngine, *clusterShards, *clusterReplicas, *clusterStrategy); err != nil {
+			fmt.Fprintln(os.Stderr, "sqbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(cmd, cfg, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, "sqbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCluster executes the per-shard-count scatter-gather track.
+func runCluster(cfg bench.Config, engine, shards string, replicas int, strategy string) error {
+	var counts []int
+	for _, part := range strings.Split(shards, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -cluster-shards entry %q: want positive integers", part)
+		}
+		counts = append(counts, n)
+	}
+	study := bench.ClusterStudyConfig{
+		Engine:      engine,
+		ShardCounts: counts,
+		Replicas:    replicas,
+		Strategy:    cluster.Strategy(strategy),
+	}
+	fmt.Fprintf(os.Stderr, "running cluster study (scale %.3f, %d queries/set, shards %s)...\n",
+		cfg.Scale, cfg.QueryCount, shards)
+	rows, err := bench.RunCluster(cfg, study)
+	if err != nil {
+		return err
+	}
+	out := cfg
+	out.Out = os.Stdout
+	bench.RenderCluster(out, study, rows)
+	return nil
 }
 
 func usage() {
@@ -90,6 +138,9 @@ synthetic experiments (one shared run):
 
   shapes     mechanical pass/fail checklist of the paper's claims
   extensions every engine (incl. Table II reproductions) on one workload
+  cluster    scatter-gather tier at increasing shard counts
+             (-cluster-engine CFQL -cluster-shards 1,2,4,8
+              -cluster-replicas 1 -cluster-strategy hash|size)
   all        everything
 
   diff       bench-regression gate: compare p50 latency between two sets

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math/rand/v2"
 	"sync/atomic"
 	"time"
 )
@@ -19,6 +20,7 @@ type admission struct {
 	queued   atomic.Int64
 	maxQueue int64
 	wait     time.Duration
+	jitter   int
 }
 
 // admitVerdict is the outcome of admission.acquire.
@@ -38,17 +40,24 @@ const (
 // newAdmission returns the shedder, or nil (admission disabled) when
 // maxConcurrent <= 0. maxQueue <= 0 disables queueing: requests beyond the
 // concurrency limit are shed on arrival. wait <= 0 selects 1s.
-func newAdmission(maxConcurrent, maxQueue int, wait time.Duration) *admission {
+// jitterSecs widens the Retry-After hint by a uniform random 0..jitterSecs
+// seconds so a synchronized client herd shed at the same instant does not
+// come back at the same instant; <= 0 keeps the hint deterministic.
+func newAdmission(maxConcurrent, maxQueue int, wait time.Duration, jitterSecs int) *admission {
 	if maxConcurrent <= 0 {
 		return nil
 	}
 	if wait <= 0 {
 		wait = time.Second
 	}
+	if jitterSecs < 0 {
+		jitterSecs = 0
+	}
 	return &admission{
 		sem:      make(chan struct{}, maxConcurrent),
 		maxQueue: int64(maxQueue),
 		wait:     wait,
+		jitter:   jitterSecs,
 	}
 }
 
@@ -91,11 +100,18 @@ func (a *admission) saturated() bool {
 }
 
 // retryAfterSeconds is the Retry-After hint on shed responses: the queue
-// wait rounded up to a whole second, at least 1.
+// wait rounded up to a whole second, at least 1, plus a uniform random
+// 0..jitter seconds. The base value alone synchronizes retries: every
+// client shed during the same burst receives the same hint and the whole
+// herd returns in one spike, which is shed again — a retry storm that
+// never decays. Jitter spreads the second wave across the band.
 func (a *admission) retryAfterSeconds() int {
 	s := int((a.wait + time.Second - 1) / time.Second)
 	if s < 1 {
 		s = 1
+	}
+	if a.jitter > 0 {
+		s += rand.IntN(a.jitter + 1)
 	}
 	return s
 }

@@ -17,16 +17,16 @@ func TestAdmissionVerdicts(t *testing.T) {
 	never := make(chan struct{})
 
 	t.Run("disabled", func(t *testing.T) {
-		if a := newAdmission(0, 8, time.Second); a != nil {
+		if a := newAdmission(0, 8, time.Second, 0); a != nil {
 			t.Error("maxConcurrent=0 should disable admission")
 		}
-		if a := newAdmission(-1, 8, time.Second); a != nil {
+		if a := newAdmission(-1, 8, time.Second, 0); a != nil {
 			t.Error("negative maxConcurrent should disable admission")
 		}
 	})
 
 	t.Run("shed-on-full-queue", func(t *testing.T) {
-		a := newAdmission(1, 0, 50*time.Millisecond)
+		a := newAdmission(1, 0, 50*time.Millisecond, 0)
 		release, v := a.acquire(never)
 		if v != admitOK {
 			t.Fatalf("first acquire: %v, want admitOK", v)
@@ -47,7 +47,7 @@ func TestAdmissionVerdicts(t *testing.T) {
 	})
 
 	t.Run("queue-timeout", func(t *testing.T) {
-		a := newAdmission(1, 1, 20*time.Millisecond)
+		a := newAdmission(1, 1, 20*time.Millisecond, 0)
 		release, v := a.acquire(never)
 		if v != admitOK {
 			t.Fatalf("first acquire: %v", v)
@@ -63,7 +63,7 @@ func TestAdmissionVerdicts(t *testing.T) {
 	})
 
 	t.Run("queue-handoff", func(t *testing.T) {
-		a := newAdmission(1, 1, time.Second)
+		a := newAdmission(1, 1, time.Second, 0)
 		release, v := a.acquire(never)
 		if v != admitOK {
 			t.Fatalf("first acquire: %v", v)
@@ -86,7 +86,7 @@ func TestAdmissionVerdicts(t *testing.T) {
 	})
 
 	t.Run("client-gone", func(t *testing.T) {
-		a := newAdmission(1, 1, time.Second)
+		a := newAdmission(1, 1, time.Second, 0)
 		release, v := a.acquire(never)
 		if v != admitOK {
 			t.Fatalf("first acquire: %v", v)
@@ -113,10 +113,30 @@ func TestAdmissionVerdicts(t *testing.T) {
 			time.Second:             1,
 			1500 * time.Millisecond: 2,
 		} {
-			a := newAdmission(1, 0, wait)
+			a := newAdmission(1, 0, wait, 0)
 			if got := a.retryAfterSeconds(); got != want {
 				t.Errorf("retryAfterSeconds(wait=%v) = %d, want %d", wait, got, want)
 			}
+		}
+	})
+
+	t.Run("retry-after-jitter-band", func(t *testing.T) {
+		// wait=1500ms rounds up to base 2; jitter=3 widens the hint to
+		// [2, 5]. Every draw must stay inside the band, and across many
+		// draws the hint must not be constant (else the herd stays
+		// synchronized and jitter bought nothing).
+		const base, jitter = 2, 3
+		a := newAdmission(1, 0, 1500*time.Millisecond, jitter)
+		seen := map[int]bool{}
+		for i := 0; i < 400; i++ {
+			got := a.retryAfterSeconds()
+			if got < base || got > base+jitter {
+				t.Fatalf("retryAfterSeconds() = %d, outside band [%d, %d]", got, base, base+jitter)
+			}
+			seen[got] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("400 draws produced a single value %v; jitter is not being applied", seen)
 		}
 	})
 }

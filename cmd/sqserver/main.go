@@ -42,10 +42,20 @@
 //
 // Admission control bounds concurrently executing queries (-max-inflight)
 // with a bounded wait queue (-max-queue, -queue-wait); excess load is shed
-// with 429 + Retry-After instead of piling up memory. Per-request budgets
-// (-budget, -mem-budget) cancel cooperatively inside the engines, and every
-// engine panic is isolated into a structured error response — the process
-// keeps serving.
+// with 429 + Retry-After instead of piling up memory (the hint is widened
+// by a uniform 0..-retry-jitter seconds so a shed herd does not return in
+// one spike). Per-request budgets (-budget, -mem-budget) cancel
+// cooperatively inside the engines, and every engine panic is isolated
+// into a structured error response — the process keeps serving.
+//
+// With -shards N > 0 the engine runs behind a scatter-gather coordinator:
+// the database is partitioned across N independent engine instances
+// (-shard-strategy hash|size, -shard-replicas R copies of each), every
+// query fans out, and per-shard failures are retried with backoff, hedged
+// against replicas after an adaptive p99 delay (-hedge-after overrides),
+// and finally degraded: a permanently lost shard yields a partial result
+// with "degraded":true and KindShard graph errors naming the lost
+// partition, instead of failing the whole query.
 //
 // With -debug-addr, a second listener serves net/http/pprof profiles
 // (/debug/pprof/) for CPU and heap investigation, kept off the public
@@ -67,8 +77,10 @@
 // Usage:
 //
 //	sqserver -db db.graph [-addr :8080] [-engine CFQL] [-cache 64]
+//	         [-shards 4] [-shard-replicas 2] [-shard-strategy hash]
+//	         [-shard-concurrency 0] [-hedge-after 0]
 //	         [-budget 10m] [-mem-budget 268435456]
-//	         [-max-inflight 16] [-max-queue 64] [-queue-wait 1s]
+//	         [-max-inflight 16] [-max-queue 64] [-queue-wait 1s] [-retry-jitter 2]
 //	         [-slowlog-threshold 100ms] [-slowlog-size 64]
 //	         [-top-k 20] [-export events.ndjson] [-export-sample 0.01]
 //	         [-export-buffer 1024] [-events-size 128]
@@ -91,6 +103,8 @@ import (
 
 	sq "subgraphquery"
 	"subgraphquery/internal/bench"
+	"subgraphquery/internal/cluster"
+	"subgraphquery/internal/core"
 	"subgraphquery/internal/obs"
 	"subgraphquery/internal/telemetry"
 )
@@ -100,6 +114,18 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	engineName := flag.String("engine", "CFQL", "query engine")
 	cache := flag.Int("cache", 64, "result cache entries (0 disables)")
+	shards := flag.Int("shards", 0,
+		"partition the database across N engine shards behind a scatter-gather coordinator (0 = single engine)")
+	shardReplicas := flag.Int("shard-replicas", 1,
+		"replicas per shard; hedged duplicate requests need >= 2")
+	shardStrategy := flag.String("shard-strategy", "hash",
+		"partitioning strategy: hash (rendezvous) or size (byte-balanced)")
+	shardConcurrency := flag.Int("shard-concurrency", 0,
+		"max concurrent queries executing inside one shard (0 = unbounded)")
+	hedgeAfter := flag.Duration("hedge-after", 0,
+		"hedged-request delay (0 = adaptive per-shard p99, negative disables hedging)")
+	retryJitter := flag.Int("retry-jitter", 2,
+		"widen the 429 Retry-After hint by a uniform 0..N seconds (0 = deterministic)")
 	budget := flag.Duration("budget", 0, "per-query budget (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0,
 		"per-query candidate-structure memory budget in bytes (0 = none)")
@@ -158,6 +184,30 @@ func main() {
 		logger.Error("creating engine", "err", err)
 		os.Exit(1)
 	}
+	if *shards > 0 {
+		// The coordinator owns one engine instance per shard replica; the
+		// factory re-resolves the already-validated engine name.
+		coord, cerr := cluster.New(cluster.Config{
+			Shards:           *shards,
+			Replicas:         *shardReplicas,
+			Strategy:         cluster.Strategy(*shardStrategy),
+			BaseName:         engine.Name(),
+			ShardConcurrency: *shardConcurrency,
+			HedgeAfter:       *hedgeAfter,
+			Factory: func() core.Engine {
+				e, ferr := bench.NewEngine(*engineName)
+				if ferr != nil {
+					panic(ferr) // unreachable: the name parsed above
+				}
+				return e
+			},
+		})
+		if cerr != nil {
+			logger.Error("creating coordinator", "err", cerr)
+			os.Exit(1)
+		}
+		engine = coord
+	}
 	inflight := *maxInflight
 	switch {
 	case inflight == 0:
@@ -172,6 +222,7 @@ func main() {
 		maxInflight:      inflight,
 		maxQueue:         *maxQueue,
 		queueWait:        *queueWait,
+		retryJitter:      *retryJitter,
 		slowThreshold:    *slowThreshold,
 		slowSize:         *slowSize,
 		topK:             *topK,

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	sq "subgraphquery"
+	"subgraphquery/internal/cluster"
 	"subgraphquery/internal/core"
 	"subgraphquery/internal/inflight"
 	"subgraphquery/internal/obs"
@@ -34,6 +35,11 @@ type server struct {
 	// adm bounds concurrent query execution (nil = admission disabled).
 	adm *admission
 
+	// cluster is set when the engine is (or wraps) a scatter-gather
+	// coordinator; /metrics then exposes its retry/hedge/degradation
+	// counters. nil for single-engine servers.
+	cluster *cluster.Coordinator
+
 	// Telemetry. The registry backs GET /metrics; the named instruments
 	// are held directly so the hot path never takes the registry lock.
 	reg       *obs.Registry
@@ -45,7 +51,12 @@ type server struct {
 	cacheMiss *obs.Counter
 	shed      *obs.Counter // requests bounced by admission control
 	panics    *obs.Counter // panics recovered in engines and handlers
-	inflight  *obs.Gauge
+	// degradedShards counts shard partitions lost to a query response
+	// (shard_degraded_total); errsTruncated sums graph errors dropped by
+	// the coordinator's post-merge cap (graph_errors_truncated).
+	degradedShards *obs.Counter
+	errsTruncated  *obs.Counter
+	inflight       *obs.Gauge
 	// queueDepth mirrors the admission wait-queue occupancy at snapshot
 	// time (refreshed by /metrics).
 	queueDepth *obs.Gauge
@@ -110,6 +121,10 @@ type serverConfig struct {
 	// queueWait is how long a queued request may wait for a slot before
 	// being shed (0 selects 1s).
 	queueWait time.Duration
+	// retryJitter widens the Retry-After hint on shed responses by a
+	// uniform 0..retryJitter seconds, de-synchronizing client retries
+	// after a shedding burst; 0 keeps the hint deterministic.
+	retryJitter int
 	// topK is the default row count of GET /debug/top (0 selects 20).
 	topK int
 	// profileCapacity sizes the heavy-hitter sketch (0 selects the
@@ -141,6 +156,9 @@ type serverConfig struct {
 }
 
 func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog.Logger) (*server, error) {
+	// Remember the coordinator before any cache wrapping so /metrics can
+	// reach its scatter-gather counters.
+	coord, _ := engine.(*cluster.Coordinator)
 	if cfg.cacheEntries > 0 {
 		engine = sq.NewCachedEngine(engine, cfg.cacheEntries)
 	}
@@ -166,7 +184,8 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 		log:       logger,
 		start:     time.Now(),
 		reg:       obs.NewRegistry(),
-		adm:       newAdmission(cfg.maxInflight, cfg.maxQueue, cfg.queueWait),
+		adm:       newAdmission(cfg.maxInflight, cfg.maxQueue, cfg.queueWait, cfg.retryJitter),
+		cluster:   coord,
 		profile:   telemetry.NewProfile(cfg.profileCapacity),
 		exporter:  exporter,
 		events:    telemetry.NewDebugRing(cfg.eventsSize),
@@ -185,6 +204,8 @@ func newServer(db *sq.Database, engine sq.Engine, cfg serverConfig, logger *slog
 	s.cacheMiss = s.reg.Counter("cache_misses_total")
 	s.shed = s.reg.Counter("queries_shed_total")
 	s.panics = s.reg.Counter("panics_recovered_total")
+	s.degradedShards = s.reg.Counter("shard_degraded_total")
+	s.errsTruncated = s.reg.Counter("graph_errors_truncated")
 	s.inflight = s.reg.Gauge("queries_inflight")
 	s.queueDepth = s.reg.Gauge("admission_queue_depth")
 	s.workerPool = s.reg.Gauge("worker_pool_size")
@@ -411,11 +432,18 @@ type queryResponse struct {
 	Cancelled  bool  `json:"cancelled,omitempty"`
 	// Skipped counts data graphs abandoned mid-processing (recovered panic
 	// or exceeded memory budget); Answers is a lower bound when non-zero.
-	Skipped     int                  `json:"skipped,omitempty"`
-	GraphErrors []*sq.QueryError     `json:"graph_errors,omitempty"`
-	Engine      string               `json:"engine"`
-	Trace       *obs.TraceSnapshot   `json:"trace,omitempty"`
-	Explain     *obs.ExplainSnapshot `json:"explain,omitempty"`
+	Skipped     int              `json:"skipped,omitempty"`
+	GraphErrors []*sq.QueryError `json:"graph_errors,omitempty"`
+	// Degraded marks a scatter-gather response missing at least one shard
+	// partition: Answers is a lower bound, and the lost partitions are
+	// named by the KindShard entries in GraphErrors.
+	Degraded bool `json:"degraded,omitempty"`
+	// GraphErrorsTruncated counts per-graph errors dropped by the
+	// coordinator's post-merge cap on GraphErrors.
+	GraphErrorsTruncated int                  `json:"graph_errors_truncated,omitempty"`
+	Engine               string               `json:"engine"`
+	Trace                *obs.TraceSnapshot   `json:"trace,omitempty"`
+	Explain              *obs.ExplainSnapshot `json:"explain,omitempty"`
 	// InflightID is the live-registry handle id the query ran under, the
 	// key correlating this response with /debug/inflight observations.
 	InflightID uint64 `json:"inflight_id,omitempty"`
@@ -499,6 +527,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer s.live.Deregister(h)
 	opts.Handle = h
 	opts.Cancel = h.MergeCancel(ctx.Done())
+	// A coordinator engine registers one sub-handle per shard attempt in
+	// the same registry, so /debug/inflight shows the fan-out live and
+	// cancellation reaches hedged losers.
+	opts.Inflight = s.live
 
 	wantTrace := r.URL.Query().Get("trace") == "1"
 	wantExplain := r.URL.Query().Get("explain") == "1"
@@ -531,6 +563,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.latency.Record(elapsed)
 	if res.TimedOut {
 		s.timeouts.Inc()
+	}
+	if res.Degraded {
+		// One tick per lost shard partition, not per query: the KindShard
+		// entries lead the (capped) error list by construction.
+		lost := int64(0)
+		for _, ge := range res.GraphErrors {
+			if ge.Kind == core.KindShard {
+				lost++
+			}
+		}
+		if lost == 0 {
+			lost = 1
+		}
+		s.degradedShards.Add(lost)
+	}
+	if res.GraphErrorsTruncated > 0 {
+		s.errsTruncated.Add(int64(res.GraphErrorsTruncated))
 	}
 
 	var traceSnap *obs.TraceSnapshot
@@ -596,16 +645,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := queryResponse{
-		Answers:     append([]int{}, res.Answers...),
-		Candidates:  res.Candidates,
-		FilterUS:    res.FilterTime.Microseconds(),
-		VerifyUS:    res.VerifyTime.Microseconds(),
-		TimedOut:    res.TimedOut,
-		Cancelled:   res.Cancelled,
-		Skipped:     res.Skipped,
-		GraphErrors: res.GraphErrors,
-		Engine:      s.engine.Name(),
-		InflightID:  h.ID(),
+		Answers:              append([]int{}, res.Answers...),
+		Candidates:           res.Candidates,
+		FilterUS:             res.FilterTime.Microseconds(),
+		VerifyUS:             res.VerifyTime.Microseconds(),
+		TimedOut:             res.TimedOut,
+		Cancelled:            res.Cancelled,
+		Skipped:              res.Skipped,
+		GraphErrors:          res.GraphErrors,
+		Degraded:             res.Degraded,
+		GraphErrorsTruncated: res.GraphErrorsTruncated,
+		Engine:               s.engine.Name(),
+		InflightID:           h.ID(),
 	}
 	var explainSnap *obs.ExplainSnapshot
 	if explain != nil {
@@ -857,6 +908,19 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("go_goroutines").Set(rh.Goroutines)
 	s.reg.Gauge("go_heap_inuse_bytes").Set(rh.HeapInUseBytes)
 	s.reg.Gauge("go_gc_pause_p99_us").Set(rh.GCPauseP99.Microseconds())
+	// Scatter-gather robustness counters, snapshotted from the coordinator
+	// at scrape time (its hot path stays registry-free).
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		s.reg.Gauge("cluster_shards").Set(int64(cs.Shards))
+		s.reg.Gauge("cluster_queries").Set(int64(cs.Queries))
+		s.reg.Gauge("cluster_retries").Set(int64(cs.Retries))
+		s.reg.Gauge("cluster_hedges").Set(int64(cs.Hedges))
+		s.reg.Gauge("cluster_hedge_wins").Set(int64(cs.HedgeWins))
+		s.reg.Gauge("cluster_degraded_queries").Set(int64(cs.DegradedQueries))
+		s.reg.Gauge("cluster_transport_attempts").Set(int64(cs.TransportAttempts))
+		s.reg.Gauge("cluster_transport_refused").Set(int64(cs.TransportRefused))
+	}
 	// Live-query registry occupancy and lifetime counters.
 	s.reg.Gauge("inflight_tracked").Set(int64(s.live.Len()))
 	registered, overflowed, cancels := s.live.Stats()

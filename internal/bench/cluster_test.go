@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	cfg := tinyConfig()
+	study := ClusterStudyConfig{ShardCounts: []int{1, 3}}
+	rows, err := RunCluster(cfg, study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// Sharding must not change the result set: at this scale nothing times
+	// out, so the 1-shard and 3-shard answer averages are identical.
+	if rows[0].TimedOut == 0 && rows[1].TimedOut == 0 && rows[0].Answers != rows[1].Answers {
+		t.Errorf("answers diverge across shard counts: %.2f (n=1) != %.2f (n=3)",
+			rows[0].Answers, rows[1].Answers)
+	}
+	if rows[0].Answers <= 0 {
+		t.Error("cluster track produced no answers")
+	}
+	for _, r := range rows {
+		if r.IndexMemory < 0 || r.BuildTime <= 0 {
+			t.Errorf("shards=%d: implausible build: time=%v mem=%d", r.Shards, r.BuildTime, r.IndexMemory)
+		}
+	}
+
+	var buf bytes.Buffer
+	out := cfg
+	out.Out = &buf
+	RenderCluster(out, study, rows)
+	for _, want := range []string{"Cluster study", "CFQL", "hash", "p99"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered table lacks %q", want)
+		}
+	}
+}
+
+func TestRunClusterRejectsUnknownEngine(t *testing.T) {
+	if _, err := RunCluster(tinyConfig(), ClusterStudyConfig{Engine: "nope"}); err == nil {
+		t.Fatal("want error for unknown engine")
+	}
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"testing"
+
+	"subgraphquery/internal/gen"
+	"subgraphquery/internal/graph"
+)
+
+func testDB(t *testing.T, graphs, vertices int, seed int64) *graph.Database {
+	t.Helper()
+	db, err := gen.Synthetic(gen.SyntheticConfig{
+		NumGraphs: graphs, NumVertices: vertices, NumLabels: 5, Degree: 3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("synthetic db: %v", err)
+	}
+	return db
+}
+
+func strategies(t *testing.T) map[Strategy]Partitioner {
+	t.Helper()
+	out := map[Strategy]Partitioner{}
+	for _, s := range []Strategy{StrategyHash, StrategySize} {
+		p, err := NewPartitioner(s)
+		if err != nil {
+			t.Fatalf("NewPartitioner(%q): %v", s, err)
+		}
+		out[s] = p
+	}
+	return out
+}
+
+// Invariant 1: every graph id lands on exactly one shard, for every
+// strategy and cluster width.
+func TestPartitionCoversEveryGraphExactlyOnce(t *testing.T) {
+	db := testDB(t, 200, 14, 11)
+	for name, p := range strategies(t) {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			part := p.Partition(db, n)
+			if len(part) != db.Len() {
+				t.Fatalf("%s/n=%d: %d assignments for %d graphs", name, n, len(part), db.Len())
+			}
+			for id, s := range part {
+				if s < 0 || s >= n {
+					t.Fatalf("%s/n=%d: graph %d assigned to shard %d", name, n, id, s)
+				}
+			}
+			total := 0
+			for _, g := range groupByShard(part, n) {
+				total += len(g)
+			}
+			if total != db.Len() {
+				t.Fatalf("%s/n=%d: groups cover %d of %d graphs", name, n, total, db.Len())
+			}
+		}
+	}
+}
+
+// renumber rebuilds g with its vertex ids reversed: same graph, different
+// serialization order.
+func renumber(g *graph.Graph) *graph.Graph {
+	n := g.NumVertices()
+	perm := func(v graph.VertexID) graph.VertexID { return graph.VertexID(n-1) - v }
+	labels := make([]graph.Label, n)
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		labels[perm(graph.VertexID(v))] = g.Label(graph.VertexID(v))
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < u {
+				edges = append(edges, graph.Edge{U: perm(graph.VertexID(v)), V: perm(u)})
+			}
+		}
+	}
+	return graph.MustFromEdges(labels, edges)
+}
+
+// Invariant 2: the partition is a function of graph content, not vertex
+// numbering — reloading a database whose graphs were re-serialized in a
+// different vertex order reproduces the same shard assignment.
+func TestPartitionDeterministicUnderVertexRenumbering(t *testing.T) {
+	db := testDB(t, 120, 12, 23)
+	renum := make([]*graph.Graph, db.Len())
+	for i := range renum {
+		renum[i] = renumber(db.Graph(i))
+	}
+	db2 := graph.NewDatabase(renum)
+	for name, p := range strategies(t) {
+		for _, n := range []int{2, 4, 7} {
+			a, b := p.Partition(db, n), p.Partition(db2, n)
+			for id := range a {
+				if a[id] != b[id] {
+					t.Fatalf("%s/n=%d: graph %d moved %d -> %d under vertex renumbering",
+						name, n, id, a[id], b[id])
+				}
+			}
+		}
+	}
+}
+
+// Invariant 3: growing the cluster N -> N+1 moves a bounded fraction of
+// the database (rendezvous hashing: 1/(N+1) expected). A modulo scheme
+// would move ~N/(N+1) and fail this hard.
+func TestHashRebalancingMovesBoundedFraction(t *testing.T) {
+	db := testDB(t, 600, 10, 31)
+	p := hashPartitioner{}
+	for _, n := range []int{2, 4, 8} {
+		before, after := p.Partition(db, n), p.Partition(db, n+1)
+		moved := 0
+		for id := range before {
+			if before[id] != after[id] {
+				moved++
+				if after[id] != n {
+					t.Errorf("n=%d: graph %d moved %d -> %d, not to the new shard %d",
+						n, id, before[id], after[id], n)
+				}
+			}
+		}
+		frac := float64(moved) / float64(db.Len())
+		// Expected 1/(n+1); 2.2x headroom keeps the test deterministic
+		// while still rejecting any full-reshuffle scheme.
+		if limit := 2.2 / float64(n+1); frac > limit {
+			t.Errorf("n=%d -> %d moved %.1f%% of graphs, want <= %.1f%%",
+				n, n+1, 100*frac, 100*limit)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d -> %d moved nothing; new shard unused", n, n+1)
+		}
+	}
+}
+
+// StrategySize: per-shard byte loads stay near even, within the
+// documented slack plus one graph of quantization.
+func TestSizePartitionerBalancesBytes(t *testing.T) {
+	db := testDB(t, 300, 16, 47)
+	part := sizePartitioner{}.Partition(db, 4)
+	load := make([]int64, 4)
+	var total, maxGraph int64
+	for id, s := range part {
+		b := db.Graph(id).MemoryFootprint()
+		load[s] += b
+		total += b
+		if b > maxGraph {
+			maxGraph = b
+		}
+	}
+	limit := int64(float64(total)*sizeSlack/4) + maxGraph
+	for s, l := range load {
+		if l > limit {
+			t.Errorf("shard %d holds %d bytes, cap %d (total %d)", s, l, limit, total)
+		}
+		if l == 0 {
+			t.Errorf("shard %d empty on a 300-graph database", s)
+		}
+	}
+}
+
+func TestNewPartitionerRejectsUnknownStrategy(t *testing.T) {
+	if _, err := NewPartitioner("modulo"); err == nil {
+		t.Fatal("want error for unknown strategy")
+	}
+	if p, err := NewPartitioner(""); err != nil || p.Name() != string(StrategyHash) {
+		t.Fatalf("empty strategy: %v, %v (want hash default)", p, err)
+	}
+}

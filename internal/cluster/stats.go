@@ -1,0 +1,60 @@
+package cluster
+
+import "sync/atomic"
+
+// statCounters are the coordinator's lifetime robustness counters, all
+// updated lock-free from the fan-out goroutines.
+type statCounters struct {
+	queries         atomic.Uint64
+	retries         atomic.Uint64
+	hedges          atomic.Uint64
+	hedgeWins       atomic.Uint64
+	shardsLost      atomic.Uint64
+	degradedQueries atomic.Uint64
+	errorsTruncated atomic.Uint64
+}
+
+// Stats is a snapshot of the coordinator's robustness counters, the
+// source for the server's scatter-gather /metrics block.
+type Stats struct {
+	// Shards is the cluster width.
+	Shards int
+	// Queries counts Coordinator.Query calls.
+	Queries uint64
+	// Retries counts backed-off retry rounds (beyond each shard's first).
+	Retries uint64
+	// Hedges counts hedged duplicate attempts issued; HedgeWins how many
+	// of them beat the primary.
+	Hedges    uint64
+	HedgeWins uint64
+	// ShardsLost counts shard losses (per query per shard): the
+	// shard_degraded_total metric. DegradedQueries counts queries that
+	// returned Degraded (>= 1 shard lost).
+	ShardsLost      uint64
+	DegradedQueries uint64
+	// ErrorsTruncated sums Result.GraphErrorsTruncated across queries:
+	// the graph_errors_truncated metric.
+	ErrorsTruncated uint64
+	// TransportAttempts / TransportRefused are the Local transport's
+	// attempt counters (zero for external transports).
+	TransportAttempts uint64
+	TransportRefused  uint64
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{
+		Shards:          c.cfg.Shards,
+		Queries:         c.stats.queries.Load(),
+		Retries:         c.stats.retries.Load(),
+		Hedges:          c.stats.hedges.Load(),
+		HedgeWins:       c.stats.hedgeWins.Load(),
+		ShardsLost:      c.stats.shardsLost.Load(),
+		DegradedQueries: c.stats.degradedQueries.Load(),
+		ErrorsTruncated: c.stats.errorsTruncated.Load(),
+	}
+	if c.local != nil {
+		s.TransportAttempts, s.TransportRefused = c.local.Stats()
+	}
+	return s
+}

@@ -167,6 +167,21 @@ type Result struct {
 	// maxGraphErrors entries (Skipped is the true count).
 	GraphErrors []*QueryError
 
+	// GraphErrorsTruncated counts GraphErrors entries dropped to hold the
+	// cap when partial results are merged at the scatter-gather tier
+	// (CapGraphErrors): the coordinator caps once across all shards and
+	// records what it dropped instead of dropping silently. 0 on results
+	// straight out of a single engine, whose recordGraphError never
+	// retains more than the cap in the first place.
+	GraphErrorsTruncated int
+
+	// Degraded marks a partial answer due to a lost database partition:
+	// one or more shards stayed unreachable through the coordinator's
+	// retries, their graphs are counted in Skipped, and a KindShard entry
+	// in GraphErrors names each lost partition. Always false on
+	// single-engine results.
+	Degraded bool
+
 	// Err is set when the query itself failed — a panic recovered at the
 	// engine boundary outside any per-graph section. The rest of the
 	// Result holds whatever was computed before the failure.

@@ -46,6 +46,11 @@ type QueryError struct {
 	// Message describes the failure (the panic value, or the budget that
 	// was exceeded).
 	Message string `json:"message"`
+	// Shard is the partition whose loss this error records, set by the
+	// scatter-gather coordinator on KindShard errors (NewShardError);
+	// -1 when the failure was not attributable to one shard, mirroring
+	// GraphID's sentinel.
+	Shard int `json:"shard"`
 	// Stack is the stack of the panicking goroutine (empty for budget
 	// errors).
 	Stack string `json:"stack,omitempty"`
@@ -59,6 +64,11 @@ const (
 	KindPanic = "panic"
 	// KindBudget marks a memory-budget abort (Candidates.BudgetExceeded).
 	KindBudget = "budget"
+	// KindShard marks a database partition lost at the scatter-gather
+	// tier: a shard that stayed unreachable through the coordinator's
+	// retries. The result is then Degraded, not failed — answers from the
+	// surviving shards are intact and the error names what is missing.
+	KindShard = "shard"
 )
 
 // Error implements error.
@@ -85,6 +95,7 @@ func newPanicError(engine string, gid int, v any) *QueryError {
 		Engine:  engine,
 		Kind:    KindPanic,
 		GraphID: gid,
+		Shard:   -1,
 		Message: fmt.Sprint(v),
 		Stack:   string(debug.Stack()),
 		value:   v,
@@ -98,6 +109,7 @@ func newBudgetError(engine string, gid int, limit int64) *QueryError {
 		Engine:  engine,
 		Kind:    KindBudget,
 		GraphID: gid,
+		Shard:   -1,
 		Message: fmt.Sprintf("candidate structure exceeded memory budget of %d bytes", limit),
 	}
 }

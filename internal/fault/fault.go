@@ -14,7 +14,11 @@
 //     abort paths and GC pressure behavior;
 //   - abort: a spurious budget-exhausted signal, exercising the
 //     timed-out/cancelled bookkeeping without waiting for a real
-//     deadline.
+//     deadline;
+//   - drop: a transient shard-unavailability signal at the
+//     scatter-gather transport boundary (ShardDrop, seeded per shard),
+//     exercising the coordinator's retry/backoff, hedging and
+//     partial-result degradation paths.
 //
 // The chaos test suites (make test-sqchaos) drive the points through
 // whole engines and through sqserver, asserting every injected fault
@@ -34,6 +38,12 @@ const (
 	PointEnumerate = "matching.enumerate"
 	// PointIndexProbe fires at the entry of an index Filter probe.
 	PointIndexProbe = "index.probe"
+	// PointShard fires at the scatter-gather transport boundary, once per
+	// per-shard subquery dispatch (internal/cluster). Inject covers
+	// latency/panic/alloc at the boundary; the dedicated ShardDrop entry
+	// point adds per-shard-seeded transient unavailability, the fault a
+	// retry/backoff/hedging tier must absorb.
+	PointShard = "cluster.shard"
 )
 
 // InjectedPanic is the value an injected panic carries, so recovery

@@ -14,3 +14,8 @@ func Inject(point string) {}
 // Abort reports whether a spurious budget-exhausted fault fires at the
 // point. Always false without the sqchaos build tag.
 func Abort(point string) bool { return false }
+
+// ShardDrop reports whether a transient shard-unavailability fault fires
+// for the given shard at the scatter-gather transport boundary. Always
+// false without the sqchaos build tag.
+func ShardDrop(shard int) bool { return false }

@@ -25,6 +25,12 @@ type Config struct {
 	LatencyRate float64
 	AllocRate   float64
 	AbortRate   float64
+	// DropRate is the per-dispatch probability that ShardDrop reports a
+	// shard transiently unavailable at the scatter-gather transport
+	// boundary (PointShard). The draw is seeded per shard — Seed mixed
+	// with the shard id — so runs with the same seed, shard set and call
+	// interleaving replay the same drop pattern on the same shards.
+	DropRate float64
 
 	// Latency is the injected sleep; 0 selects 1ms.
 	Latency time.Duration
@@ -50,6 +56,7 @@ var (
 	latencies atomic.Uint64
 	allocs    atomic.Uint64
 	aborts    atomic.Uint64
+	drops     atomic.Uint64
 
 	// allocSink keeps injected spikes reachable for one round so the
 	// allocation is real, then drops them.
@@ -77,6 +84,7 @@ func Set(c Config) {
 	latencies.Store(0)
 	allocs.Store(0)
 	aborts.Store(0)
+	drops.Store(0)
 }
 
 // Counts reports how many faults of each kind have fired since the last
@@ -84,6 +92,9 @@ func Set(c Config) {
 func Counts() (panicCount, latencyCount, allocCount, abortCount uint64) {
 	return panics.Load(), latencies.Load(), allocs.Load(), aborts.Load()
 }
+
+// Drops reports how many shard-drop faults have fired since the last Set.
+func Drops() uint64 { return drops.Load() }
 
 // Inject fires the side-effect faults (latency, alloc, panic — in that
 // order, so a panicking call still exercises the cheaper faults)
@@ -135,6 +146,25 @@ func Abort(point string) bool {
 	return false
 }
 
+// ShardDrop reports whether a transient shard-unavailability fault fires
+// for the given shard at the scatter-gather transport boundary
+// (PointShard). Unlike the global roll of Inject/Abort, the draw mixes
+// the shard id into the seed, so a storm with a fixed seed drops the
+// same shards at the same sequence positions run after run.
+func ShardDrop(shard int) bool {
+	mu.RLock()
+	c := cfg
+	mu.RUnlock()
+	if !c.applies(PointShard) || c.DropRate == 0 {
+		return false
+	}
+	if roll(c.Seed^splitmix(uint64(shard)+1)) < c.DropRate {
+		drops.Add(1)
+		return true
+	}
+	return false
+}
+
 func (c *Config) applies(point string) bool {
 	if c.Points == nil {
 		return true
@@ -154,6 +184,15 @@ func roll(seed uint64) float64 {
 	return float64(z>>11) / (1 << 53)
 }
 
+// splitmix finalizes one value through the splitmix64 mixer, for folding
+// a shard id into the seed without disturbing the global sequence.
+func splitmix(x uint64) uint64 {
+	x = (x + 0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // parseEnv reads "panic=0.01,latency=0.02,latency_ms=5,alloc=0.01,
 // abort=0.01,alloc_bytes=1048576,seed=42" into a Config.
 func parseEnv(s string) (Config, error) {
@@ -164,7 +203,7 @@ func parseEnv(s string) (Config, error) {
 			return Config{}, fmt.Errorf("missing '=' in %q", kv)
 		}
 		switch key {
-		case "panic", "latency", "alloc", "abort":
+		case "panic", "latency", "alloc", "abort", "drop":
 			rate, err := strconv.ParseFloat(val, 64)
 			if err != nil {
 				return Config{}, fmt.Errorf("rate %q: %w", kv, err)
@@ -178,6 +217,8 @@ func parseEnv(s string) (Config, error) {
 				c.AllocRate = rate
 			case "abort":
 				c.AbortRate = rate
+			case "drop":
+				c.DropRate = rate
 			}
 		case "latency_ms":
 			ms, err := strconv.Atoi(val)

@@ -38,4 +38,7 @@ echo "== live-inspection storm + stuck-query watchdog (inflight registry, race)"
 go test -race -count=1 -run 'Watchdog' ./internal/inflight ./cmd/sqserver
 go test -tags sqchaos -race -count=1 -run 'TestInflightStormUnderChaos' ./cmd/sqserver
 
+echo "== scatter-gather tier: shard-kill chaos storm (race)"
+make test-cluster
+
 echo "ok"

@@ -83,6 +83,10 @@ const (
 	ErrKindPanic = core.KindPanic
 	// ErrKindBudget marks a graph skipped for exceeding the memory budget.
 	ErrKindBudget = core.KindBudget
+	// ErrKindShard marks a shard partition lost by a scatter-gather
+	// coordinator; Result.Degraded is set and QueryError.Shard names the
+	// lost shard.
+	ErrKindShard = core.KindShard
 )
 
 // Re-exported observability types (see internal/obs): set
